@@ -1,0 +1,92 @@
+//! CRC-16-CCITT over packet words.
+//!
+//! Arctic verifies message correctness "at every router stage and at the
+//! network endpoints using CRC" (§2.2). We implement CRC-16-CCITT (polynomial
+//! 0x1021, init 0xFFFF) over the header and payload words; routers recompute
+//! and compare at each stage, and the endpoint exposes the result as the
+//! 1-bit status the software layer checks.
+
+const POLY: u16 = 0x1021;
+const INIT: u16 = 0xFFFF;
+
+/// CRC-16-CCITT of a byte stream.
+pub fn crc16_bytes(bytes: impl IntoIterator<Item = u8>) -> u16 {
+    let mut crc = INIT;
+    for b in bytes {
+        crc ^= (b as u16) << 8;
+        for _ in 0..8 {
+            if crc & 0x8000 != 0 {
+                crc = (crc << 1) ^ POLY;
+            } else {
+                crc <<= 1;
+            }
+        }
+    }
+    crc
+}
+
+/// CRC-16-CCITT over 32-bit words, big-endian byte order within each word
+/// (matching how the link serializes words onto the wire).
+pub fn crc16_words(words: &[u32]) -> u16 {
+    crc16_bytes(words.iter().flat_map(|w| w.to_be_bytes()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector() {
+        // CRC-16-CCITT("123456789") with init 0xFFFF is the classic 0x29B1.
+        let crc = crc16_bytes(*b"123456789");
+        assert_eq!(crc, 0x29B1);
+    }
+
+    #[test]
+    fn empty_is_init() {
+        assert_eq!(crc16_bytes(std::iter::empty()), INIT);
+    }
+
+    #[test]
+    fn word_and_byte_agree() {
+        let words = [0x0102_0304u32, 0x0506_0708];
+        let bytes = [1u8, 2, 3, 4, 5, 6, 7, 8];
+        assert_eq!(crc16_words(&words), crc16_bytes(bytes));
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let words = [0xDEAD_BEEFu32, 0x1234_5678, 0x0000_0001];
+        let good = crc16_words(&words);
+        for wi in 0..words.len() {
+            for bit in 0..32 {
+                let mut corrupted = words;
+                corrupted[wi] ^= 1 << bit;
+                assert_ne!(
+                    crc16_words(&corrupted),
+                    good,
+                    "flip of word {wi} bit {bit} undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn detects_burst_errors_up_to_16_bits() {
+        // CRC-16 detects all burst errors of length <= 16.
+        let words = [0xCAFE_F00Du32, 0xAAAA_5555];
+        let good = crc16_words(&words);
+        for start in 0..48 {
+            for len in 1..=16u32 {
+                if start + len > 64 {
+                    continue;
+                }
+                let mask: u64 = (((1u128 << len) - 1) << start) as u64;
+                let mut v = ((words[0] as u64) << 32) | words[1] as u64;
+                v ^= mask;
+                let corrupted = [(v >> 32) as u32, v as u32];
+                assert_ne!(crc16_words(&corrupted), good);
+            }
+        }
+    }
+}

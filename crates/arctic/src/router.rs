@@ -1,0 +1,267 @@
+//! The Arctic router model.
+//!
+//! Each router is a 4×4 crossbar (2 down-ports, 2 up-ports) with:
+//!
+//! * a **fall-through latency** of 0.15 µs applied to the packet head at
+//!   each stage (§2.2),
+//! * **150 MByte/s** output links with cut-through forwarding — the head is
+//!   forwarded as soon as the output link is granted, while the link stays
+//!   occupied for the packet's serialization time (so serialization is paid
+//!   once end-to-end, not per stage),
+//! * **two priorities** per output port: a queued high-priority packet is
+//!   always granted the link before any queued low-priority packet (a
+//!   high-priority message "cannot be blocked by low-priority messages"),
+//!   though an in-flight packet is never preempted mid-transmission,
+//! * **CRC verification** at every stage: a mismatch sets the packet's
+//!   corruption bit, which the endpoint surfaces as the 1-bit status word.
+//!
+//! FIFO order within a priority class at each port follows arrival order, so
+//! two packets following the same path are delivered in injection order —
+//! Arctic's per-path FIFO guarantee.
+
+use crate::packet::{Packet, Priority};
+use crate::topology::{FatTree, RouterAddr};
+use hyades_des::event::Payload;
+use hyades_des::{Actor, ActorId, Ctx, SimDuration, SimTime};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Number of ports on an Arctic router (2 down + 2 up).
+pub const PORTS: usize = 4;
+
+/// Port index helpers: ports 0,1 are down-ports, 2,3 are up-ports.
+pub fn down_port_index(b: u8) -> usize {
+    b as usize
+}
+pub fn up_port_index(p: u8) -> usize {
+    2 + p as usize
+}
+
+/// Events understood by a router.
+pub enum RouterEv {
+    /// A packet head arriving on an input.
+    Arrive(Packet),
+    /// The output link for `port` may have become free.
+    TryTx { port: usize },
+}
+
+/// Where an output port leads.
+#[derive(Clone, Copy, Debug)]
+pub enum PortTarget {
+    /// Another router stage.
+    Router(ActorId),
+    /// The final hop: deliver to an endpoint actor. The delivery event is
+    /// scheduled at the packet *tail* (head + serialization), which is what
+    /// the NIU's receive logic observes.
+    Endpoint(ActorId),
+    /// Unwired (up-ports at the top level).
+    None,
+}
+
+struct OutputPort {
+    target: PortTarget,
+    free_at: SimTime,
+    high: VecDeque<Packet>,
+    low: VecDeque<Packet>,
+    /// Traffic accounting for tests and diagnostics.
+    packets: u64,
+    bytes: u64,
+    max_queue: usize,
+}
+
+impl OutputPort {
+    fn new(target: PortTarget) -> Self {
+        OutputPort {
+            target,
+            free_at: SimTime::ZERO,
+            high: VecDeque::new(),
+            low: VecDeque::new(),
+            packets: 0,
+            bytes: 0,
+            max_queue: 0,
+        }
+    }
+
+    fn queued(&self) -> usize {
+        self.high.len() + self.low.len()
+    }
+}
+
+/// Timing parameters shared by all routers of a fabric.
+#[derive(Clone, Copy, Debug)]
+pub struct RouterTiming {
+    pub fall_through: SimDuration,
+    pub link_mbyte_per_sec: f64,
+    pub wire_latency: SimDuration,
+}
+
+impl Default for RouterTiming {
+    fn default() -> Self {
+        RouterTiming {
+            fall_through: SimDuration::from_us_f64(0.15),
+            link_mbyte_per_sec: 150.0,
+            wire_latency: SimDuration::from_ns(10),
+        }
+    }
+}
+
+/// One simulated Arctic router.
+pub struct RouterActor {
+    addr: RouterAddr,
+    tree: Arc<FatTree>,
+    timing: RouterTiming,
+    ports: Vec<OutputPort>,
+    /// Stage-level CRC failures observed (packets are still forwarded with
+    /// their corruption bit set).
+    pub crc_failures: u64,
+    /// Total packets routed through this stage.
+    pub packets_routed: u64,
+}
+
+impl RouterActor {
+    pub fn new(addr: RouterAddr, tree: Arc<FatTree>, timing: RouterTiming) -> Self {
+        RouterActor {
+            addr,
+            tree,
+            timing,
+            ports: (0..PORTS).map(|_| OutputPort::new(PortTarget::None)).collect(),
+            crc_failures: 0,
+            packets_routed: 0,
+        }
+    }
+
+    pub fn addr(&self) -> RouterAddr {
+        self.addr
+    }
+
+    /// Wire an output port (done by the network builder).
+    pub fn wire_port(&mut self, port: usize, target: PortTarget) {
+        self.ports[port].target = target;
+    }
+
+    /// Traffic counters per port: (packets, bytes, max queue depth).
+    pub fn port_stats(&self, port: usize) -> (u64, u64, usize) {
+        let p = &self.ports[port];
+        (p.packets, p.bytes, p.max_queue)
+    }
+
+    fn route(&self, pkt: &Packet) -> usize {
+        if pkt.up_remaining > 0 {
+            let p = ((pkt.uproute_bits >> self.addr.level) & 1) as u8;
+            up_port_index(p)
+        } else {
+            let b = self.tree.down_port(self.addr.level, pkt.dst);
+            down_port_index(b)
+        }
+    }
+
+    fn enqueue(&mut self, mut pkt: Packet, ctx: &mut Ctx<'_>) {
+        // Per-stage CRC verification.
+        if !pkt.verify() {
+            self.crc_failures += 1;
+        }
+        self.packets_routed += 1;
+        let port = self.route(&pkt);
+        if pkt.up_remaining > 0 {
+            pkt.up_remaining -= 1;
+        }
+        let q = &mut self.ports[port];
+        match pkt.priority {
+            Priority::High => q.high.push_back(pkt),
+            Priority::Low => q.low.push_back(pkt),
+        }
+        q.max_queue = q.max_queue.max(q.queued());
+        // The head has now fallen through the crossbar; the link grant can
+        // happen no earlier than `fall_through` from arrival.
+        let ready = ctx.now() + self.timing.fall_through;
+        let at = ready.max(q.free_at);
+        ctx.send_after(at - ctx.now(), ctx.self_id(), RouterEv::TryTx { port });
+    }
+
+    fn try_tx(&mut self, port: usize, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let q = &mut self.ports[port];
+        if now < q.free_at || q.queued() == 0 {
+            return;
+        }
+        // High priority is never blocked behind queued low priority.
+        let pkt = match q.high.pop_front() {
+            Some(p) => p,
+            None => match q.low.pop_front() {
+                Some(p) => p,
+                None => return,
+            },
+        };
+        let ser = SimDuration::for_bytes_at(pkt.wire_bytes(), self.timing.link_mbyte_per_sec);
+        q.free_at = now + ser;
+        q.packets += 1;
+        q.bytes += pkt.wire_bytes();
+        match q.target {
+            PortTarget::Router(next) => {
+                // Cut-through: the head reaches the next stage after the
+                // wire latency; the body streams behind it.
+                ctx.send_after(self.timing.wire_latency, next, RouterEv::Arrive(pkt));
+            }
+            PortTarget::Endpoint(ep) => {
+                // Delivery completes at the packet tail.
+                ctx.send_after(
+                    self.timing.wire_latency + ser,
+                    ep,
+                    crate::network::Delivered { pkt },
+                );
+            }
+            PortTarget::None => panic!(
+                "router {:?} routed a packet out of an unwired port {port}",
+                self.addr
+            ),
+        }
+        // If more packets are queued, re-arm when the link frees.
+        if self.ports[port].queued() > 0 {
+            let free = self.ports[port].free_at;
+            ctx.send_after(free - now, ctx.self_id(), RouterEv::TryTx { port });
+        }
+    }
+}
+
+impl Actor for RouterActor {
+    fn on_event(&mut self, ev: Payload, ctx: &mut Ctx<'_>) {
+        match ev.downcast::<RouterEv>() {
+            Ok(ev) => match *ev {
+                RouterEv::Arrive(pkt) => self.enqueue(pkt, ctx),
+                RouterEv::TryTx { port } => self.try_tx(port, ctx),
+            },
+            Err(other) => panic!("router received unexpected event: {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_index_layout() {
+        assert_eq!(down_port_index(0), 0);
+        assert_eq!(down_port_index(1), 1);
+        assert_eq!(up_port_index(0), 2);
+        assert_eq!(up_port_index(1), 3);
+    }
+
+    #[test]
+    fn routing_direction_selection() {
+        let tree = Arc::new(FatTree::new(16));
+        let r = RouterActor::new(
+            RouterAddr { level: 1, word: 0 },
+            tree,
+            RouterTiming::default(),
+        );
+        // Ascending packet follows its uproute bit for level 1.
+        let mut pkt = Packet::new(0, 15, Priority::Low, 0, vec![0; 2]);
+        pkt.up_remaining = 2;
+        pkt.uproute_bits = 0b10; // bit 1 set -> up-port 1
+        assert_eq!(r.route(&pkt), up_port_index(1));
+        // Descending packet follows the destination bit for level 1.
+        pkt.up_remaining = 0;
+        assert_eq!(r.route(&pkt), down_port_index(((15 >> 1) & 1) as u8));
+    }
+}

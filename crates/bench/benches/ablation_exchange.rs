@@ -1,0 +1,55 @@
+//! Ablation — the exchange design choices of §4.1.
+//!
+//! 1. **Overcomputation**: one width-3 exchange per PS step (the paper's
+//!    design) versus three width-1 exchanges (what a no-overcomputation
+//!    code would need between sub-stages). The simulated cost shows why
+//!    the paper buys redundant flops with wider halos.
+//! 2. **Staging chunk size**: the copy/DMA overlap is only effective with
+//!    small chunks; large chunks serialize the first copy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyades_comms::exchange::measure_exchange;
+use hyades_startx::vi::{measure_transfer, ViConfig};
+use hyades_startx::HostParams;
+
+fn bench(c: &mut Criterion) {
+    let host = HostParams::default();
+
+    // --- Overcomputation ablation (printed) ---
+    // Atmosphere tile 32×32, 5 levels, 8-byte elements.
+    let leg_w3 = 32 * 3 * 5 * 8; // one width-3 exchange
+    let leg_w1 = 32 * 5 * 8; // one width-1 exchange
+    let once_wide = measure_exchange(host, 4, 2, leg_w3);
+    let thrice_narrow = measure_exchange(host, 4, 2, leg_w1) * 3;
+    println!("\nAblation: PS halo strategy (per field, simulated 8-endpoint fabric)");
+    println!("  one width-3 exchange (overcompute): {once_wide}");
+    println!("  three width-1 exchanges (no overcompute): {thrice_narrow}");
+    println!(
+        "  overcomputation saves {:.0}% of PS exchange time\n",
+        (1.0 - once_wide.as_us_f64() / thrice_narrow.as_us_f64()) * 100.0
+    );
+
+    // --- Chunk-size ablation (printed) ---
+    println!("Ablation: VI staging chunk size (64 KB transfer)");
+    for chunk in [256u64, 512, 2048, 8192, 65536] {
+        let cfg = ViConfig {
+            chunk_bytes: chunk,
+            notify_sender: true,
+        };
+        let m = measure_transfer(host, cfg, 16, 65536);
+        println!("  chunk {chunk:>6} B: {:>7.1} MB/s", m.mbyte_per_sec);
+    }
+    println!();
+
+    let mut g = c.benchmark_group("ablation_exchange");
+    g.sample_size(10);
+    for (name, leg) in [("ds_256B", 256u64), ("ps_3840B", 3840)] {
+        g.bench_with_input(BenchmarkId::new("exchange_sim", name), &leg, |b, &l| {
+            b.iter(|| measure_exchange(host, 4, 2, l));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Ablation — the global-sum algorithm choice of §4.2.
+//!
+//! The paper spends `N·log2 N` messages to get a `log2 N`-latency
+//! butterfly ("our implementation of global sum minimizes latency at the
+//! expense of more messages"). The comparator is the conventional binary
+//! tree reduce + broadcast: `2(N−1)` messages but a `2·log2 N` critical
+//! path. On a latency-bound primitive called 120 times per model step
+//! (2 × Ni), the factor-two latency matters far more than the message
+//! count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyades_comms::gsum::{measure_gsum, measure_gsum_tree};
+use hyades_startx::HostParams;
+
+fn bench(c: &mut Criterion) {
+    let host = HostParams::default();
+    println!("\nAblation: global-sum algorithm (simulated latency)");
+    println!("  N    butterfly     tree reduce+bcast   ratio");
+    for n in [2usize, 4, 8, 16] {
+        let vals: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let fly = measure_gsum(host, &vals, false).elapsed;
+        let tree = measure_gsum_tree(host, &vals).elapsed;
+        println!(
+            "  {n:<4} {:>9}   {:>12}        {:.2}x",
+            format!("{fly}"),
+            format!("{tree}"),
+            tree.as_us_f64() / fly.as_us_f64()
+        );
+    }
+    println!();
+
+    let mut g = c.benchmark_group("ablation_gsum");
+    g.sample_size(20);
+    for n in [8usize, 16] {
+        let vals: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        g.bench_with_input(BenchmarkId::new("butterfly", n), &vals, |b, v| {
+            b.iter(|| measure_gsum(host, v, false));
+        });
+        g.bench_with_input(BenchmarkId::new("tree", n), &vals, |b, v| {
+            b.iter(|| measure_gsum_tree(host, v));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! E12 bench — fabric behaviour under synthetic traffic patterns.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyades_arctic::packet::UpRoute;
+use hyades_arctic::workload::{run_traffic, Pattern};
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", hyades::experiments::routing::run());
+
+    let mut g = c.benchmark_group("fabric_traffic");
+    g.sample_size(10);
+    for (name, p) in [
+        ("nearest", Pattern::NearestNeighbor),
+        ("bitrev", Pattern::BitReverse),
+        ("uniform", Pattern::UniformRandom),
+    ] {
+        g.bench_with_input(BenchmarkId::new("traffic_sim", name), &p, |b, &p| {
+            b.iter(|| run_traffic(16, p, UpRoute::SourceSpread, 0.7, 200.0, 42));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E4 bench — Figure 10: platform comparison.
+//!
+//! Prints the regenerated table and measures this implementation's *real*
+//! sustained kernel rate: a full GCM time step on a paper-shaped tile,
+//! converted to MFlop/s via the instrumented flop counters. This is the
+//! modern-hardware analogue of the paper's single-processor row.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hyades_bench::setup::tile_model;
+use hyades_comms::SerialWorld;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", hyades::experiments::fig10::run());
+
+    // Measure the real flop rate of this implementation on one tile.
+    {
+        let mut m = tile_model();
+        let mut w = SerialWorld;
+        hyades_gcm::flops::reset();
+        let t0 = std::time::Instant::now();
+        let steps = 20;
+        m.run(&mut w, steps);
+        let wall = t0.elapsed().as_secs_f64();
+        let (ps, ds) = hyades_gcm::flops::read();
+        println!(
+            "this implementation on this machine: {:.1} Mflop/s sustained \
+             ({} counted flops over {steps} steps, {wall:.2}s)\n",
+            (ps + ds) as f64 / wall / 1e6,
+            ps + ds
+        );
+        hyades_gcm::flops::reset();
+    }
+
+    let mut g = c.benchmark_group("fig10_gcm_step");
+    g.sample_size(20);
+    g.bench_function("tile_32x32x5_step", |b| {
+        let mut m = tile_model();
+        let mut w = SerialWorld;
+        b.iter(|| m.step(&mut w));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! E7 bench — Figure 12: Pfpp per interconnect (plus §5.3 and §6 tables).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", hyades::experiments::fig12::run());
+    println!("\n{}", hyades::experiments::hpvm::run());
+
+    let mut g = c.benchmark_group("fig12_pfpp");
+    g.sample_size(10);
+    g.bench_function("rows_from_simulated_fabric", |b| {
+        b.iter(hyades::experiments::fig12::rows);
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

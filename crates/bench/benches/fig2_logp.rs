@@ -1,0 +1,30 @@
+//! E1 bench — Figure 2: LogP characterization of PIO messaging.
+//!
+//! Reports the simulated LogP values (printed once) and benchmarks the
+//! measurement harness itself (packet-level fabric simulation throughput).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyades_startx::logp::measure_logp;
+use hyades_startx::HostParams;
+
+fn bench(c: &mut Criterion) {
+    // Print the regenerated table once, so `cargo bench` output contains
+    // the figure data.
+    println!("\n{}", hyades::experiments::fig2::run());
+
+    let mut g = c.benchmark_group("fig2_logp");
+    g.sample_size(20);
+    for payload in [8u64, 64] {
+        g.bench_with_input(
+            BenchmarkId::new("pingpong_sim", payload),
+            &payload,
+            |b, &p| {
+                b.iter(|| measure_logp(HostParams::default(), p, 16, 0, 15, 20));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

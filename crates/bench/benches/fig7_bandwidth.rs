@@ -1,0 +1,22 @@
+//! E2 bench — Figure 7: VI-mode transfer bandwidth vs block size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hyades_startx::vi::{measure_transfer, ViConfig};
+use hyades_startx::HostParams;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", hyades::experiments::fig7::run());
+
+    let mut g = c.benchmark_group("fig7_vi_transfer");
+    g.sample_size(15);
+    for len in [1024u64, 9 * 1024, 128 * 1024] {
+        g.throughput(Throughput::Bytes(len));
+        g.bench_with_input(BenchmarkId::new("transfer_sim", len), &len, |b, &l| {
+            b.iter(|| measure_transfer(HostParams::default(), ViConfig::default(), 16, l));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

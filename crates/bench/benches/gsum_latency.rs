@@ -1,0 +1,22 @@
+//! E3 bench — §4.2: global-sum latencies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyades_comms::gsum::measure_gsum;
+use hyades_startx::HostParams;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", hyades::experiments::gsum::run());
+
+    let mut g = c.benchmark_group("gsum_latency");
+    g.sample_size(30);
+    for n in [2usize, 4, 8, 16] {
+        let vals: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        g.bench_with_input(BenchmarkId::new("butterfly_sim", n), &vals, |b, v| {
+            b.iter(|| measure_gsum(HostParams::default(), v, false));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Export the regenerated figure data as CSV for plotting:
+//! `cargo run -p hyades-bench --bin export_figures --release -- [outdir]`
+//!
+//! Writes one file per figure/table with paper values alongside where the
+//! paper published point data.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+fn main() {
+    let outdir: PathBuf = std::env::args().nth(1).unwrap_or_else(|| "output".into()).into();
+    fs::create_dir_all(&outdir).expect("create output dir");
+
+    // Figure 2: LogP rows.
+    {
+        let mut csv = String::from("payload_bytes,os_us,or_us,half_rtt_us,latency_us,paper_os,paper_or,paper_half_rtt,paper_latency\n");
+        for (row, paper) in hyades::experiments::fig2::measure()
+            .iter()
+            .zip(hyades::experiments::fig2::PAPER.iter())
+        {
+            writeln!(
+                csv,
+                "{},{:.3},{:.3},{:.3},{:.3},{},{},{},{}",
+                row.payload_bytes,
+                row.os.as_us_f64(),
+                row.or.as_us_f64(),
+                row.half_rtt.as_us_f64(),
+                row.latency.as_us_f64(),
+                paper.1,
+                paper.2,
+                paper.3,
+                paper.4
+            )
+            .unwrap();
+        }
+        fs::write(outdir.join("fig2_logp.csv"), csv).unwrap();
+    }
+
+    // Figure 7: bandwidth curve.
+    {
+        let mut csv = String::from("block_bytes,time_us,mbyte_per_sec\n");
+        for m in hyades::experiments::fig7::measure() {
+            writeln!(csv, "{},{:.3},{:.3}", m.len, m.elapsed.as_us_f64(), m.mbyte_per_sec).unwrap();
+        }
+        fs::write(outdir.join("fig7_bandwidth.csv"), csv).unwrap();
+    }
+
+    // §4.2 global-sum latencies.
+    {
+        let rep = hyades::experiments::gsum::measure();
+        let mut csv = String::from("n,measured_us,measured_smp_us,paper_us,paper_smp_us\n");
+        for ((n, plain, smp), paper) in rep.rows.iter().zip(hyades::experiments::gsum::PAPER.iter())
+        {
+            writeln!(csv, "{n},{plain:.3},{smp:.3},{},{}", paper.1, paper.2).unwrap();
+        }
+        writeln!(csv, "# fit: t = {:.3}*log2(N) + {:.3}", rep.fit.0, rep.fit.1).unwrap();
+        fs::write(outdir.join("gsum_latency.csv"), csv).unwrap();
+    }
+
+    // Figure 12: Pfpp rows.
+    {
+        let mut csv =
+            String::from("interconnect,tgsum_us,texch_xy_us,texch_xyz_us,pfpp_ps_mflops,pfpp_ds_mflops\n");
+        for r in hyades::experiments::fig12::rows() {
+            writeln!(
+                csv,
+                "{},{:.2},{:.2},{:.2},{:.2},{:.2}",
+                r.name, r.tgsum_us, r.texch_xy_us, r.texch_xyz_us, r.pfpp_ps, r.pfpp_ds
+            )
+            .unwrap();
+        }
+        fs::write(outdir.join("fig12_pfpp.csv"), csv).unwrap();
+    }
+
+    // E12: routing table.
+    {
+        use hyades_arctic::packet::UpRoute;
+        use hyades_arctic::workload::Pattern;
+        let mut csv = String::from("pattern,uproute,delivered_mbs,mean_latency_us,max_latency_us\n");
+        for (i, (p, name)) in [
+            (Pattern::NearestNeighbor, "nearest"),
+            (Pattern::Transpose, "transpose"),
+            (Pattern::BitReverse, "bitreverse"),
+            (Pattern::UniformRandom, "uniform"),
+            (Pattern::Hotspot, "hotspot"),
+        ]
+        .iter()
+        .enumerate()
+        {
+            for (up, upname) in [(UpRoute::SourceSpread, "deterministic"), (UpRoute::Random, "random")] {
+                let r = hyades::experiments::routing::measure(*p, up, 100 + i as u64);
+                writeln!(
+                    csv,
+                    "{name},{upname},{:.1},{:.2},{:.2}",
+                    r.delivered_mbyte_per_sec,
+                    r.latency.mean(),
+                    r.latency.max()
+                )
+                .unwrap();
+            }
+        }
+        fs::write(outdir.join("routing_traffic.csv"), csv).unwrap();
+    }
+
+    println!("wrote fig2_logp.csv, fig7_bandwidth.csv, gsum_latency.csv, fig12_pfpp.csv, routing_traffic.csv to {}", outdir.display());
+}

@@ -1,0 +1,161 @@
+//! Baseline interconnect models: Fast Ethernet, Gigabit Ethernet, HPVM.
+//!
+//! The paper compares Arctic against MPI over switched Fast Ethernet and
+//! Gigabit Ethernet (Figure 12) and against the HPVM/Myrinet communication
+//! suite (§6). That hardware and its 1999-era protocol stacks cannot be
+//! rebuilt from first principles, so these models are **calibrated to the
+//! paper's own stand-alone benchmark measurements**:
+//!
+//! * Fast Ethernet:  tgsum = 942 µs (8 endpoints), texch_xy = 10 008 µs,
+//!   texch_xyz = 100 000 µs;
+//! * Gigabit Ethernet: tgsum = 1 193 µs, texch_xy = 1 789 µs,
+//!   texch_xyz = 5 742 µs;
+//! * HPVM/Myrinet: 16-way barrier > 50 µs, 1-KB transfer ≈ 42 MByte/s.
+//!
+//! The exchange cost is an affine function of total bytes fitted through
+//! the paper's two measured shapes (the 2-D DS exchange, 8×256 B, and the
+//! 3-D PS exchange, 8×3840 B); the global sum is the per-round cost implied
+//! by the measured total over log2 N rounds. Everything *derived* from
+//! these — the Pfpp columns, the 306 µs DS threshold, "GE is ~10× away" —
+//! is recomputed by this reproduction, not copied.
+
+use crate::interconnect::PrimitiveModel;
+
+/// Bytes per leg of the calibration shapes (32×32 tiles at 2.8125°, 8
+/// endpoints): DS = halo 1 × 1 level, PS = halo 3 × 5 levels, 8 legs each.
+pub const CAL_DS_LEG_BYTES: f64 = 256.0;
+pub const CAL_PS_LEG_BYTES: f64 = 3840.0;
+const CAL_LEGS: f64 = 8.0;
+
+/// Fit (leg_overhead, per-byte cost) through the two measured exchange
+/// points `(total_ds_us, total_ps_us)`.
+fn fit_exchange(total_ds_us: f64, total_ps_us: f64) -> (f64, f64) {
+    let b_ds = CAL_LEGS * CAL_DS_LEG_BYTES;
+    let b_ps = CAL_LEGS * CAL_PS_LEG_BYTES;
+    let byte_us = (total_ps_us - total_ds_us) / (b_ps - b_ds);
+    let leg_overhead_us = (total_ds_us - b_ds * byte_us) / CAL_LEGS;
+    (leg_overhead_us, byte_us)
+}
+
+/// MPI over switched 100 Mbit/s Fast Ethernet.
+pub fn fast_ethernet() -> PrimitiveModel {
+    let (leg, byte) = fit_exchange(10_008.0, 100_000.0);
+    PrimitiveModel {
+        name: "Fast Ethernet".to_string(),
+        leg_overhead_us: leg,
+        exch_byte_us: byte,
+        // Raw MPI/TCP stream: ~11 MByte/s on 100 Mbit/s links.
+        ptp_byte_us: 1.0 / 11.0,
+        gsum_round_us: 942.0 / 3.0,
+        gsum_base_us: 0.0,
+        smp_local_us: 1.0,
+        barrier_round_us: 942.0 / 3.0,
+    }
+}
+
+/// MPI over Gigabit Ethernet (1999-era NICs: higher bandwidth than Fast
+/// Ethernet but *worse* small-message latency, as the paper's measurements
+/// show).
+pub fn gigabit_ethernet() -> PrimitiveModel {
+    let (leg, byte) = fit_exchange(1_789.0, 5_742.0);
+    PrimitiveModel {
+        name: "Gigabit Ethernet".to_string(),
+        leg_overhead_us: leg,
+        exch_byte_us: byte,
+        // Raw stream: ~60 MByte/s through the 1999 TCP stack.
+        ptp_byte_us: 1.0 / 60.0,
+        gsum_round_us: 1_193.0 / 3.0,
+        gsum_base_us: 0.0,
+        smp_local_us: 1.0,
+        barrier_round_us: 1_193.0 / 3.0,
+    }
+}
+
+/// The HPVM (High Performance Virtual Machine) suite on Myrinet (§6): a
+/// general-purpose cluster API. Calibrated so a 16-way barrier exceeds
+/// 50 µs and a 1-KB transfer runs at ≈ 42 MByte/s against a ~101 MByte/s
+/// stream peak.
+pub fn hpvm_myrinet() -> PrimitiveModel {
+    let stream_byte_us = 1.0 / 101.0;
+    // 1 KB at 42 MB/s = 24.38 us total → fixed ≈ 14.2 us.
+    let leg = 1024.0 / 42.0 - 1024.0 * stream_byte_us;
+    PrimitiveModel {
+        name: "HPVM/Myrinet".to_string(),
+        leg_overhead_us: leg,
+        exch_byte_us: stream_byte_us,
+        ptp_byte_us: stream_byte_us,
+        gsum_round_us: 12.8,
+        gsum_base_us: 0.0,
+        smp_local_us: 1.0,
+        barrier_round_us: 12.8,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interconnect::{ExchangeShape, Interconnect};
+
+    fn ds_shape() -> ExchangeShape {
+        ExchangeShape::square_tile(32, 1, 1, 8)
+    }
+    fn ps_shape() -> ExchangeShape {
+        ExchangeShape::square_tile(32, 3, 5, 8)
+    }
+
+    #[test]
+    fn fe_reproduces_calibration_points() {
+        let fe = fast_ethernet();
+        assert!((fe.exchange_time(&ds_shape()).as_us_f64() - 10_008.0).abs() < 1.0);
+        assert!((fe.exchange_time(&ps_shape()).as_us_f64() - 100_000.0).abs() < 1.0);
+        assert!((fe.gsum_time(8).as_us_f64() - 942.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn ge_reproduces_calibration_points() {
+        let ge = gigabit_ethernet();
+        assert!((ge.exchange_time(&ds_shape()).as_us_f64() - 1_789.0).abs() < 1.0);
+        assert!((ge.exchange_time(&ps_shape()).as_us_f64() - 5_742.0).abs() < 1.0);
+        assert!((ge.gsum_time(8).as_us_f64() - 1_193.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn hpvm_matches_section_6_claims() {
+        let h = hpvm_myrinet();
+        // 16-way barrier > 50 µs …
+        assert!(h.barrier_time(16).as_us_f64() > 50.0);
+        // … which is more than 2.5× Hyades's context-specific primitive.
+        let arctic = crate::interconnect::arctic_paper();
+        assert!(h.barrier_time(16).as_us_f64() > 2.5 * arctic.barrier_time(16).as_us_f64());
+        // 1-KB transfers at ~42 MB/s, ~25 % slower than Hyades's exchange
+        // legs (§6).
+        let bw = 1024.0 / h.ptp_time(1024).as_secs_f64() / 1e6;
+        assert!((40.0..44.0).contains(&bw), "HPVM 1 KB bandwidth {bw}");
+        let arctic_bw = 1024.0 / arctic.ptp_time(1024).as_secs_f64() / 1e6;
+        assert!(
+            bw < 0.8 * arctic_bw,
+            "HPVM ({bw}) should trail Arctic ({arctic_bw}) at 1 KB"
+        );
+    }
+
+    #[test]
+    fn ge_latency_worse_than_fe_but_bandwidth_better() {
+        // The paper's measured oddity: GE's global sum is *slower* than
+        // FE's (1193 vs 942 µs) while its exchange bandwidth is ~20× higher.
+        let fe = fast_ethernet();
+        let ge = gigabit_ethernet();
+        assert!(ge.gsum_time(8) > fe.gsum_time(8));
+        assert!(ge.exchange_time(&ps_shape()) < fe.exchange_time(&ps_shape()) / 10);
+    }
+
+    #[test]
+    fn fit_recovers_affine_coefficients() {
+        let (leg, byte) = fit_exchange(10_008.0, 100_000.0);
+        assert!(leg > 0.0 && byte > 0.0);
+        // Reconstruct both points.
+        let ds = 8.0 * (leg + 256.0 * byte);
+        let ps = 8.0 * (leg + 3840.0 * byte);
+        assert!((ds - 10_008.0).abs() < 1e-6);
+        assert!((ps - 100_000.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,85 @@
+//! The Hyades cluster assembly (§2).
+//!
+//! Sixteen two-way SMPs, each attached to the Arctic Switch Fabric through
+//! one StarT-X PCI NIU. Total hardware cost under $100,000, "about evenly
+//! divided between the processing nodes and the interconnect".
+
+use crate::node::SmpNode;
+use hyades_startx::HostParams;
+
+/// Static description of the cluster.
+#[derive(Clone, Debug)]
+pub struct HyadesCluster {
+    pub n_smps: u32,
+    pub node: SmpNode,
+    pub host: HostParams,
+    /// Total hardware cost in 1999 USD (§2).
+    pub hardware_cost_usd: u32,
+}
+
+impl Default for HyadesCluster {
+    fn default() -> Self {
+        HyadesCluster {
+            n_smps: 16,
+            node: SmpNode::default(),
+            host: HostParams::default(),
+            hardware_cost_usd: 100_000,
+        }
+    }
+}
+
+impl HyadesCluster {
+    /// Total processor count.
+    pub fn total_processors(&self) -> u32 {
+        self.n_smps * self.node.cpus
+    }
+
+    /// Network endpoints (one StarT-X NIU per SMP).
+    pub fn n_endpoints(&self) -> u32 {
+        self.n_smps
+    }
+
+    /// The sub-cluster one isomorph occupies during a coupled run (§5.1:
+    /// "each isomorph occupies half of the cluster, sixteen processors on
+    /// eight SMPs").
+    pub fn isomorph_partition(&self) -> HyadesCluster {
+        HyadesCluster {
+            n_smps: self.n_smps / 2,
+            ..self.clone()
+        }
+    }
+
+    /// Aggregate PS-phase peak across all processors, MFlop/s.
+    pub fn aggregate_ps_mflops(&self) -> f64 {
+        self.total_processors() as f64 * self.node.cpu.fps_mflops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_shape() {
+        let c = HyadesCluster::default();
+        assert_eq!(c.n_smps, 16);
+        assert_eq!(c.total_processors(), 32);
+        assert_eq!(c.n_endpoints(), 16);
+        assert!(c.hardware_cost_usd <= 100_000);
+    }
+
+    #[test]
+    fn isomorph_partition_is_half() {
+        let c = HyadesCluster::default();
+        let half = c.isomorph_partition();
+        assert_eq!(half.n_smps, 8);
+        assert_eq!(half.total_processors(), 16);
+    }
+
+    #[test]
+    fn aggregate_rate() {
+        let c = HyadesCluster::default();
+        // 32 processors × 50 MFlop/s.
+        assert_eq!(c.aggregate_ps_mflops(), 1600.0);
+    }
+}

@@ -1,0 +1,236 @@
+//! The primitive-cost interface of an interconnect.
+//!
+//! The paper's performance model consumes exactly three communication
+//! quantities (§5.2): the global-sum time `tgsum`, and the exchange times
+//! `texch` for the 2-D (DS) and 3-D (PS) field shapes. This module defines
+//! the interface those costs come from, plus a data-driven implementation
+//! used for every interconnect:
+//!
+//! * for **Arctic**, the parameters are *measured* from the packet-level
+//!   simulation (`hyades-comms` fits them and constructs the model);
+//! * for **Fast/Gigabit Ethernet** and **HPVM**, the parameters are
+//!   calibrated to the paper's stand-alone benchmark values (Figure 12 and
+//!   §6), since that hardware/software stack cannot be rebuilt from first
+//!   principles.
+
+use hyades_des::SimDuration;
+
+/// The communication footprint of one application of the exchange
+/// primitive to one model field: the sequence of point-to-point transfer
+/// legs a node performs, in order (§4.1: the two directions of each
+/// neighbor exchange run sequentially because a single transfer saturates
+/// the PCI bus; separate neighbors are likewise serialized on the one NIU).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExchangeShape {
+    /// Bytes moved in each sequential transfer leg.
+    pub legs: Vec<u64>,
+}
+
+impl ExchangeShape {
+    /// Exchange for a square `edge × edge` tile with 4 neighbors: two legs
+    /// (send + receive turn) per neighbor, each `edge × halo × levels ×
+    /// elem_bytes`.
+    pub fn square_tile(edge: u32, halo: u32, levels: u32, elem_bytes: u32) -> Self {
+        let bytes = (edge * halo * levels * elem_bytes) as u64;
+        ExchangeShape {
+            legs: vec![bytes; 8],
+        }
+    }
+
+    /// Exchange for a strip decomposition (tiles span the full x extent):
+    /// 2 neighbors, two legs each of `nx × halo × levels × elem_bytes`.
+    pub fn strip_tile(nx: u32, halo: u32, levels: u32, elem_bytes: u32) -> Self {
+        let bytes = (nx * halo * levels * elem_bytes) as u64;
+        ExchangeShape {
+            legs: vec![bytes; 4],
+        }
+    }
+
+    /// Arbitrary leg sizes (e.g. non-square tiles).
+    pub fn from_legs(legs: Vec<u64>) -> Self {
+        ExchangeShape { legs }
+    }
+
+    /// Total bytes a node moves per exchange of one field.
+    pub fn total_bytes(&self) -> u64 {
+        self.legs.iter().sum()
+    }
+}
+
+/// Cost model of an interconnect's communication primitives.
+pub trait Interconnect {
+    fn name(&self) -> &str;
+
+    /// `N`-way global sum across network endpoints (power of two).
+    fn gsum_time(&self, n_endpoints: u32) -> SimDuration;
+
+    /// `2×N`-way global sum: both processors of each SMP participate; the
+    /// local combination adds the shared-memory semaphore step (§4.2).
+    fn smp_gsum_time(&self, n_endpoints: u32) -> SimDuration;
+
+    /// One application of the exchange primitive to one field.
+    fn exchange_time(&self, shape: &ExchangeShape) -> SimDuration;
+
+    /// `N`-way barrier.
+    fn barrier_time(&self, n_endpoints: u32) -> SimDuration;
+
+    /// A single bulk point-to-point transfer of `bytes` (used for the HPVM
+    /// bandwidth comparison).
+    fn ptp_time(&self, bytes: u64) -> SimDuration;
+}
+
+/// Data-driven interconnect model: affine costs per primitive.
+#[derive(Clone, Debug)]
+pub struct PrimitiveModel {
+    pub name: String,
+    /// Fixed overhead per bulk transfer leg (µs).
+    pub leg_overhead_us: f64,
+    /// Per-byte cost within an exchange leg (µs/byte).
+    pub exch_byte_us: f64,
+    /// Per-byte cost of a clean point-to-point stream (µs/byte). On Arctic
+    /// these coincide; on Ethernet/MPI the exchange path is far slower than
+    /// the raw stream (strided halo packing, rendezvous).
+    pub ptp_byte_us: f64,
+    /// Per-round cost of the butterfly global sum (µs); total is
+    /// `gsum_round_us · log2 N + gsum_base_us`.
+    pub gsum_round_us: f64,
+    pub gsum_base_us: f64,
+    /// Extra cost of the intra-SMP combine + broadcast (µs; §4.2: "about
+    /// 1 µs" on Hyades).
+    pub smp_local_us: f64,
+    /// Per-round cost of a barrier (µs).
+    pub barrier_round_us: f64,
+}
+
+impl PrimitiveModel {
+    fn dur(us: f64) -> SimDuration {
+        SimDuration::from_us_f64(us.max(0.0))
+    }
+}
+
+impl Interconnect for PrimitiveModel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn gsum_time(&self, n: u32) -> SimDuration {
+        assert!(n.is_power_of_two() && n >= 2);
+        let rounds = n.trailing_zeros() as f64;
+        Self::dur(self.gsum_round_us * rounds + self.gsum_base_us)
+    }
+
+    fn smp_gsum_time(&self, n: u32) -> SimDuration {
+        self.gsum_time(n) + Self::dur(self.smp_local_us)
+    }
+
+    fn exchange_time(&self, shape: &ExchangeShape) -> SimDuration {
+        let us: f64 = shape
+            .legs
+            .iter()
+            .map(|&b| self.leg_overhead_us + b as f64 * self.exch_byte_us)
+            .sum();
+        Self::dur(us)
+    }
+
+    fn barrier_time(&self, n: u32) -> SimDuration {
+        assert!(n.is_power_of_two() && n >= 2);
+        Self::dur(self.barrier_round_us * n.trailing_zeros() as f64)
+    }
+
+    fn ptp_time(&self, bytes: u64) -> SimDuration {
+        Self::dur(self.leg_overhead_us + bytes as f64 * self.ptp_byte_us)
+    }
+}
+
+/// The Arctic/StarT-X primitive model with the paper's measured constants
+/// (§4.1–4.2): 8.6 µs per-transfer overhead, 110 MByte/s streaming, global
+/// sum fit `4.67·log2 N − 0.95` µs, ~1 µs SMP combine.
+///
+/// `hyades-comms` constructs the same model *from simulation measurements*;
+/// this constructor exists for closed-form analysis and for tests that
+/// check the simulation against the paper.
+pub fn arctic_paper() -> PrimitiveModel {
+    PrimitiveModel {
+        name: "Arctic".to_string(),
+        leg_overhead_us: 8.6,
+        exch_byte_us: 1.0 / 110.0,
+        ptp_byte_us: 1.0 / 110.0,
+        gsum_round_us: 4.67,
+        gsum_base_us: -0.95,
+        smp_local_us: 1.0,
+        // A barrier is a global sum without the add; §6 compares a 16-way
+        // barrier (12.8 µs class) against HPVM's >50 µs.
+        barrier_round_us: 4.4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exchange_shapes() {
+        // DS shape at 2.8125°, 8 endpoints: 32×32 tiles, halo 1, 1 level.
+        let ds = ExchangeShape::square_tile(32, 1, 1, 8);
+        assert_eq!(ds.legs.len(), 8);
+        assert_eq!(ds.total_bytes(), 8 * 256);
+        // PS atmosphere shape: halo 3, 5 levels.
+        let ps = ExchangeShape::square_tile(32, 3, 5, 8);
+        assert_eq!(ps.total_bytes(), 8 * 3840);
+        let strip = ExchangeShape::strip_tile(128, 3, 5, 8);
+        assert_eq!(strip.legs.len(), 4);
+        assert_eq!(strip.total_bytes(), 4 * 15360);
+    }
+
+    #[test]
+    fn arctic_gsum_matches_measured_fit() {
+        let m = arctic_paper();
+        // §4.2 measured: 4.0 / 8.3 / 12.8 / 18.2 µs for 2/4/8/16-way.
+        for (n, paper) in [(2u32, 4.0), (4, 8.3), (8, 12.8), (16, 18.2)] {
+            let t = m.gsum_time(n).as_us_f64();
+            assert!(
+                (t - paper).abs() < 0.6,
+                "{n}-way gsum {t} vs paper {paper}"
+            );
+        }
+        // SMP variants: 4.8 / 9.1 / 13.5 / 19.5 µs.
+        for (n, paper) in [(2u32, 4.8), (4, 9.1), (8, 13.5), (16, 19.5)] {
+            let t = m.smp_gsum_time(n).as_us_f64();
+            assert!(
+                (t - paper).abs() < 1.0,
+                "2x{n}-way gsum {t} vs paper {paper}"
+            );
+        }
+    }
+
+    #[test]
+    fn arctic_exchange_magnitudes() {
+        let m = arctic_paper();
+        // DS 2-D field exchange on 32×32 tiles: 8 legs of 256 B.
+        let ds = m.exchange_time(&ExchangeShape::square_tile(32, 1, 1, 8));
+        // 8 × (8.6 + 256/110) ≈ 87 µs: same order as the paper's measured
+        // 115 µs (which includes mixed-mode SMP overhead).
+        assert!(
+            (70.0..130.0).contains(&ds.as_us_f64()),
+            "DS exchange {ds}"
+        );
+        // 1 KB point-to-point leg: 8.6 + 9.3 ≈ 18 µs → ~57 MB/s perceived.
+        let t1k = m.ptp_time(1024);
+        let bw = 1024.0 / t1k.as_secs_f64() / 1e6;
+        assert!((50.0..62.0).contains(&bw), "1 KB leg bandwidth {bw}");
+    }
+
+    #[test]
+    fn barrier_beats_hpvm_claim() {
+        let m = arctic_paper();
+        // §6: a 16-way barrier on HPVM takes > 50 µs, "more than 2.5×"
+        // Hyades's primitive — so ours must be below 20 µs.
+        assert!(m.barrier_time(16).as_us_f64() < 20.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn gsum_requires_power_of_two() {
+        arctic_paper().gsum_time(12);
+    }
+}

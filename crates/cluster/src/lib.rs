@@ -1,0 +1,30 @@
+//! # hyades-cluster — the Hyades cluster and its comparators
+//!
+//! Models the machines of the SC'99 paper's evaluation:
+//!
+//! * [`node`] — the dual-processor SMP nodes (400-MHz Pentium II, shared
+//!   memory semaphores, per-phase sustained floating-point rates measured by
+//!   the paper's stand-alone kernels: 50 MFlop/s in PS, 60 MFlop/s in DS).
+//! * [`hyades`] — the sixteen-SMP cluster assembly: nodes + StarT-X NIUs +
+//!   the Arctic fabric, with the cost/configuration facts of §2.
+//! * [`interconnect`] — the analytic primitive-cost interface the
+//!   performance model consumes: the cost of a global sum, a halo exchange,
+//!   a barrier, and a point-to-point leg on a given interconnect.
+//! * [`ethernet`] — Fast Ethernet, Gigabit Ethernet (MPI) and HPVM/Myrinet
+//!   baseline interconnect models, calibrated to the paper's stand-alone
+//!   benchmark measurements (Figure 12 and §6). These are comparator
+//!   models: the paper measured them on real hardware we cannot obtain, so
+//!   the primitive costs are taken from the paper's own table and the
+//!   derived quantities (Pfpp, crossovers) are recomputed from them.
+//! * [`machines`] — the vector supercomputers of Figure 10 (Cray Y-MP,
+//!   Cray C90, NEC SX-4) as sustained-rate comparator models.
+
+pub mod ethernet;
+pub mod hyades;
+pub mod interconnect;
+pub mod machines;
+pub mod node;
+
+pub use hyades::HyadesCluster;
+pub use interconnect::{ExchangeShape, Interconnect};
+pub use node::{CpuPerf, SmpNode};

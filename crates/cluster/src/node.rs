@@ -1,0 +1,97 @@
+//! The SMP processing node (§2.1) and its intra-node communication costs
+//! (§4.1–4.2).
+
+use hyades_des::SimDuration;
+
+/// Sustained per-processor floating-point rates of a 400-MHz Pentium II on
+/// the GCM kernels, as measured by the paper's stand-alone single-processor
+/// benchmarks (Figure 11).
+#[derive(Clone, Copy, Debug)]
+pub struct CpuPerf {
+    /// Sustained rate on the PS (prognostic step) kernel, MFlop/s.
+    pub fps_mflops: f64,
+    /// Sustained rate on the DS (diagnostic step / CG solver) kernel,
+    /// MFlop/s.
+    pub fds_mflops: f64,
+}
+
+impl Default for CpuPerf {
+    fn default() -> Self {
+        CpuPerf {
+            fps_mflops: 50.0,
+            fds_mflops: 60.0,
+        }
+    }
+}
+
+impl CpuPerf {
+    /// Time to execute `flops` floating-point operations in the PS phase.
+    pub fn ps_time(&self, flops: u64) -> SimDuration {
+        SimDuration::from_secs_f64(flops as f64 / (self.fps_mflops * 1e6))
+    }
+
+    /// Time to execute `flops` floating-point operations in the DS phase.
+    pub fn ds_time(&self, flops: u64) -> SimDuration {
+        SimDuration::from_secs_f64(flops as f64 / (self.fds_mflops * 1e6))
+    }
+}
+
+/// A two-way SMP node.
+#[derive(Clone, Copy, Debug)]
+pub struct SmpNode {
+    pub cpus: u32,
+    pub memory_mbytes: u32,
+    pub cpu: CpuPerf,
+    /// Extra latency the intra-SMP shared-memory combine adds to a global
+    /// sum (§4.2: "about 1 µs").
+    pub smp_gsum_local: SimDuration,
+    /// Fractional bandwidth loss for slave-to-slave exchanges relative to
+    /// master-to-master (§4.1: "about 30 % lower").
+    pub slave_exchange_penalty: f64,
+}
+
+impl Default for SmpNode {
+    fn default() -> Self {
+        SmpNode {
+            cpus: 2,
+            memory_mbytes: 512,
+            cpu: CpuPerf::default(),
+            smp_gsum_local: SimDuration::from_us(1),
+            slave_exchange_penalty: 0.30,
+        }
+    }
+}
+
+impl SmpNode {
+    /// Effective exchange bandwidth for a slave processor, given the
+    /// master-to-master bandwidth.
+    pub fn slave_bandwidth(&self, master_mbyte_per_sec: f64) -> f64 {
+        master_mbyte_per_sec * (1.0 - self.slave_exchange_penalty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_rates() {
+        let cpu = CpuPerf::default();
+        // 50 MFlop at 50 MFlop/s is one second.
+        assert_eq!(cpu.ps_time(50_000_000), SimDuration::from_secs_f64(1.0));
+        assert_eq!(cpu.ds_time(60_000_000), SimDuration::from_secs_f64(1.0));
+        // DS kernel runs faster per flop than PS.
+        assert!(cpu.ds_time(1000) < cpu.ps_time(1000));
+    }
+
+    #[test]
+    fn node_defaults_match_paper() {
+        let n = SmpNode::default();
+        assert_eq!(n.cpus, 2);
+        assert_eq!(n.memory_mbytes, 512);
+        assert_eq!(n.smp_gsum_local, SimDuration::from_us(1));
+        // §4.1: slave-to-slave bandwidth ~30% below master-to-master.
+        let bw = n.slave_bandwidth(110.0);
+        assert!((bw - 77.0).abs() < 1e-9);
+    }
+}

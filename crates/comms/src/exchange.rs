@@ -1,0 +1,521 @@
+//! The optimized exchange primitive (§4.1).
+//!
+//! An exchange brings halo regions into a consistent state. On Hyades it is
+//! implemented as *two separate VI-mode transfers in opposite directions*,
+//! carried out sequentially because a single transfer alone saturates the
+//! PCI bus. Each transfer pays a one-time ~8.6 µs negotiation; data then
+//! streams at 110 MByte/s with staging copies overlapped with DMA.
+//!
+//! A full exchange pairs each node with its grid neighbors in a fixed
+//! schedule (an edge coloring of the tile graph): in each round every node
+//! belongs to exactly one pair, the designated member sends first, then the
+//! roles reverse. A 4-neighbor tile therefore performs 8 sequential
+//! transfer legs per field.
+
+use hyades_arctic::network::{ArcticNetwork, Delivered, Inject};
+use hyades_arctic::packet::{Packet, Priority};
+use hyades_des::event::Payload;
+use hyades_des::{Actor, ActorId, Ctx, SimDuration, SimTime, Simulator};
+use hyades_startx::msg::{bulk_packet, segment};
+use hyades_startx::HostParams;
+use std::collections::HashMap;
+
+const TAG_REQ_BASE: u16 = 0x100; // + round
+const TAG_ACK_BASE: u16 = 0x200;
+const TAG_DONE_BASE: u16 = 0x300;
+const TAG_DATA: u16 = 0x0FF;
+
+/// One pairing round of the exchange schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PairPlan {
+    pub partner: u16,
+    pub bytes: u64,
+    /// Whether this node initiates the first transfer of the pair.
+    pub sends_first: bool,
+}
+
+/// The full per-node schedule: one pairing per round (None = idle round,
+/// e.g. at non-periodic domain edges).
+pub type Schedule = Vec<Option<PairPlan>>;
+
+/// Build the edge-colored schedule for a periodic `px × py` tile grid where
+/// every leg moves `bytes`. Rounds: x-pairs at even x, x-pairs at odd x,
+/// then the same in y (skipped when the dimension is 1).
+pub fn torus_schedule(px: u16, py: u16, bytes: u64) -> Vec<Schedule> {
+    assert!(px >= 1 && py >= 1);
+    assert!(px == 1 || px.is_multiple_of(2), "px must be even (or 1) for pairing");
+    assert!(py == 1 || py.is_multiple_of(2), "py must be even (or 1) for pairing");
+    let n = px * py;
+    let rank = |x: u16, y: u16| y * px + x;
+    let mut schedules: Vec<Schedule> = vec![Vec::new(); n as usize];
+    let push_round = |pairs: &[(u16, u16)], schedules: &mut Vec<Schedule>| {
+        let mut round: Vec<Option<PairPlan>> = vec![None; n as usize];
+        for &(a, b) in pairs {
+            round[a as usize] = Some(PairPlan {
+                partner: b,
+                bytes,
+                sends_first: true,
+            });
+            round[b as usize] = Some(PairPlan {
+                partner: a,
+                bytes,
+                sends_first: false,
+            });
+        }
+        for (s, r) in schedules.iter_mut().zip(round) {
+            s.push(r);
+        }
+    };
+    for parity in 0..2u16 {
+        if px < 2 {
+            break;
+        }
+        let mut pairs = Vec::new();
+        for y in 0..py {
+            for x in (parity..px).step_by(2) {
+                let nx = (x + 1) % px;
+                if px == 2 && parity == 1 {
+                    // Two columns: both colors map to the same single pair;
+                    // keep the second round so both directions of halo move
+                    // (east and west edges are distinct data).
+                }
+                pairs.push((rank(x, y), rank(nx, y)));
+            }
+        }
+        push_round(&pairs, &mut schedules);
+    }
+    for parity in 0..2u16 {
+        if py < 2 {
+            break;
+        }
+        let mut pairs = Vec::new();
+        for x in 0..px {
+            for y in (parity..py).step_by(2) {
+                let ny = (y + 1) % py;
+                pairs.push((rank(x, y), rank(x, ny)));
+            }
+        }
+        push_round(&pairs, &mut schedules);
+    }
+    schedules
+}
+
+/// Per-node exchange state machine.
+enum LegPhase {
+    /// Waiting to begin the round (or for the partner's REQ).
+    Start,
+    /// Sender: REQ sent, waiting for ACK.
+    WaitAck,
+    /// Sender: streaming packets (`left` packets remain).
+    Streaming { queue: Vec<u64>, seq: u32 },
+    /// Sender: all packets emitted, waiting for DONE.
+    WaitDone,
+    /// Receiver: ACK sent, accumulating DATA.
+    Receiving { expected: u64, got: u64 },
+}
+
+/// Which half of the round we are in.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Half {
+    First,
+    Second,
+    DoneRound,
+}
+
+enum SelfEv {
+    /// CPU finished processing a control message; proceed.
+    Proceed,
+    /// Emit the next data packet of the stream.
+    Emit,
+    /// Receiver finished the final copy-out; send DONE.
+    RxDone,
+}
+
+pub struct ExchangeNode {
+    pub me: u16,
+    host: HostParams,
+    tx_port: ActorId,
+    schedule: Schedule,
+    round: usize,
+    half: Half,
+    phase: LegPhase,
+    /// REQs that arrived before this node entered the matching round.
+    early_reqs: HashMap<u16, u64>,
+    pub started: Option<SimTime>,
+    pub finished: Option<SimTime>,
+    /// Staging chunk size for copy/DMA overlap.
+    chunk: u64,
+}
+
+/// Kick event: run the exchange schedule.
+pub struct StartExchange;
+
+impl ExchangeNode {
+    pub fn new(me: u16, host: HostParams, tx_port: ActorId, schedule: Schedule) -> Self {
+        ExchangeNode {
+            me,
+            host,
+            tx_port,
+            schedule,
+            round: 0,
+            half: Half::First,
+            phase: LegPhase::Start,
+            early_reqs: HashMap::new(),
+            started: None,
+            finished: None,
+            chunk: 512,
+        }
+    }
+
+    fn plan(&self) -> Option<PairPlan> {
+        self.schedule.get(self.round).copied().flatten()
+    }
+
+    fn ctrl_cost_rx(&self) -> SimDuration {
+        self.host.status_poll + self.host.pio.recv_overhead(8)
+    }
+
+    fn send_ctrl(&self, ctx: &mut Ctx<'_>, dst: u16, tag: u16, word: u32) {
+        let os = self.host.pio.send_overhead(8);
+        let pkt = Packet::new(self.me, dst, Priority::High, tag, vec![word, 0]);
+        ctx.send_after(os, self.tx_port, Inject(pkt));
+    }
+
+    /// Am I the sender in the current half-round?
+    fn i_send_now(&self, plan: &PairPlan) -> bool {
+        match self.half {
+            Half::First => plan.sends_first,
+            Half::Second => !plan.sends_first,
+            Half::DoneRound => false,
+        }
+    }
+
+    fn begin_half(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(plan) = self.plan() else {
+            self.advance_round(ctx);
+            return;
+        };
+        if self.i_send_now(&plan) {
+            // Sender leg: negotiate.
+            self.phase = LegPhase::WaitAck;
+            self.send_ctrl(
+                ctx,
+                plan.partner,
+                TAG_REQ_BASE + self.round as u16,
+                plan.bytes as u32,
+            );
+        } else {
+            // Receiver leg: if the REQ already arrived, answer it now.
+            self.phase = LegPhase::Start;
+            if let Some(bytes) = self.early_reqs.remove(&(self.round as u16)) {
+                let cost = self.ctrl_cost_rx();
+                self.accept_req(bytes);
+                ctx.wake_after(cost, SelfEv::Proceed);
+            }
+        }
+    }
+
+    fn accept_req(&mut self, bytes: u64) {
+        self.phase = LegPhase::Receiving {
+            expected: bytes,
+            got: 0,
+        };
+    }
+
+    fn advance_half(&mut self, ctx: &mut Ctx<'_>) {
+        match self.half {
+            Half::First => {
+                self.half = Half::Second;
+                self.begin_half(ctx);
+            }
+            Half::Second => {
+                self.half = Half::DoneRound;
+                self.advance_round(ctx);
+            }
+            Half::DoneRound => unreachable!(),
+        }
+    }
+
+    fn advance_round(&mut self, ctx: &mut Ctx<'_>) {
+        self.round += 1;
+        self.half = Half::First;
+        self.phase = LegPhase::Start;
+        if self.round >= self.schedule.len() {
+            self.finished = Some(ctx.now());
+        } else {
+            self.begin_half(ctx);
+        }
+    }
+
+    fn start_stream(&mut self, ctx: &mut Ctx<'_>, bytes: u64) {
+        // Stage the first chunk (halo gather into the VI region), kick the
+        // DMA, then emit paced packets. Later staging copies overlap the
+        // stream (copy bandwidth exceeds the PCI payload rate).
+        let first = bytes.min(self.chunk);
+        let queue = segment(bytes);
+        self.phase = LegPhase::Streaming { queue, seq: 0 };
+        let lead = self.host.memcpy_time(first) + self.host.dma_kick;
+        ctx.wake_after(lead, SelfEv::Emit);
+    }
+}
+
+impl Actor for ExchangeNode {
+    fn on_event(&mut self, ev: Payload, ctx: &mut Ctx<'_>) {
+        let ev = match ev.downcast::<StartExchange>() {
+            Ok(_) => {
+                self.started = Some(ctx.now());
+                self.round = 0;
+                self.half = Half::First;
+                if self.schedule.is_empty() {
+                    self.finished = Some(ctx.now());
+                } else {
+                    self.begin_half(ctx);
+                }
+                return;
+            }
+            Err(e) => e,
+        };
+        let ev = match ev.downcast::<Delivered>() {
+            Ok(del) => {
+                self.on_packet(del.pkt, ctx);
+                return;
+            }
+            Err(e) => e,
+        };
+        match *ev.downcast::<SelfEv>().expect("ExchangeNode event") {
+            SelfEv::Proceed => self.on_proceed(ctx),
+            SelfEv::Emit => self.on_emit(ctx),
+            SelfEv::RxDone => {
+                // Send DONE to the sender, then move on.
+                if let Some(plan) = self.plan() {
+                    self.send_ctrl(ctx, plan.partner, TAG_DONE_BASE + self.round as u16, 0);
+                }
+                self.advance_half(ctx);
+            }
+        }
+    }
+}
+
+impl ExchangeNode {
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+        assert!(!pkt.corrupted, "catastrophic network failure");
+        let tag = pkt.usr_tag;
+        if tag == TAG_DATA {
+            let LegPhase::Receiving { expected, got } = &mut self.phase else {
+                panic!("node {}: DATA outside a receiving leg", self.me);
+            };
+            *got += pkt.payload_bytes().min(*expected - *got);
+            if *got >= *expected {
+                let tail = (*expected).min(self.chunk);
+                let cost = self.host.memcpy_time(tail);
+                ctx.wake_after(cost, SelfEv::RxDone);
+            }
+            return;
+        }
+        let (base, round) = (tag & 0xF00, (tag & 0xFF) as usize);
+        match base {
+            TAG_REQ_BASE => {
+                let bytes = pkt.payload[0] as u64;
+                let here = self.round == round
+                    && matches!(self.phase, LegPhase::Start)
+                    && self
+                        .plan()
+                        .map(|p| !self.i_send_now(&p))
+                        .unwrap_or(false);
+                if here {
+                    let cost = self.ctrl_cost_rx();
+                    self.accept_req(bytes);
+                    ctx.wake_after(cost, SelfEv::Proceed);
+                } else {
+                    self.early_reqs.insert(round as u16, bytes);
+                }
+            }
+            TAG_ACK_BASE => {
+                debug_assert_eq!(round, self.round);
+                debug_assert!(matches!(self.phase, LegPhase::WaitAck));
+                let cost = self.ctrl_cost_rx();
+                ctx.wake_after(cost, SelfEv::Proceed);
+            }
+            TAG_DONE_BASE => {
+                debug_assert_eq!(round, self.round);
+                debug_assert!(matches!(self.phase, LegPhase::WaitDone));
+                let cost = self.ctrl_cost_rx();
+                ctx.wake_after(cost, SelfEv::Proceed);
+            }
+            other => panic!("node {}: unexpected tag {other:#x}", self.me),
+        }
+    }
+
+    fn on_proceed(&mut self, ctx: &mut Ctx<'_>) {
+        match &self.phase {
+            LegPhase::Receiving { .. } => {
+                // REQ processed: post RX descriptors and acknowledge.
+                if let Some(plan) = self.plan() {
+                    let kick = self.host.dma_kick;
+                    let round = self.round as u16;
+                    let partner = plan.partner;
+                    // ACK after the descriptor post.
+                    let os = self.host.pio.send_overhead(8);
+                    let pkt =
+                        Packet::new(self.me, partner, Priority::High, TAG_ACK_BASE + round, vec![0, 0]);
+                    ctx.send_after(kick + os, self.tx_port, Inject(pkt));
+                }
+            }
+            LegPhase::WaitAck => {
+                // ACK processed: start streaming.
+                let bytes = self.plan().expect("active plan").bytes;
+                self.start_stream(ctx, bytes);
+            }
+            LegPhase::WaitDone => {
+                // DONE processed: this half-round is complete.
+                self.advance_half(ctx);
+            }
+            _ => panic!("node {}: Proceed in unexpected phase", self.me),
+        }
+    }
+
+    fn on_emit(&mut self, ctx: &mut Ctx<'_>) {
+        let LegPhase::Streaming { queue, seq } = &mut self.phase else {
+            panic!("node {}: Emit outside streaming", self.me);
+        };
+        let idx = *seq as usize;
+        let bytes = queue[idx];
+        let partner = self.schedule[self.round]
+            .as_ref()
+            .expect("active plan")
+            .partner;
+        let pkt = bulk_packet(self.me, partner, TAG_DATA, *seq, bytes);
+        *seq += 1;
+        let more = (*seq as usize) < queue.len();
+        ctx.send_now(self.tx_port, Inject(pkt));
+        let gap = self.host.vi_dma_time(bytes);
+        if more {
+            ctx.wake_after(gap, SelfEv::Emit);
+        } else {
+            self.phase = LegPhase::WaitDone;
+        }
+    }
+}
+
+/// Measurement: run one exchange over a `px × py` periodic tile grid with
+/// `leg_bytes` per transfer leg; returns the time until the last node
+/// finishes its schedule.
+pub fn measure_exchange(host: HostParams, px: u16, py: u16, leg_bytes: u64) -> SimDuration {
+    let n = px * py;
+    assert!(n.is_power_of_two(), "fabric needs a power-of-two endpoint count");
+    let schedules = torus_schedule(px, py, leg_bytes);
+    let mut sim = Simulator::new();
+    let ids: Vec<ActorId> = (0..n).map(|_| sim.add_actor(Slot)).collect();
+    let net = ArcticNetwork::build(&mut sim, &ids, Default::default());
+    for e in 0..n {
+        let node = ExchangeNode::new(e, host, net.tx_port(e), schedules[e as usize].clone());
+        let _ = sim.remove_actor(ids[e as usize]);
+        sim.insert_actor_at(ids[e as usize], Box::new(node));
+    }
+    for &id in &ids {
+        sim.schedule(SimTime::ZERO, id, StartExchange);
+    }
+    sim.run();
+    let mut last = SimTime::ZERO;
+    for (e, &id) in ids.iter().enumerate() {
+        let node = sim.actor::<ExchangeNode>(id);
+        let f = node
+            .finished
+            .unwrap_or_else(|| panic!("node {e} never finished its exchange"));
+        last = last.max(f);
+    }
+    last.since(SimTime::ZERO)
+}
+
+struct Slot;
+impl Actor for Slot {
+    fn on_event(&mut self, _ev: Payload, _ctx: &mut Ctx<'_>) {
+        panic!("slot actor received an event");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_pairs_are_consistent() {
+        for (px, py) in [(4u16, 2u16), (2, 2), (4, 4), (8, 2)] {
+            let s = torus_schedule(px, py, 100);
+            let n = (px * py) as usize;
+            let rounds = s[0].len();
+            #[allow(clippy::needless_range_loop)]
+            for r in 0..rounds {
+                for me in 0..n {
+                    if let Some(plan) = s[me][r] {
+                        let back = s[plan.partner as usize][r].expect("partner idle");
+                        assert_eq!(back.partner as usize, me, "round {r}: asymmetric pair");
+                        assert_ne!(
+                            back.sends_first, plan.sends_first,
+                            "round {r}: both sides claim the same role"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn four_by_two_has_eight_legs() {
+        // The 8-endpoint isomorph grid: 4 rounds × 2 legs each = 8
+        // sequential transfers per node (4 neighbors).
+        let s = torus_schedule(4, 2, 256);
+        assert_eq!(s[0].len(), 4);
+        assert!(s.iter().all(|sched| sched.iter().all(|r| r.is_some())));
+    }
+
+    #[test]
+    fn ds_exchange_latency_matches_paper_order() {
+        // DS shape: 32×32 tile, halo 1, one level, 8 B elements → 256 B per
+        // leg, 8 legs. Paper (Figure 11): texch_xy = 115 µs.
+        let t = measure_exchange(HostParams::default(), 4, 2, 256);
+        let us = t.as_us_f64();
+        assert!(
+            (80.0..190.0).contains(&us),
+            "DS exchange {us} µs vs paper 115 µs"
+        );
+    }
+
+    #[test]
+    fn ps_exchange_latency_scales_with_block() {
+        // PS atmosphere shape: halo 3 × 5 levels → 3840 B per leg.
+        let ps = measure_exchange(HostParams::default(), 4, 2, 3840);
+        let ds = measure_exchange(HostParams::default(), 4, 2, 256);
+        assert!(ps > ds * 2, "PS exchange should dominate DS: {ps} vs {ds}");
+        // Streaming bound: 8 legs × 3840 B at 110 MB/s ≈ 279 µs of pure
+        // data time; with per-leg overheads expect 380–700 µs.
+        let us = ps.as_us_f64();
+        assert!((330.0..800.0).contains(&us), "PS exchange {us} µs");
+    }
+
+    #[test]
+    fn two_by_two_grid_works() {
+        let t = measure_exchange(HostParams::default(), 2, 2, 512);
+        assert!(t.as_us_f64() > 0.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = measure_exchange(HostParams::default(), 4, 2, 1024);
+        let b = measure_exchange(HostParams::default(), 4, 2, 1024);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn exchange_time_grows_linearly_in_bytes_past_overhead() {
+        let t1 = measure_exchange(HostParams::default(), 4, 2, 4096).as_us_f64();
+        let t2 = measure_exchange(HostParams::default(), 4, 2, 8192).as_us_f64();
+        let t3 = measure_exchange(HostParams::default(), 4, 2, 16384).as_us_f64();
+        let d1 = t2 - t1;
+        let d2 = t3 - t2;
+        assert!(
+            (d2 / (2.0 * d1) - 1.0).abs() < 0.25,
+            "non-linear growth: {t1} {t2} {t3}"
+        );
+    }
+}

@@ -1,0 +1,617 @@
+//! The optimized global sum (§4.2).
+//!
+//! For `N` endpoints (a power of two), `N · log2 N` messages are sent over
+//! `log2 N` rounds. In round `i`, node `me` exchanges its running partial
+//! sum with partner `me XOR 2^i`; after round `i` every node holds the sum
+//! for the group of nodes whose identifiers differ only in the lowest
+//! `i+1` bits (Figure 8). The algorithm minimizes latency at the expense of
+//! message count — every node owns the full result with no broadcast step.
+//!
+//! Per-round cost on Hyades: one PIO send (`Os`), the network transit, one
+//! status poll plus PIO receive (`poll + Or`), and the floating-point add.
+//! Summed over rounds this reproduces the paper's measured latencies
+//! (4.0 / 8.3 / 12.8 / 18.2 µs for 2/4/8/16-way) and their least-squares
+//! fit `t = 4.67·log2 N − 0.95` µs.
+
+use hyades_arctic::network::{ArcticNetwork, Delivered, Inject};
+use hyades_arctic::packet::{f64_from_words, words_from_f64, Packet, Priority};
+use hyades_des::event::Payload;
+use hyades_des::{Actor, ActorId, Ctx, SimDuration, SimTime, Simulator};
+use hyades_startx::HostParams;
+use std::collections::HashMap;
+
+/// Kick event: begin a global sum contributing `value`.
+pub struct StartGsum {
+    pub value: f64,
+}
+
+/// Self event: the CPU has finished reading a round message.
+struct RxReady {
+    round: u32,
+    value: f64,
+}
+
+/// Cost of the floating-point add + loop bookkeeping per round.
+const ADD_COST_US: f64 = 0.05;
+
+/// One participant in the butterfly.
+pub struct GsumNode {
+    pub me: u16,
+    n: u16,
+    host: HostParams,
+    tx_port: ActorId,
+    /// Extra cost charged before the network phase (intra-SMP combine) and
+    /// after it (intra-SMP broadcast) in mixed mode.
+    pre_cost: SimDuration,
+    post_cost: SimDuration,
+
+    round: u32,
+    partial: f64,
+    early: HashMap<u32, f64>,
+    pub started: Option<SimTime>,
+    pub finished: Option<SimTime>,
+    pub result: Option<f64>,
+}
+
+impl GsumNode {
+    pub fn new(me: u16, n: u16, host: HostParams, tx_port: ActorId) -> Self {
+        GsumNode {
+            me,
+            n,
+            host,
+            tx_port,
+            pre_cost: SimDuration::ZERO,
+            post_cost: SimDuration::ZERO,
+            round: 0,
+            partial: 0.0,
+            early: HashMap::new(),
+            started: None,
+            finished: None,
+            result: None,
+        }
+    }
+
+    /// Add the intra-SMP combine/broadcast costs of the mixed-mode scheme
+    /// (§4.2: "about 1 µs" total on the two-way SMPs).
+    pub fn with_smp_step(mut self, pre: SimDuration, post: SimDuration) -> Self {
+        self.pre_cost = pre;
+        self.post_cost = post;
+        self
+    }
+
+    fn rounds(&self) -> u32 {
+        self.n.trailing_zeros()
+    }
+
+    fn send_round(&mut self, ctx: &mut Ctx<'_>) {
+        let partner = self.me ^ (1u16 << self.round);
+        let os = self.host.pio.send_overhead(8);
+        let pkt = Packet::new(
+            self.me,
+            partner,
+            Priority::High,
+            self.round as u16,
+            words_from_f64(self.partial),
+        );
+        ctx.send_after(os, self.tx_port, Inject(pkt));
+    }
+
+    fn advance(&mut self, value: f64, ctx: &mut Ctx<'_>) {
+        self.partial += value;
+        self.round += 1;
+        let add = SimDuration::from_us_f64(ADD_COST_US);
+        if self.round == self.rounds() {
+            self.finished = Some(ctx.now() + add + self.post_cost);
+            self.result = Some(self.partial);
+        } else {
+            // The add happens before the next send; fold its cost in by
+            // delaying the send kick.
+            let round = self.round;
+            ctx.wake_after(add, RxReady {
+                round,
+                value: f64::NAN, // marker: "send next round" (value unused)
+            });
+        }
+    }
+}
+
+impl Actor for GsumNode {
+    fn on_event(&mut self, ev: Payload, ctx: &mut Ctx<'_>) {
+        let ev = match ev.downcast::<StartGsum>() {
+            Ok(s) => {
+                assert!(self.n.is_power_of_two() && self.n >= 2);
+                self.partial = s.value;
+                self.round = 0;
+                self.started = Some(ctx.now());
+                self.finished = None;
+                self.result = None;
+                // Mixed mode: combine the SMP-local values first.
+                let pre = self.pre_cost;
+                ctx.wake_after(pre, RxReady {
+                    round: 0,
+                    value: f64::NAN,
+                });
+                return;
+            }
+            Err(e) => e,
+        };
+        let ev = match ev.downcast::<Delivered>() {
+            Ok(del) => {
+                let pkt = del.pkt;
+                assert!(!pkt.corrupted, "catastrophic network failure");
+                let round = pkt.usr_tag as u32;
+                let value = f64_from_words(&pkt.payload);
+                if round == self.round {
+                    // Blocked waiting on this message: one status poll plus
+                    // the PIO read of header+payload.
+                    let cost = self.host.status_poll + self.host.pio.recv_overhead(8);
+                    ctx.wake_after(cost, RxReady { round, value });
+                } else {
+                    // A fast partner ran ahead; stash until we get there.
+                    debug_assert!(round > self.round);
+                    self.early.insert(round, value);
+                }
+                return;
+            }
+            Err(e) => e,
+        };
+        let rx = ev.downcast::<RxReady>().expect("GsumNode event");
+        if rx.value.is_nan() {
+            // Marker: kick off the send for the current round, then check
+            // whether the partner's message already arrived.
+            debug_assert_eq!(rx.round, self.round);
+            self.send_round(ctx);
+            if let Some(v) = self.early.remove(&self.round) {
+                let cost = self.host.status_poll + self.host.pio.recv_overhead(8);
+                let round = self.round;
+                ctx.wake_after(cost, RxReady { round, value: v });
+            }
+            return;
+        }
+        debug_assert_eq!(rx.round, self.round);
+        self.advance(rx.value, ctx);
+    }
+}
+
+/// Result of a simulated `N`-way global sum.
+#[derive(Clone, Copy, Debug)]
+pub struct GsumMeasurement {
+    pub n: u16,
+    /// Latency from common start to the *last* node holding the result.
+    pub elapsed: SimDuration,
+    pub value: f64,
+}
+
+/// Run one `n`-way global sum on a fresh fabric; node `i` contributes
+/// `values[i]`. When `smp_step` is set, each node charges the intra-SMP
+/// combine/broadcast costs (the paper's `2×N`-way configuration).
+pub fn measure_gsum(host: HostParams, values: &[f64], smp_step: bool) -> GsumMeasurement {
+    let n = values.len() as u16;
+    let mut sim = Simulator::new();
+    let ids: Vec<ActorId> = (0..n).map(|_| sim.add_actor(Slot)).collect();
+    let net = ArcticNetwork::build(&mut sim, &ids, Default::default());
+    for e in 0..n {
+        let mut node = GsumNode::new(e, n, host, net.tx_port(e));
+        if smp_step {
+            node = node.with_smp_step(
+                SimDuration::from_us_f64(0.6),
+                SimDuration::from_us_f64(0.4),
+            );
+        }
+        let _ = sim.remove_actor(ids[e as usize]);
+        sim.insert_actor_at(ids[e as usize], Box::new(node));
+    }
+    for (e, &v) in values.iter().enumerate() {
+        sim.schedule(SimTime::ZERO, ids[e], StartGsum { value: v });
+    }
+    sim.run();
+    let mut last = SimTime::ZERO;
+    let mut result = None;
+    for (e, &id) in ids.iter().enumerate() {
+        let node = sim.actor::<GsumNode>(id);
+        let f = node
+            .finished
+            .unwrap_or_else(|| panic!("node {e} never finished"));
+        last = last.max(f);
+        let r = node.result.expect("finished without result");
+        if let Some(prev) = result {
+            assert_eq!(prev, r, "nodes disagree on the global sum");
+        }
+        result = Some(r);
+    }
+    GsumMeasurement {
+        n,
+        elapsed: last.since(SimTime::ZERO),
+        value: result.unwrap(),
+    }
+}
+
+/// Measure the §4.2 latency table: 2/4/8/16-way, with and without the SMP
+/// step.
+pub fn latency_table(host: HostParams) -> Vec<(u16, GsumMeasurement, GsumMeasurement)> {
+    [2u16, 4, 8, 16]
+        .iter()
+        .map(|&n| {
+            let vals: Vec<f64> = (0..n).map(|i| i as f64 + 1.0).collect();
+            (
+                n,
+                measure_gsum(host, &vals, false),
+                measure_gsum(host, &vals, true),
+            )
+        })
+        .collect()
+}
+
+struct Slot;
+impl Actor for Slot {
+    fn on_event(&mut self, _ev: Payload, _ctx: &mut Ctx<'_>) {
+        panic!("slot actor received an event");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ablation comparator: tree reduce + broadcast
+// ---------------------------------------------------------------------------
+
+/// The conventional alternative the butterfly beats: reduce partial sums
+/// up a binary tree to node 0, then broadcast the result back down. Same
+/// arithmetic, `2·N − 2` messages instead of `N·log2 N`, but the critical
+/// path is `2·log2 N` message latencies instead of `log2 N` — the paper's
+/// §4.2 design trades extra messages for exactly this halving of latency.
+pub struct TreeGsumNode {
+    pub me: u16,
+    n: u16,
+    host: HostParams,
+    tx_port: ActorId,
+    partial: f64,
+    children_pending: u32,
+    pub started: Option<SimTime>,
+    pub finished: Option<SimTime>,
+    pub result: Option<f64>,
+}
+
+/// Message tags: reduce contributions go up, the broadcast comes down.
+const TAG_REDUCE: u16 = 0x51;
+const TAG_BCAST: u16 = 0x52;
+
+impl TreeGsumNode {
+    pub fn new(me: u16, n: u16, host: HostParams, tx_port: ActorId) -> Self {
+        // Children of `me`: me + 2^i for each i with 2^i > lowest set bit
+        // span... simpler: me XOR 2^i for i in (level(me)..log2 n) where
+        // level = index of lowest set bit (or log2 n for node 0).
+        let rounds = n.trailing_zeros();
+        let level = if me == 0 {
+            rounds
+        } else {
+            me.trailing_zeros()
+        };
+        let children = (0..level).filter(|i| me + (1u16 << i) < n).count() as u32;
+        TreeGsumNode {
+            me,
+            n,
+            host,
+            tx_port,
+            partial: 0.0,
+            children_pending: children,
+            started: None,
+            finished: None,
+            result: None,
+        }
+    }
+
+    fn parent(&self) -> u16 {
+        debug_assert_ne!(self.me, 0);
+        self.me & (self.me - 1) // clear lowest set bit
+    }
+
+    fn children(&self) -> Vec<u16> {
+        let rounds = self.n.trailing_zeros();
+        let level = if self.me == 0 {
+            rounds
+        } else {
+            self.me.trailing_zeros()
+        };
+        (0..level)
+            .map(|i| self.me + (1u16 << i))
+            .filter(|&c| c < self.n)
+            .collect()
+    }
+
+    fn send(&self, ctx: &mut Ctx<'_>, dst: u16, tag: u16, value: f64) {
+        let os = self.host.pio.send_overhead(8);
+        let pkt = Packet::new(self.me, dst, Priority::High, tag, words_from_f64(value));
+        ctx.send_after(os, self.tx_port, Inject(pkt));
+    }
+
+    fn maybe_send_up(&mut self, ctx: &mut Ctx<'_>) {
+        if self.children_pending > 0 || self.started.is_none() {
+            return;
+        }
+        if self.me == 0 {
+            // Root holds the total: broadcast.
+            self.result = Some(self.partial);
+            self.finished = Some(ctx.now());
+            for c in self.children() {
+                self.send(ctx, c, TAG_BCAST, self.partial);
+            }
+        } else {
+            self.send(ctx, self.parent(), TAG_REDUCE, self.partial);
+        }
+    }
+}
+
+/// Self event: receive cost paid; process the value.
+struct TreeRx {
+    tag: u16,
+    value: f64,
+}
+
+impl Actor for TreeGsumNode {
+    fn on_event(&mut self, ev: Payload, ctx: &mut Ctx<'_>) {
+        let ev = match ev.downcast::<StartGsum>() {
+            Ok(s) => {
+                self.partial = s.value;
+                self.started = Some(ctx.now());
+                self.maybe_send_up(ctx);
+                return;
+            }
+            Err(e) => e,
+        };
+        let ev = match ev.downcast::<Delivered>() {
+            Ok(del) => {
+                assert!(!del.pkt.corrupted);
+                let cost = self.host.status_poll + self.host.pio.recv_overhead(8);
+                ctx.wake_after(
+                    cost,
+                    TreeRx {
+                        tag: del.pkt.usr_tag,
+                        value: f64_from_words(&del.pkt.payload),
+                    },
+                );
+                return;
+            }
+            Err(e) => e,
+        };
+        let rx = ev.downcast::<TreeRx>().expect("TreeGsumNode event");
+        match rx.tag {
+            TAG_REDUCE => {
+                self.partial += rx.value;
+                self.children_pending -= 1;
+                self.maybe_send_up(ctx);
+            }
+            TAG_BCAST => {
+                self.result = Some(rx.value);
+                self.finished = Some(ctx.now());
+                for c in self.children() {
+                    self.send(ctx, c, TAG_BCAST, rx.value);
+                }
+            }
+            t => panic!("unexpected tag {t:#x}"),
+        }
+    }
+}
+
+/// Measure the tree reduce+broadcast variant (the ablation baseline).
+pub fn measure_gsum_tree(host: HostParams, values: &[f64]) -> GsumMeasurement {
+    let n = values.len() as u16;
+    assert!(n.is_power_of_two() && n >= 2);
+    let mut sim = Simulator::new();
+    let ids: Vec<ActorId> = (0..n).map(|_| sim.add_actor(Slot)).collect();
+    let net = ArcticNetwork::build(&mut sim, &ids, Default::default());
+    for e in 0..n {
+        let node = TreeGsumNode::new(e, n, host, net.tx_port(e));
+        let _ = sim.remove_actor(ids[e as usize]);
+        sim.insert_actor_at(ids[e as usize], Box::new(node));
+    }
+    for (e, &v) in values.iter().enumerate() {
+        sim.schedule(SimTime::ZERO, ids[e], StartGsum { value: v });
+    }
+    sim.run();
+    let mut last = SimTime::ZERO;
+    let mut result = None;
+    for &id in &ids {
+        let node = sim.actor::<TreeGsumNode>(id);
+        last = last.max(node.finished.expect("tree gsum incomplete"));
+        let r = node.result.expect("no result");
+        if let Some(prev) = result {
+            assert_eq!(prev, r, "tree nodes disagree");
+        }
+        result = Some(r);
+    }
+    GsumMeasurement {
+        n,
+        elapsed: last.since(SimTime::ZERO),
+        value: result.unwrap(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn computes_the_right_sum() {
+        let vals = [3.25, -1.5, 10.0, 0.125, 7.0, 2.0, -4.0, 0.5];
+        let m = measure_gsum(HostParams::default(), &vals, false);
+        assert_eq!(m.value, vals.iter().sum::<f64>());
+    }
+
+    #[test]
+    fn two_way_latency_matches_paper() {
+        let m = measure_gsum(HostParams::default(), &[1.0, 2.0], false);
+        // Paper: 4.0 µs.
+        let us = m.elapsed.as_us_f64();
+        assert!((3.0..5.0).contains(&us), "2-way gsum {us} µs");
+    }
+
+    #[test]
+    fn sixteen_way_latency_matches_paper() {
+        let vals: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let m = measure_gsum(HostParams::default(), &vals, false);
+        // Paper: 18.2 µs; accept the same order with ~20% slack.
+        let us = m.elapsed.as_us_f64();
+        assert!((13.0..22.0).contains(&us), "16-way gsum {us} µs");
+    }
+
+    #[test]
+    fn latency_grows_linearly_in_log_n() {
+        let t = latency_table(HostParams::default());
+        let us: Vec<f64> = t.iter().map(|(_, m, _)| m.elapsed.as_us_f64()).collect();
+        // Per-round increments should be roughly constant (C·log2 N form).
+        let d1 = us[1] - us[0];
+        let d2 = us[2] - us[1];
+        let d3 = us[3] - us[2];
+        let max = d1.max(d2).max(d3);
+        let min = d1.min(d2).min(d3);
+        assert!(
+            max / min < 1.6,
+            "increments not linear in log2 N: {us:?}"
+        );
+    }
+
+    #[test]
+    fn smp_step_adds_about_a_microsecond() {
+        let t = latency_table(HostParams::default());
+        for (n, plain, smp) in &t {
+            let d = smp.elapsed.as_us_f64() - plain.elapsed.as_us_f64();
+            assert!(
+                (0.8..1.3).contains(&d),
+                "{n}-way SMP step added {d} µs"
+            );
+        }
+    }
+
+    #[test]
+    fn identical_across_runs() {
+        let vals: Vec<f64> = (0..8).map(|i| (i * i) as f64).collect();
+        let a = measure_gsum(HostParams::default(), &vals, false);
+        let b = measure_gsum(HostParams::default(), &vals, false);
+        assert_eq!(a.elapsed, b.elapsed, "simulation must be deterministic");
+        assert_eq!(a.value, b.value);
+    }
+}
+
+#[cfg(test)]
+mod tree_tests {
+    use super::*;
+
+    #[test]
+    fn tree_computes_the_same_sum() {
+        let vals: Vec<f64> = (0..16).map(|i| (i as f64) * 1.5 - 3.0).collect();
+        let tree = measure_gsum_tree(HostParams::default(), &vals);
+        let fly = measure_gsum(HostParams::default(), &vals, false);
+        assert_eq!(tree.value, fly.value);
+    }
+
+    #[test]
+    fn butterfly_beats_tree_on_latency() {
+        // The design point of §4.2: minimize latency at the expense of
+        // messages. The tree's critical path is ~2 log2 N latencies vs the
+        // butterfly's log2 N.
+        for n in [4usize, 8, 16] {
+            let vals: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            let tree = measure_gsum_tree(HostParams::default(), &vals);
+            let fly = measure_gsum(HostParams::default(), &vals, false);
+            let ratio = tree.elapsed.as_us_f64() / fly.elapsed.as_us_f64();
+            assert!(
+                ratio > 1.4,
+                "{n}-way: tree {} vs butterfly {} (ratio {ratio:.2})",
+                tree.elapsed,
+                fly.elapsed
+            );
+        }
+    }
+
+    #[test]
+    fn two_way_tree_is_a_send_and_a_broadcast() {
+        let m = measure_gsum_tree(HostParams::default(), &[2.0, 3.0]);
+        assert_eq!(m.value, 5.0);
+        // Two user-to-user message latencies ≈ 7–9 µs.
+        assert!((6.0..10.0).contains(&m.elapsed.as_us_f64()), "{}", m.elapsed);
+    }
+}
+
+#[cfg(test)]
+mod figure8_tests {
+    /// Figure 8's defining property, checked round by round on a pure
+    /// model of the butterfly: after round `i`, every node holds the sum
+    /// over the group of nodes whose identifiers differ from its own only
+    /// in the lowest `i+1` bits.
+    #[test]
+    fn butterfly_partial_sums_match_figure_8() {
+        let n = 8usize;
+        let d: Vec<f64> = (0..n).map(|i| (i as f64 + 1.0) * 10.0).collect();
+        let mut partial = d.clone();
+        for round in 0..3 {
+            let mut next = partial.clone();
+            for (me, slot) in next.iter_mut().enumerate() {
+                let partner = me ^ (1 << round);
+                *slot = partial[me] + partial[partner];
+            }
+            partial = next;
+            // Check the group property after this round.
+            let mask = !((1usize << (round + 1)) - 1);
+            for (me, &got) in partial.iter().enumerate() {
+                let expect: f64 = (0..n)
+                    .filter(|&o| o & mask == me & mask)
+                    .map(|o| d[o])
+                    .sum();
+                assert_eq!(got, expect, "round {round}, node {me}: Figure 8 violated");
+            }
+        }
+        // After the last round every node holds the full sum — with no
+        // broadcast step, the property the paper's design buys with
+        // N·log2(N) messages.
+        let total: f64 = d.iter().sum();
+        assert!(partial.iter().all(|&p| p == total));
+    }
+
+    /// The same property, observed through the DES protocol: every node's
+    /// final result equals the total (the protocol IS the Figure 8
+    /// butterfly; intermediate rounds are validated by the model test
+    /// above and by the exact result here).
+    #[test]
+    fn des_butterfly_reaches_figure_8_endpoint() {
+        use super::*;
+        let d: Vec<f64> = (0..8).map(|i| (i as f64 + 1.0) * 10.0).collect();
+        let m = measure_gsum(HostParams::default(), &d, false);
+        assert_eq!(m.value, d.iter().sum::<f64>());
+    }
+}
+
+#[cfg(test)]
+mod scaling_tests {
+    use super::*;
+
+    /// The fabric and butterfly generalize beyond the paper's 16 nodes:
+    /// the log-linear latency law holds at 32 and 64 endpoints (what a
+    /// bigger Hyades would have measured).
+    #[test]
+    fn gsum_scales_log_linearly_to_64_endpoints() {
+        let host = HostParams::default();
+        let mut pts = Vec::new();
+        for n in [4u16, 8, 16, 32, 64] {
+            let vals: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            let m = measure_gsum(host, &vals, false);
+            assert_eq!(m.value, vals.iter().sum::<f64>());
+            pts.push(((n as f64).log2(), m.elapsed.as_us_f64()));
+        }
+        // Fit t = C·log2 N + B over the five points; residuals must be
+        // small (log-linear law) and C in the paper's regime.
+        let n = pts.len() as f64;
+        let sx: f64 = pts.iter().map(|p| p.0).sum();
+        let sy: f64 = pts.iter().map(|p| p.1).sum();
+        let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+        let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+        let c = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+        let b = (sy - c * sx) / n;
+        assert!((3.5..5.5).contains(&c), "slope {c}");
+        for &(x, y) in &pts {
+            let pred = c * x + b;
+            assert!(
+                (y - pred).abs() < 0.15 * y.max(4.0),
+                "log-linear law broken at log2N={x}: {y} vs {pred}"
+            );
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Property tests of the exchange protocol simulation: it must terminate
+//! (no deadlock) for every grid shape and leg size, deterministically,
+//! with cost monotone in the data volume.
+
+use hyades_comms::exchange::{measure_exchange, torus_schedule};
+use hyades_startx::HostParams;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn exchange_always_terminates_and_is_deterministic(
+        px in prop::sample::select(vec![1u16, 2, 4]),
+        py in prop::sample::select(vec![1u16, 2]),
+        leg_bytes in 1u64..20_000,
+    ) {
+        prop_assume!((px * py).is_power_of_two() && px * py >= 2);
+        let a = measure_exchange(HostParams::default(), px, py, leg_bytes);
+        let b = measure_exchange(HostParams::default(), px, py, leg_bytes);
+        prop_assert_eq!(a, b, "nondeterministic exchange");
+        prop_assert!(a.as_us_f64() > 0.0);
+        // Sanity upper bound: per leg, negotiation + stream at >10 MB/s
+        // equivalent (very loose).
+        let rounds = torus_schedule(px, py, leg_bytes)[0].len() as f64;
+        let bound = rounds * 2.0 * (100.0 + leg_bytes as f64 / 10.0);
+        prop_assert!(a.as_us_f64() < bound, "{} vs bound {bound}", a.as_us_f64());
+    }
+
+    #[test]
+    fn exchange_cost_is_monotone_in_volume(
+        leg_bytes in 64u64..8_000,
+        extra in 64u64..8_000,
+    ) {
+        let small = measure_exchange(HostParams::default(), 4, 2, leg_bytes);
+        let large = measure_exchange(HostParams::default(), 4, 2, leg_bytes + extra);
+        prop_assert!(large >= small, "{large} < {small}");
+    }
+
+    #[test]
+    fn schedule_is_a_perfect_matching_per_round(
+        px in prop::sample::select(vec![1u16, 2, 4, 8]),
+        py in prop::sample::select(vec![1u16, 2, 4]),
+        bytes in 1u64..1_000_000,
+    ) {
+        let n = (px * py) as usize;
+        prop_assume!(n >= 2);
+        let s = torus_schedule(px, py, bytes);
+        prop_assert_eq!(s.len(), n);
+        let rounds = s[0].len();
+        #[allow(clippy::needless_range_loop)]
+        for r in 0..rounds {
+            for me in 0..n {
+                if let Some(plan) = s[me][r] {
+                    prop_assert_eq!(plan.bytes, bytes);
+                    let back = s[plan.partner as usize][r].expect("partner idle");
+                    prop_assert_eq!(back.partner as usize, me);
+                    prop_assert_ne!(back.sends_first, plan.sends_first);
+                }
+            }
+        }
+    }
+}

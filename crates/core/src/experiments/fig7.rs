@@ -1,0 +1,69 @@
+//! E2 — Figure 7: VI-mode transfer bandwidth as a function of block size.
+
+use hyades_perf::report::Table;
+use hyades_startx::vi::{bandwidth_sweep, TransferMeasurement, ViConfig};
+use hyades_startx::HostParams;
+
+/// Paper anchors: 56.8 MB/s at 1 KB, ≥90% of 110 MB/s at 9 KB, 110 MB/s
+/// peak.
+pub const PAPER_1KB_MBS: f64 = 56.8;
+pub const PAPER_PEAK_MBS: f64 = 110.0;
+
+/// Sweep the figure's block sizes on the simulated fabric.
+pub fn measure() -> Vec<TransferMeasurement> {
+    bandwidth_sweep(HostParams::default(), ViConfig::default())
+}
+
+pub fn run() -> String {
+    let sweep = measure();
+    let mut t = Table::new(&["block (B)", "time (us)", "bandwidth (MB/s)", "% of peak"]);
+    for m in &sweep {
+        t.row(&[
+            m.len.to_string(),
+            format!("{:.1}", m.elapsed.as_us_f64()),
+            format!("{:.1}", m.mbyte_per_sec),
+            format!("{:.0}%", m.mbyte_per_sec / PAPER_PEAK_MBS * 100.0),
+        ]);
+    }
+    format!(
+        "E2  Figure 7: perceived VI-mode transfer bandwidth vs block size\n\
+         (paper: {PAPER_1KB_MBS} MB/s at 1 KB; 90% of {PAPER_PEAK_MBS} MB/s by ~9 KB)\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_matches_paper_anchors() {
+        let sweep = measure();
+        let at = |len: u64| {
+            sweep
+                .iter()
+                .find(|m| m.len == len)
+                .unwrap_or_else(|| panic!("no sample at {len}"))
+                .mbyte_per_sec
+        };
+        // 1 KB: 56.8 MB/s ± 15%.
+        assert!((at(1024) - PAPER_1KB_MBS).abs() / PAPER_1KB_MBS < 0.15, "{}", at(1024));
+        // Half-power point near 1 KB: 512 B below 50%, 4 KB above 75%.
+        assert!(at(512) < 0.5 * PAPER_PEAK_MBS);
+        assert!(at(4096) > 0.75 * PAPER_PEAK_MBS);
+        // ~90% by 8–16 KB.
+        assert!(at(16384) > 0.9 * PAPER_PEAK_MBS);
+        // Peak approached at 128 KB.
+        assert!(at(131072) > 0.95 * PAPER_PEAK_MBS);
+        assert!(at(131072) <= PAPER_PEAK_MBS + 0.5);
+    }
+
+    #[test]
+    fn report_has_all_sixteen_block_sizes() {
+        let r = run();
+        // 4 B .. 128 KB in powers of two = 16 rows.
+        assert_eq!(measure().len(), 16);
+        assert!(r.contains("131072"));
+        assert!(r.contains("Figure 7"));
+    }
+}

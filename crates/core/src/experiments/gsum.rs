@@ -1,0 +1,108 @@
+//! E3 — §4.2: global-sum latencies and the least-squares fit.
+
+use hyades_comms::gsum::latency_table;
+use hyades_perf::fit::log2_fit;
+use hyades_perf::report::Table;
+use hyades_startx::HostParams;
+
+/// Paper values: (N, plain µs, 2×N SMP µs).
+pub const PAPER: [(u16, f64, f64); 4] = [
+    (2, 4.0, 4.8),
+    (4, 8.3, 9.1),
+    (8, 12.8, 13.5),
+    (16, 18.2, 19.5),
+];
+
+/// Paper fit: `t = 4.67·log2 N − 0.95` µs.
+pub const PAPER_FIT: (f64, f64) = (4.67, -0.95);
+
+pub struct GsumReport {
+    /// (N, measured plain µs, measured SMP µs).
+    pub rows: Vec<(u16, f64, f64)>,
+    /// Our least-squares fit (C, B) to the plain latencies.
+    pub fit: (f64, f64),
+}
+
+pub fn measure() -> GsumReport {
+    let table = latency_table(HostParams::default());
+    let rows: Vec<(u16, f64, f64)> = table
+        .iter()
+        .map(|(n, plain, smp)| (*n, plain.elapsed.as_us_f64(), smp.elapsed.as_us_f64()))
+        .collect();
+    let pts: Vec<(u32, f64)> = rows.iter().map(|&(n, t, _)| (n as u32, t)).collect();
+    GsumReport {
+        fit: log2_fit(&pts),
+        rows,
+    }
+}
+
+pub fn run() -> String {
+    let rep = measure();
+    let mut t = Table::new(&[
+        "N-way",
+        "t (us)",
+        "paper",
+        "2xN-way (us)",
+        "paper",
+    ]);
+    for ((n, plain, smp), paper) in rep.rows.iter().zip(PAPER.iter()) {
+        t.row(&[
+            n.to_string(),
+            format!("{plain:.1}"),
+            format!("{}", paper.1),
+            format!("{smp:.1}"),
+            format!("{}", paper.2),
+        ]);
+    }
+    format!(
+        "E3  Section 4.2: N-way global sum latency (simulated fabric)\n\n{}\n\
+         least-squares fit: t = {:.2}*log2(N) {:+.2} us   (paper: {}*log2(N) {:+})\n",
+        t.render(),
+        rep.fit.0,
+        rep.fit.1,
+        PAPER_FIT.0,
+        PAPER_FIT.1
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latencies_match_paper_within_25_percent() {
+        let rep = measure();
+        for ((n, plain, smp), paper) in rep.rows.iter().zip(PAPER.iter()) {
+            assert!(
+                (plain - paper.1).abs() / paper.1 < 0.25,
+                "{n}-way: {plain} vs {}",
+                paper.1
+            );
+            assert!(
+                (smp - paper.2).abs() / paper.2 < 0.25,
+                "2x{n}-way: {smp} vs {}",
+                paper.2
+            );
+        }
+    }
+
+    #[test]
+    fn fit_slope_is_in_paper_regime() {
+        let rep = measure();
+        // Paper slope 4.67 µs/round; ours must be the same order with the
+        // same log-linear form.
+        assert!(
+            (3.0..6.0).contains(&rep.fit.0),
+            "slope {} out of range",
+            rep.fit.0
+        );
+        assert!(rep.fit.1.abs() < 3.0, "intercept {}", rep.fit.1);
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = run();
+        assert!(r.contains("least-squares fit"));
+        assert!(r.contains("16"));
+    }
+}

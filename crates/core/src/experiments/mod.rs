@@ -1,0 +1,120 @@
+//! The experiment registry: one entry per table/figure of the paper.
+//!
+//! | id | artefact | module |
+//! |----|----------|--------|
+//! | E1 | Figure 2 — LogP of PIO messaging | [`fig2`] |
+//! | E2 | Figure 7 — VI bandwidth vs block size | [`fig7`] |
+//! | E3 | §4.2 — global-sum latencies + fit | [`gsum`] |
+//! | E4 | Figure 10 — platform comparison | [`fig10`] |
+//! | E5 | Figure 11 — performance-model parameters | [`fig11`] |
+//! | E6 | §5.3 — model validation | [`sec53`] |
+//! | E7 | Figure 12 — Pfpp by interconnect | [`fig12`] |
+//! | E8 | §6 — HPVM comparison | [`hpvm`] |
+//! | E9 | Figure 9 — model output maps | [`fig9`] |
+//! | E10 | §6 — century-in-two-weeks throughput | [`century`] |
+//! | E11 | §6 — generality tax (MPI vs custom) | [`api_tax`] |
+//! | E12 | §2.2 — routing under adversarial traffic | [`routing`] |
+//! | E13 | §1/§6 — price-performance economics | [`economics`] |
+
+pub mod api_tax;
+pub mod century;
+pub mod economics;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig2;
+pub mod fig7;
+pub mod fig9;
+pub mod gsum;
+pub mod hpvm;
+pub mod routing;
+pub mod sec53;
+
+/// A registered experiment.
+pub struct Experiment {
+    pub id: &'static str,
+    pub paper_artefact: &'static str,
+    pub run: fn() -> String,
+}
+
+/// Every experiment, in paper order.
+pub fn all() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            id: "E1",
+            paper_artefact: "Figure 2: LogP characteristics of PIO message passing",
+            run: fig2::run,
+        },
+        Experiment {
+            id: "E2",
+            paper_artefact: "Figure 7: transfer bandwidth as a function of block size",
+            run: fig7::run,
+        },
+        Experiment {
+            id: "E3",
+            paper_artefact: "Section 4.2: global sum latencies and least-squares fit",
+            run: gsum::run,
+        },
+        Experiment {
+            id: "E4",
+            paper_artefact: "Figure 10: sustained performance across platforms",
+            run: fig10::run,
+        },
+        Experiment {
+            id: "E5",
+            paper_artefact: "Figure 11: performance model parameters",
+            run: fig11::run,
+        },
+        Experiment {
+            id: "E6",
+            paper_artefact: "Section 5.3: validation of the performance model",
+            run: sec53::run,
+        },
+        Experiment {
+            id: "E7",
+            paper_artefact: "Figure 12: Potential Floating-Point Performance",
+            run: fig12::run,
+        },
+        Experiment {
+            id: "E8",
+            paper_artefact: "Section 6: HPVM/Myrinet comparison",
+            run: hpvm::run,
+        },
+        Experiment {
+            id: "E9",
+            paper_artefact: "Figure 9: model output (currents and winds)",
+            run: fig9::run,
+        },
+        Experiment {
+            id: "E10",
+            paper_artefact: "Section 6: century-long coupled simulation in two weeks",
+            run: century::run,
+        },
+        Experiment {
+            id: "E11",
+            paper_artefact: "Section 6: generality tax (MPI-StarT vs custom primitives)",
+            run: api_tax::run,
+        },
+        Experiment {
+            id: "E12",
+            paper_artefact: "Section 2.2: fabric routing under adversarial traffic",
+            run: routing::run,
+        },
+        Experiment {
+            id: "E13",
+            paper_artefact: "Sections 1/2/6: price-performance of a personal supercomputer",
+            run: economics::run,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn registry_is_complete() {
+        let all = super::all();
+        assert_eq!(all.len(), 13);
+        let ids: Vec<&str> = all.iter().map(|e| e.id).collect();
+        assert_eq!(ids, ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"]);
+    }
+}

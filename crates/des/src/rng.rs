@@ -1,0 +1,115 @@
+//! A tiny deterministic RNG for simulated hardware decisions.
+//!
+//! SplitMix64 (Steele, Lea & Flood 2014). It is not cryptographic; it only
+//! has to be fast, seedable, and reproducible across platforms so that the
+//! Arctic fabric's random up-route selection is identical on every run.
+
+/// SplitMix64 pseudo-random generator.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`. Panics if `n == 0`.
+    ///
+    /// Uses Lemire's multiply-shift rejection method for unbiased output.
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "next_below(0)");
+        // Fast path for powers of two.
+        if n.is_power_of_two() {
+            return self.next_u64() & (n - 1);
+        }
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut lo = m as u64;
+        if lo < n {
+            let t = n.wrapping_neg() % n;
+            while lo < t {
+                x = self.next_u64();
+                m = (x as u128) * (n as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproducible() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn next_below_in_range() {
+        let mut r = SplitMix64::new(7);
+        for n in [1u64, 2, 3, 5, 7, 16, 1000] {
+            for _ in 0..200 {
+                assert!(r.next_below(n) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn next_below_covers_small_range() {
+        let mut r = SplitMix64::new(123);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[r.next_below(4) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SplitMix64::new(99);
+        let mut sum = 0.0;
+        for _ in 0..1000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 1000.0;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    #[should_panic(expected = "next_below(0)")]
+    fn below_zero_panics() {
+        SplitMix64::new(0).next_below(0);
+    }
+}

@@ -1,0 +1,275 @@
+//! The simulation driver.
+
+use crate::actor::{Actor, ActorId, Ctx};
+use crate::event::EventQueue;
+#[cfg(test)]
+use crate::event::Payload;
+use crate::time::SimTime;
+use std::any::Any;
+
+/// A deterministic discrete-event simulator.
+///
+/// Components are registered with [`Simulator::add_actor`]; external stimulus
+/// is injected with [`Simulator::schedule`]; then the event loop is driven by
+/// [`Simulator::run`] (until the queue drains or an actor halts) or
+/// [`Simulator::run_until`].
+///
+/// ```
+/// use hyades_des::{Actor, Ctx, SimDuration, SimTime, Simulator};
+///
+/// struct Echo { received: u32 }
+/// impl Actor for Echo {
+///     fn on_event(&mut self, ev: Box<dyn std::any::Any>, _ctx: &mut Ctx<'_>) {
+///         self.received += *ev.downcast::<u32>().unwrap();
+///     }
+/// }
+///
+/// let mut sim = Simulator::new();
+/// let id = sim.add_actor(Echo { received: 0 });
+/// sim.schedule(SimTime::ZERO + SimDuration::from_us(5), id, 42u32);
+/// sim.run();
+/// assert_eq!(sim.now(), SimTime::ZERO + SimDuration::from_us(5));
+/// assert_eq!(sim.actor::<Echo>(id).received, 42);
+/// ```
+#[derive(Default)]
+pub struct Simulator {
+    actors: Vec<Option<Box<dyn Actor>>>,
+    queue: EventQueue,
+    now: SimTime,
+    halted: bool,
+    dispatched: u64,
+}
+
+impl Simulator {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register an actor, returning its id.
+    pub fn add_actor(&mut self, actor: impl Actor + 'static) -> ActorId {
+        self.add_boxed_actor(Box::new(actor))
+    }
+
+    /// Register a boxed actor, returning its id.
+    pub fn add_boxed_actor(&mut self, actor: Box<dyn Actor>) -> ActorId {
+        let id = ActorId(self.actors.len());
+        self.actors.push(Some(actor));
+        id
+    }
+
+    /// Current simulated time (the timestamp of the last dispatched event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events dispatched so far.
+    pub fn events_dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// Number of events still pending.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Inject an event from outside the simulation.
+    pub fn schedule(&mut self, at: SimTime, target: ActorId, payload: impl Any) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.queue.push(at, target, Box::new(payload));
+    }
+
+    /// Immutable access to a registered actor, downcast to its concrete type.
+    ///
+    /// Panics if the id is invalid or the type does not match — both are
+    /// programming errors in the simulation harness.
+    pub fn actor<T: Actor + 'static>(&self, id: ActorId) -> &T {
+        self.actors[id.0]
+            .as_ref()
+            .expect("actor is currently executing or removed")
+            .as_any()
+            .downcast_ref::<T>()
+            .expect("actor type mismatch")
+    }
+
+    /// Mutable access to a registered actor, downcast to its concrete type.
+    pub fn actor_mut<T: Actor + 'static>(&mut self, id: ActorId) -> &mut T {
+        self.actors[id.0]
+            .as_mut()
+            .expect("actor is currently executing or removed")
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .expect("actor type mismatch")
+    }
+
+    /// Run until no events remain or an actor calls [`Ctx::halt`].
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Run while the next event is at or before `deadline`. Returns the
+    /// number of events dispatched.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let start = self.dispatched;
+        while !self.halted {
+            match self.queue.next_time() {
+                Some(t) if t <= deadline => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        self.dispatched - start
+    }
+
+    /// Dispatch a single event. Returns false if the queue is empty or the
+    /// simulation has been halted.
+    pub fn step(&mut self) -> bool {
+        if self.halted {
+            return false;
+        }
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.time >= self.now, "event queue violated causality");
+        self.now = ev.time;
+        self.dispatched += 1;
+
+        // Temporarily take the actor out so it can borrow the context
+        // mutably while the simulator stays usable.
+        let mut actor = self.actors[ev.target.0]
+            .take()
+            .unwrap_or_else(|| panic!("event for unregistered/busy actor {:?}", ev.target));
+        let mut outbox = Vec::new();
+        {
+            let mut ctx = Ctx::new(self.now, ev.target, &mut outbox, &mut self.halted);
+            actor.on_event(ev.payload, &mut ctx);
+        }
+        self.actors[ev.target.0] = Some(actor);
+        for (t, target, payload) in outbox {
+            self.queue.push(t, target, payload);
+        }
+        true
+    }
+
+    /// Whether an actor has halted the simulation.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Clear the halted flag so the simulation can be resumed.
+    pub fn resume(&mut self) {
+        self.halted = false;
+    }
+
+    /// Take an actor back out of the simulator (e.g. to read results after a
+    /// run). The slot is left empty; scheduling further events for this id
+    /// will panic.
+    pub fn remove_actor(&mut self, id: ActorId) -> Box<dyn Actor> {
+        self.actors[id.0].take().expect("actor already removed")
+    }
+
+    /// Fill an empty slot (created by [`Simulator::remove_actor`]) with a
+    /// new actor. Harnesses use this to swap placeholder endpoints for
+    /// protocol actors once wiring information (e.g. network port ids)
+    /// exists.
+    pub fn insert_actor_at(&mut self, id: ActorId, actor: Box<dyn Actor>) {
+        assert!(
+            self.actors[id.0].is_none(),
+            "slot {id:?} is still occupied"
+        );
+        self.actors[id.0] = Some(actor);
+    }
+
+    /// Mutable access to an actor slot for harness-level inspection.
+    ///
+    /// The closure receives the boxed actor; use `downcast_with` from
+    /// [`crate::actor`] helpers or keep concrete handles externally.
+    pub fn with_actor<R>(&mut self, id: ActorId, f: impl FnOnce(&mut dyn Actor) -> R) -> R {
+        let a = self.actors[id.0]
+            .as_mut()
+            .expect("actor is currently executing or removed");
+        f(a.as_mut())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    /// A pair of actors playing ping-pong a fixed number of times.
+    struct Pinger {
+        peer: Option<ActorId>,
+        remaining: u32,
+        last_time: SimTime,
+    }
+
+    impl Actor for Pinger {
+        fn on_event(&mut self, _ev: Payload, ctx: &mut Ctx<'_>) {
+            self.last_time = ctx.now();
+            if self.remaining == 0 {
+                ctx.halt();
+                return;
+            }
+            self.remaining -= 1;
+            let peer = self.peer.expect("peer wired");
+            ctx.send_after(SimDuration::from_us(1), peer, ());
+        }
+    }
+
+    #[test]
+    fn ping_pong_advances_time() {
+        let mut sim = Simulator::new();
+        let a = sim.add_actor(Pinger {
+            peer: None,
+            remaining: 5,
+            last_time: SimTime::ZERO,
+        });
+        let b = sim.add_actor(Pinger {
+            peer: None,
+            remaining: 5,
+            last_time: SimTime::ZERO,
+        });
+        sim.actor_mut::<Pinger>(a).peer = Some(b);
+        sim.actor_mut::<Pinger>(b).peer = Some(a);
+        sim.schedule(SimTime::ZERO, a, ());
+        sim.run();
+        // a fires at t=0 (sends to b at 1), b at 1, a at 2 ... until one side
+        // exhausts its count and halts.
+        assert!(sim.now() > SimTime::ZERO);
+        assert!(sim.events_dispatched() >= 10);
+    }
+
+    struct Counter {
+        count: u64,
+    }
+    impl Actor for Counter {
+        fn on_event(&mut self, _ev: Payload, _ctx: &mut Ctx<'_>) {
+            self.count += 1;
+        }
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut sim = Simulator::new();
+        let c = sim.add_actor(Counter { count: 0 });
+        for i in 0..10 {
+            sim.schedule(SimTime::from_ps(i * 1_000_000), c, ());
+        }
+        let n = sim.run_until(SimTime::from_ps(4_500_000));
+        assert_eq!(n, 5); // events at 0..=4 us
+        assert_eq!(sim.pending_events(), 5);
+        let n = sim.run_until(SimTime::from_ps(100_000_000));
+        assert_eq!(n, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut sim = Simulator::new();
+        let c = sim.add_actor(Counter { count: 0 });
+        sim.schedule(SimTime::from_ps(10), c, ());
+        sim.run();
+        sim.schedule(SimTime::from_ps(5), c, ());
+    }
+}

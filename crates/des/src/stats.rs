@@ -1,0 +1,283 @@
+//! Online statistics and histograms for measurement harnesses.
+
+use crate::time::SimDuration;
+
+/// Welford online mean/variance with min/max tracking.
+#[derive(Clone, Debug, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record a sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Record a duration sample in microseconds.
+    pub fn push_duration_us(&mut self, d: SimDuration) {
+        self.push(d.as_us_f64());
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Pool another sample set into this one (Chan et al. parallel
+    /// variance update).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let (na, nb) = (self.n as f64, other.n as f64);
+        let delta = other.mean - self.mean;
+        let n = na + nb;
+        self.mean += delta * nb / n;
+        self.m2 += other.m2 + delta * delta * na * nb / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Power-of-two bucketed histogram (bucket i counts values in
+/// `[2^i, 2^(i+1))`, bucket 0 also holds 0).
+#[derive(Clone, Debug)]
+pub struct Log2Histogram {
+    buckets: Vec<u64>,
+    total: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Log2Histogram {
+    pub fn new() -> Self {
+        Log2Histogram {
+            buckets: vec![0; 64],
+            total: 0,
+        }
+    }
+
+    pub fn record(&mut self, value: u64) {
+        let idx = if value == 0 {
+            0
+        } else {
+            63 - value.leading_zeros() as usize
+        };
+        self.buckets[idx] += 1;
+        self.total += 1;
+    }
+
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Smallest upper bound `2^(i+1)` such that at least `q` (0..=1) of the
+    /// samples fall below it. Returns 0 for an empty histogram.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
+        let mut acc = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// Simple named counter set used by simulated components for occupancy /
+/// traffic accounting.
+#[derive(Clone, Debug, Default)]
+pub struct Counters {
+    entries: Vec<(&'static str, u64)>,
+}
+
+impl Counters {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add(&mut self, name: &'static str, delta: u64) {
+        if let Some(e) = self.entries.iter_mut().find(|(n, _)| *n == name) {
+            e.1 += delta;
+        } else {
+            self.entries.push((name, delta));
+        }
+    }
+
+    pub fn get(&self, name: &str) -> u64 {
+        self.entries
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.entries.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_match_naive() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((s.mean() - mean).abs() < 1e-12);
+        assert!((s.variance() - var).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.count(), 8);
+    }
+
+    #[test]
+    fn stats_degenerate_cases() {
+        let mut s = OnlineStats::new();
+        assert_eq!(s.variance(), 0.0);
+        s.push(5.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.mean(), 5.0);
+    }
+
+    #[test]
+    fn merge_matches_single_stream() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0, 5.0, 3.0];
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..4] {
+            a.push(x);
+        }
+        for &x in &xs[4..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-12);
+        assert!((a.variance() - whole.variance()).abs() < 1e-12);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+        // Merging into empty copies the source.
+        let mut e = OnlineStats::new();
+        e.merge(&whole);
+        assert_eq!(e.count(), whole.count());
+    }
+
+    #[test]
+    fn duration_samples() {
+        let mut s = OnlineStats::new();
+        s.push_duration_us(SimDuration::from_us(4));
+        s.push_duration_us(SimDuration::from_us(6));
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut h = Log2Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 8);
+        assert_eq!(h.bucket(0), 2); // 0 and 1
+        assert_eq!(h.bucket(1), 2); // 2, 3
+        assert_eq!(h.bucket(2), 2); // 4, 7
+        assert_eq!(h.bucket(3), 1); // 8
+        assert_eq!(h.bucket(10), 1); // 1024
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Log2Histogram::new();
+        for _ in 0..99 {
+            h.record(10);
+        }
+        h.record(1_000_000);
+        assert_eq!(h.quantile_upper_bound(0.5), 16);
+        assert!(h.quantile_upper_bound(1.0) > 1_000_000);
+        assert_eq!(Log2Histogram::new().quantile_upper_bound(0.5), 0);
+    }
+
+    #[test]
+    fn counters() {
+        let mut c = Counters::new();
+        c.add("pkts", 3);
+        c.add("pkts", 2);
+        c.add("drops", 1);
+        assert_eq!(c.get("pkts"), 5);
+        assert_eq!(c.get("drops"), 1);
+        assert_eq!(c.get("nope"), 0);
+        assert_eq!(c.iter().count(), 2);
+    }
+}

@@ -1,0 +1,149 @@
+//! Event tracing for simulation debugging.
+//!
+//! A bounded ring buffer of `(time, actor, label)` records that simulated
+//! components can append to cheaply. Harnesses dump the trace when an
+//! assertion fails to see the event history that led there — the DES
+//! equivalent of a flight recorder.
+
+use crate::actor::ActorId;
+use crate::time::SimTime;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// One recorded event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceRecord {
+    pub at: SimTime,
+    pub actor: ActorId,
+    pub label: &'static str,
+    pub detail: u64,
+}
+
+/// Bounded trace buffer (oldest records are dropped first).
+#[derive(Debug)]
+pub struct Trace {
+    buf: VecDeque<TraceRecord>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    pub fn new(capacity: usize) -> Trace {
+        assert!(capacity > 0);
+        Trace {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Append a record; drops the oldest when full.
+    pub fn record(&mut self, at: SimTime, actor: ActorId, label: &'static str, detail: u64) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(TraceRecord {
+            at,
+            actor,
+            label,
+            detail,
+        });
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Records dropped due to capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterate oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.buf.iter()
+    }
+
+    /// The most recent records whose label matches.
+    pub fn last_matching(&self, label: &str, n: usize) -> Vec<&TraceRecord> {
+        self.buf
+            .iter()
+            .rev()
+            .filter(|r| r.label == label)
+            .take(n)
+            .collect()
+    }
+
+    /// Human-readable dump.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        if self.dropped > 0 {
+            writeln!(out, "... {} earlier records dropped ...", self.dropped).unwrap();
+        }
+        for r in &self.buf {
+            writeln!(out, "{}  actor {:>4}  {:<24} {}", r.at, r.actor.0, r.label, r.detail)
+                .unwrap();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_ps(us * 1_000_000)
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut tr = Trace::new(8);
+        tr.record(t(1), ActorId(0), "tx", 10);
+        tr.record(t(2), ActorId(1), "rx", 10);
+        assert_eq!(tr.len(), 2);
+        let labels: Vec<&str> = tr.iter().map(|r| r.label).collect();
+        assert_eq!(labels, ["tx", "rx"]);
+        assert!(!tr.is_empty());
+    }
+
+    #[test]
+    fn ring_drops_oldest() {
+        let mut tr = Trace::new(3);
+        for i in 0..5u64 {
+            tr.record(t(i), ActorId(0), "ev", i);
+        }
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.dropped(), 2);
+        let details: Vec<u64> = tr.iter().map(|r| r.detail).collect();
+        assert_eq!(details, [2, 3, 4]);
+        assert!(tr.dump().contains("2 earlier records dropped"));
+    }
+
+    #[test]
+    fn filtered_lookup() {
+        let mut tr = Trace::new(16);
+        for i in 0..6u64 {
+            tr.record(t(i), ActorId(0), if i % 2 == 0 { "a" } else { "b" }, i);
+        }
+        let recent_a = tr.last_matching("a", 2);
+        assert_eq!(recent_a.len(), 2);
+        assert_eq!(recent_a[0].detail, 4);
+        assert_eq!(recent_a[1].detail, 2);
+    }
+
+    #[test]
+    fn dump_renders() {
+        let mut tr = Trace::new(4);
+        tr.record(t(7), ActorId(3), "deliver", 42);
+        let d = tr.dump();
+        assert!(d.contains("deliver"));
+        assert!(d.contains("42"));
+        assert!(d.contains("t=7.000us"));
+    }
+}

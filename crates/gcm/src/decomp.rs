@@ -1,0 +1,163 @@
+//! Flexible tiled domain decomposition (Figure 5).
+//!
+//! Tile sizes and distributions can be defined to produce long strips
+//! (vector-memory friendly) or small compact blocks (deep memory-hierarchy
+//! friendly). Tiles map one-to-one onto CommWorld ranks.
+
+use crate::tile::Tile;
+
+/// A horizontal decomposition of an `nx × ny` global domain into a
+/// `px × py` process grid. Longitude (x) is periodic; latitude (y) is
+/// bounded by walls.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Decomp {
+    pub nx: usize,
+    pub ny: usize,
+    pub px: usize,
+    pub py: usize,
+    pub halo: usize,
+}
+
+impl Decomp {
+    /// Compact-block decomposition (lower panel of Figure 5).
+    pub fn blocks(nx: usize, ny: usize, px: usize, py: usize, halo: usize) -> Decomp {
+        assert!(px >= 1 && py >= 1);
+        assert_eq!(nx % px, 0, "nx={nx} not divisible by px={px}");
+        assert_eq!(ny % py, 0, "ny={ny} not divisible by py={py}");
+        assert!(nx / px >= halo, "tile narrower than its halo");
+        assert!(ny / py >= halo, "tile shorter than its halo");
+        Decomp { nx, ny, px, py, halo }
+    }
+
+    /// Long-strip decomposition (upper panel of Figure 5): each tile spans
+    /// the full longitude circle.
+    pub fn strips(nx: usize, ny: usize, p: usize, halo: usize) -> Decomp {
+        Decomp::blocks(nx, ny, 1, p, halo)
+    }
+
+    pub fn n_ranks(&self) -> usize {
+        self.px * self.py
+    }
+
+    pub fn tile_nx(&self) -> usize {
+        self.nx / self.px
+    }
+
+    pub fn tile_ny(&self) -> usize {
+        self.ny / self.py
+    }
+
+    /// The tile owned by `rank` (row-major process grid).
+    pub fn tile(&self, rank: usize) -> Tile {
+        assert!(rank < self.n_ranks());
+        let tx = rank % self.px;
+        let ty = rank / self.px;
+        Tile {
+            rank,
+            tx,
+            ty,
+            gx0: tx * self.tile_nx(),
+            gy0: ty * self.tile_ny(),
+            nx: self.tile_nx(),
+            ny: self.tile_ny(),
+            halo: self.halo,
+        }
+    }
+
+    /// Rank of the tile at process coordinates `(tx, ty)`.
+    pub fn rank_of(&self, tx: usize, ty: usize) -> usize {
+        ty * self.px + tx
+    }
+
+    /// West neighbor (periodic).
+    pub fn west(&self, rank: usize) -> usize {
+        let t = self.tile(rank);
+        self.rank_of((t.tx + self.px - 1) % self.px, t.ty)
+    }
+
+    /// East neighbor (periodic).
+    pub fn east(&self, rank: usize) -> usize {
+        let t = self.tile(rank);
+        self.rank_of((t.tx + 1) % self.px, t.ty)
+    }
+
+    /// South neighbor, if any (walls at the domain edge).
+    pub fn south(&self, rank: usize) -> Option<usize> {
+        let t = self.tile(rank);
+        (t.ty > 0).then(|| self.rank_of(t.tx, t.ty - 1))
+    }
+
+    /// North neighbor, if any.
+    pub fn north(&self, rank: usize) -> Option<usize> {
+        let t = self.tile(rank);
+        (t.ty + 1 < self.py).then(|| self.rank_of(t.tx, t.ty + 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_way_block_decomp() {
+        // The coupled run: 128×64 over 8 endpoints as 4×2 blocks of 32×32.
+        let d = Decomp::blocks(128, 64, 4, 2, 3);
+        assert_eq!(d.n_ranks(), 8);
+        assert_eq!(d.tile_nx(), 32);
+        assert_eq!(d.tile_ny(), 32);
+        let t5 = d.tile(5); // tx=1, ty=1
+        assert_eq!((t5.tx, t5.ty), (1, 1));
+        assert_eq!((t5.gx0, t5.gy0), (32, 32));
+    }
+
+    #[test]
+    fn periodic_x_neighbors() {
+        let d = Decomp::blocks(128, 64, 4, 2, 3);
+        assert_eq!(d.west(0), 3);
+        assert_eq!(d.east(3), 0);
+        assert_eq!(d.east(0), 1);
+        assert_eq!(d.west(5), 4);
+    }
+
+    #[test]
+    fn wall_y_neighbors() {
+        let d = Decomp::blocks(128, 64, 4, 2, 3);
+        assert_eq!(d.south(0), None);
+        assert_eq!(d.north(0), Some(4));
+        assert_eq!(d.south(4), Some(0));
+        assert_eq!(d.north(4), None);
+    }
+
+    #[test]
+    fn strips_decomposition() {
+        let d = Decomp::strips(128, 64, 8, 3);
+        assert_eq!(d.tile_nx(), 128);
+        assert_eq!(d.tile_ny(), 8);
+        // A strip's west/east neighbor is itself (periodic wrap).
+        assert_eq!(d.west(2), 2);
+        assert_eq!(d.east(2), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn uneven_split_rejected() {
+        Decomp::blocks(100, 64, 3, 2, 3);
+    }
+
+    #[test]
+    fn tiles_cover_domain_disjointly() {
+        let d = Decomp::blocks(64, 32, 4, 4, 2);
+        let mut covered = vec![false; 64 * 32];
+        for r in 0..d.n_ranks() {
+            let t = d.tile(r);
+            for j in 0..t.ny {
+                for i in 0..t.nx {
+                    let g = (t.gy0 + j) * 64 + (t.gx0 + i);
+                    assert!(!covered[g], "cell covered twice");
+                    covered[g] = true;
+                }
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+    }
+}

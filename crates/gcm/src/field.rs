@@ -1,0 +1,272 @@
+//! Tile-local field storage with halo regions.
+//!
+//! A field covers a tile's interior (`nx × ny` columns) plus a halo of
+//! width `h` on all four sides, duplicating data owned by neighboring
+//! tiles (Figure 5). Indices are signed: the interior is `0..nx` /
+//! `0..ny`, the halo extends to `-h..0` and `nx..nx+h`.
+//!
+//! Storage is level-major (`k` slowest), so horizontal stencil sweeps walk
+//! contiguous memory.
+
+/// A 2-D (single-level) field with halo.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Field2 {
+    nx: usize,
+    ny: usize,
+    h: usize,
+    data: Vec<f64>,
+}
+
+/// A 3-D field with halo in the horizontal only (the vertical dimension
+/// stays within a node, §3.2).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Field3 {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    h: usize,
+    data: Vec<f64>,
+}
+
+impl Field2 {
+    pub fn new(nx: usize, ny: usize, h: usize) -> Field2 {
+        Field2 {
+            nx,
+            ny,
+            h,
+            data: vec![0.0; (nx + 2 * h) * (ny + 2 * h)],
+        }
+    }
+
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+    pub fn halo(&self) -> usize {
+        self.h
+    }
+
+    #[inline]
+    fn idx(&self, i: i64, j: i64) -> usize {
+        let h = self.h as i64;
+        debug_assert!(
+            i >= -h && i < self.nx as i64 + h && j >= -h && j < self.ny as i64 + h,
+            "index ({i},{j}) outside field with halo {h}"
+        );
+        ((j + h) as usize) * (self.nx + 2 * self.h) + (i + h) as usize
+    }
+
+    #[inline]
+    pub fn at(&self, i: i64, j: i64) -> f64 {
+        self.data[self.idx(i, j)]
+    }
+
+    #[inline]
+    pub fn set(&mut self, i: i64, j: i64, v: f64) {
+        let ix = self.idx(i, j);
+        self.data[ix] = v;
+    }
+
+    #[inline]
+    pub fn add(&mut self, i: i64, j: i64, v: f64) {
+        let ix = self.idx(i, j);
+        self.data[ix] += v;
+    }
+
+    pub fn fill(&mut self, v: f64) {
+        self.data.fill(v);
+    }
+
+    /// Interior iterator (excludes halo).
+    pub fn interior(&self) -> impl Iterator<Item = (i64, i64)> + '_ {
+        let nx = self.nx as i64;
+        (0..self.ny as i64).flat_map(move |j| (0..nx).map(move |i| (i, j)))
+    }
+
+    /// Raw storage (tests, serialization).
+    pub fn raw(&self) -> &[f64] {
+        &self.data
+    }
+
+    pub fn raw_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Sum over the interior.
+    pub fn interior_sum(&self) -> f64 {
+        self.interior().map(|(i, j)| self.at(i, j)).sum()
+    }
+
+    /// Max |v| over the interior.
+    pub fn interior_max_abs(&self) -> f64 {
+        self.interior()
+            .map(|(i, j)| self.at(i, j).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl Field3 {
+    pub fn new(nx: usize, ny: usize, nz: usize, h: usize) -> Field3 {
+        Field3 {
+            nx,
+            ny,
+            nz,
+            h,
+            data: vec![0.0; (nx + 2 * h) * (ny + 2 * h) * nz],
+        }
+    }
+
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+    pub fn nz(&self) -> usize {
+        self.nz
+    }
+    pub fn halo(&self) -> usize {
+        self.h
+    }
+
+    #[inline]
+    fn idx(&self, i: i64, j: i64, k: usize) -> usize {
+        let h = self.h as i64;
+        debug_assert!(
+            i >= -h && i < self.nx as i64 + h && j >= -h && j < self.ny as i64 + h && k < self.nz,
+            "index ({i},{j},{k}) outside field ({}x{}x{} halo {h})",
+            self.nx,
+            self.ny,
+            self.nz
+        );
+        (k * (self.ny + 2 * self.h) + (j + h) as usize) * (self.nx + 2 * self.h) + (i + h) as usize
+    }
+
+    #[inline]
+    pub fn at(&self, i: i64, j: i64, k: usize) -> f64 {
+        self.data[self.idx(i, j, k)]
+    }
+
+    #[inline]
+    pub fn set(&mut self, i: i64, j: i64, k: usize, v: f64) {
+        let ix = self.idx(i, j, k);
+        self.data[ix] = v;
+    }
+
+    #[inline]
+    pub fn add(&mut self, i: i64, j: i64, k: usize, v: f64) {
+        let ix = self.idx(i, j, k);
+        self.data[ix] += v;
+    }
+
+    pub fn fill(&mut self, v: f64) {
+        self.data.fill(v);
+    }
+
+    /// A single horizontal level as an owned `Field2` (diagnostics).
+    pub fn level(&self, k: usize) -> Field2 {
+        let mut f = Field2::new(self.nx, self.ny, self.h);
+        let h = self.h as i64;
+        for j in -h..self.ny as i64 + h {
+            for i in -h..self.nx as i64 + h {
+                f.set(i, j, self.at(i, j, k));
+            }
+        }
+        f
+    }
+
+    pub fn interior(&self) -> impl Iterator<Item = (i64, i64, usize)> + '_ {
+        let nx = self.nx as i64;
+        let ny = self.ny as i64;
+        (0..self.nz)
+            .flat_map(move |k| (0..ny).flat_map(move |j| (0..nx).map(move |i| (i, j, k))))
+    }
+
+    pub fn interior_sum(&self) -> f64 {
+        self.interior().map(|(i, j, k)| self.at(i, j, k)).sum()
+    }
+
+    pub fn interior_max_abs(&self) -> f64 {
+        self.interior()
+            .map(|(i, j, k)| self.at(i, j, k).abs())
+            .fold(0.0, f64::max)
+    }
+
+    pub fn raw(&self) -> &[f64] {
+        &self.data
+    }
+
+    pub fn raw_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Check every value is finite (stability tripwire).
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field2_halo_addressing() {
+        let mut f = Field2::new(4, 3, 2);
+        f.set(-2, -2, 1.0);
+        f.set(5, 4, 2.0);
+        f.set(0, 0, 3.0);
+        assert_eq!(f.at(-2, -2), 1.0);
+        assert_eq!(f.at(5, 4), 2.0);
+        assert_eq!(f.at(0, 0), 3.0);
+        assert_eq!(f.raw().len(), 8 * 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside field")]
+    #[cfg(debug_assertions)]
+    fn field2_out_of_bounds_panics() {
+        let f = Field2::new(4, 3, 1);
+        let _ = f.at(5, 0);
+    }
+
+    #[test]
+    fn field3_level_extraction() {
+        let mut f = Field3::new(3, 2, 4, 1);
+        f.set(1, 1, 2, 42.0);
+        f.set(-1, 0, 2, 7.0);
+        let lvl = f.level(2);
+        assert_eq!(lvl.at(1, 1), 42.0);
+        assert_eq!(lvl.at(-1, 0), 7.0);
+        assert_eq!(f.level(1).at(1, 1), 0.0);
+    }
+
+    #[test]
+    fn interior_iteration_counts() {
+        let f = Field2::new(4, 3, 2);
+        assert_eq!(f.interior().count(), 12);
+        let f3 = Field3::new(4, 3, 5, 1);
+        assert_eq!(f3.interior().count(), 60);
+    }
+
+    #[test]
+    fn sums_ignore_halo() {
+        let mut f = Field2::new(2, 2, 1);
+        f.fill(9.0); // fills halo too
+        for (i, j) in [(0i64, 0i64), (1, 0), (0, 1), (1, 1)] {
+            f.set(i, j, 1.0);
+        }
+        assert_eq!(f.interior_sum(), 4.0);
+        assert_eq!(f.interior_max_abs(), 1.0);
+    }
+
+    #[test]
+    fn finite_check() {
+        let mut f = Field3::new(2, 2, 1, 0);
+        assert!(f.all_finite());
+        f.set(0, 0, 0, f64::NAN);
+        assert!(!f.all_finite());
+    }
+}

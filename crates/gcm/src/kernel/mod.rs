@@ -1,0 +1,171 @@
+//! The PS-phase numerical kernel (Figure 6): tendency evaluation,
+//! hydrostatic pressure, and Adams–Bashforth time stepping.
+//!
+//! All kernels are formulated "to compute on a single tile at a time"
+//! (§4) and accept an *extension* parameter: with halo width 3 and
+//! 3×3-point stencils, tendencies can be **overcomputed** on a ring of
+//! halo cells so that a single exchange per time step suffices — the
+//! paper's key PS-phase communication optimization.
+
+pub mod gterms;
+pub mod hydrostatic;
+pub mod timestep;
+pub mod vertical;
+
+use crate::config::ModelConfig;
+use crate::field::{Field2, Field3};
+use crate::tile::Tile;
+
+/// Per-tile geometry cache: row-indexed metric factors (the grid is
+/// zonally symmetric, so geometry depends on the latitude row only).
+/// Rows are indexed by *local* j including the halo.
+#[derive(Clone, Debug)]
+pub struct TileGeom {
+    h: i64,
+    /// dx at cell centres / u-points (m).
+    pub dxc: Vec<f64>,
+    /// dx at south faces / v-points (m).
+    pub dxs: Vec<f64>,
+    /// dy (m), uniform.
+    pub dy: f64,
+    /// Coriolis parameter at centres (u latitudes).
+    pub f_c: Vec<f64>,
+    /// Coriolis parameter at south faces (v latitudes).
+    pub f_s: Vec<f64>,
+    /// tan(lat)/R at centres.
+    pub tanr_c: Vec<f64>,
+    /// tan(lat)/R at south faces.
+    pub tanr_s: Vec<f64>,
+    /// Horizontal cell area (m²).
+    pub area: Vec<f64>,
+    /// Level thicknesses.
+    pub dz: Vec<f64>,
+}
+
+impl TileGeom {
+    pub fn build(cfg: &ModelConfig, tile: &Tile) -> TileGeom {
+        let h = tile.halo as i64;
+        let ny = tile.ny as i64;
+        let grid = &cfg.grid;
+        let clampj = |j: i64| tile.gy(j).clamp(-1, grid.ny as i64);
+        let rows: Vec<i64> = (-h..ny + h).collect();
+        TileGeom {
+            h,
+            dxc: rows.iter().map(|&j| grid.dx_c(clampj(j))).collect(),
+            dxs: rows.iter().map(|&j| grid.dx_s(clampj(j))).collect(),
+            dy: grid.dy(),
+            f_c: rows.iter().map(|&j| grid.coriolis_c(clampj(j))).collect(),
+            f_s: rows.iter().map(|&j| grid.coriolis_s(clampj(j))).collect(),
+            tanr_c: rows
+                .iter()
+                .map(|&j| grid.metric_tan_over_r(clampj(j)))
+                .collect(),
+            tanr_s: rows
+                .iter()
+                .map(|&j| {
+                    let gj = clampj(j);
+                    grid.lat_s(gj).tan() / grid.radius
+                })
+                .collect(),
+            area: rows.iter().map(|&j| grid.cell_area(clampj(j))).collect(),
+            dz: grid.dz.clone(),
+        }
+    }
+
+    #[inline]
+    fn row(&self, j: i64) -> usize {
+        (j + self.h) as usize
+    }
+
+    #[inline]
+    pub fn dxc_at(&self, j: i64) -> f64 {
+        self.dxc[self.row(j)]
+    }
+    #[inline]
+    pub fn dxs_at(&self, j: i64) -> f64 {
+        self.dxs[self.row(j)]
+    }
+    #[inline]
+    pub fn f_c_at(&self, j: i64) -> f64 {
+        self.f_c[self.row(j)]
+    }
+    #[inline]
+    pub fn f_s_at(&self, j: i64) -> f64 {
+        self.f_s[self.row(j)]
+    }
+    #[inline]
+    pub fn tanr_c_at(&self, j: i64) -> f64 {
+        self.tanr_c[self.row(j)]
+    }
+    #[inline]
+    pub fn tanr_s_at(&self, j: i64) -> f64 {
+        self.tanr_s[self.row(j)]
+    }
+    #[inline]
+    pub fn area_at(&self, j: i64) -> f64 {
+        self.area[self.row(j)]
+    }
+}
+
+/// Scratch fields reused across steps.
+#[derive(Clone, Debug)]
+pub struct Workspace {
+    /// Current tendencies.
+    pub gu: Field3,
+    pub gv: Field3,
+    pub gt: Field3,
+    pub gs: Field3,
+    /// Provisional (pre-projection) velocities.
+    pub ustar: Field3,
+    pub vstar: Field3,
+    /// Depth-integrated divergence of the provisional flow (m³/s).
+    pub rhs: Field2,
+}
+
+impl Workspace {
+    pub fn new(cfg: &ModelConfig, tile: &Tile) -> Workspace {
+        let (nx, ny, nz, h) = (tile.nx, tile.ny, cfg.grid.nz, tile.halo);
+        Workspace {
+            gu: Field3::new(nx, ny, nz, h),
+            gv: Field3::new(nx, ny, nz, h),
+            gt: Field3::new(nx, ny, nz, h),
+            gs: Field3::new(nx, ny, nz, h),
+            ustar: Field3::new(nx, ny, nz, h),
+            vstar: Field3::new(nx, ny, nz, h),
+            rhs: Field2::new(nx, ny, h),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomp::Decomp;
+
+    #[test]
+    fn geometry_rows_cover_halo() {
+        let d = Decomp::blocks(16, 8, 2, 2, 3);
+        let cfg = ModelConfig::test_ocean(16, 8, 3, d);
+        let t = d.tile(3); // north-east tile
+        let g = TileGeom::build(&cfg, &t);
+        // Halo rows index cleanly and are finite.
+        assert!(g.dxc_at(-3) > 0.0);
+        assert!(g.dxc_at(t.ny as i64 + 2) > 0.0);
+        assert!(g.f_c_at(0).is_finite());
+        // Northern tile has larger |f| than at its south edge.
+        assert!(g.f_c_at(t.ny as i64 - 1).abs() > g.f_c_at(0).abs());
+    }
+
+    #[test]
+    fn geometry_matches_global_grid() {
+        let d = Decomp::blocks(16, 8, 2, 2, 2);
+        let cfg = ModelConfig::test_ocean(16, 8, 3, d);
+        let t = d.tile(2); // ty = 1
+        let g = TileGeom::build(&cfg, &t);
+        for j in 0..t.ny as i64 {
+            assert_eq!(g.dxc_at(j), cfg.grid.dx_c(t.gy(j)));
+            assert_eq!(g.f_s_at(j), cfg.grid.coriolis_s(t.gy(j)));
+            assert_eq!(g.area_at(j), cfg.grid.cell_area(t.gy(j)));
+        }
+    }
+}

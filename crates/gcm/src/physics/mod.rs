@@ -1,0 +1,230 @@
+//! Physics packages: the intermediate-complexity forcing of the two
+//! isomorphs (§5: "an intermediate complexity atmospheric physics package
+//! … designed for exploratory climate simulations", after Molteni's
+//! 5-level scheme) plus the ocean surface forcing.
+//!
+//! Forcing terms are added to the `G` tendencies (and thus ride through
+//! the Adams–Bashforth extrapolation like every other term); adjustment
+//! processes (convection, large-scale condensation) act on the updated
+//! state at the end of the step.
+
+pub mod atmos;
+pub mod ocean;
+
+use crate::config::{ModelConfig, SurfaceForcing};
+use crate::eos::FluidKind;
+use crate::field::Field2;
+use crate::flops::{self, Phase};
+use crate::kernel::{TileGeom, Workspace};
+use crate::state::{Masks, ModelState};
+use crate::tile::Tile;
+
+/// Boundary fields supplied by the coupler (or filled from climatology).
+#[derive(Clone, Debug)]
+pub struct BoundaryFields {
+    /// Sea-surface temperature seen by the atmosphere (K).
+    pub sst: Field2,
+    /// Surface wind stress seen by the ocean (N/m²).
+    pub taux: Field2,
+    pub tauy: Field2,
+    /// Net downward surface heat flux into the ocean (W/m²).
+    pub qflux: Field2,
+}
+
+impl BoundaryFields {
+    pub fn new(tile: &Tile) -> BoundaryFields {
+        let f = || Field2::new(tile.nx, tile.ny, tile.halo);
+        BoundaryFields {
+            sst: f(),
+            taux: f(),
+            tauy: f(),
+            qflux: f(),
+        }
+    }
+}
+
+/// Add the fluid-appropriate forcing to the tendencies in `ws`.
+#[allow(clippy::too_many_arguments)]
+pub fn apply_forcing(
+    cfg: &ModelConfig,
+    tile: &Tile,
+    geom: &TileGeom,
+    masks: &Masks,
+    state: &ModelState,
+    bc: &BoundaryFields,
+    ws: &mut Workspace,
+    ext: i64,
+) {
+    if cfg.forcing == SurfaceForcing::None {
+        return;
+    }
+    match cfg.eos.kind {
+        FluidKind::Atmosphere => atmos::forcing(cfg, tile, geom, masks, state, bc, ws, ext),
+        FluidKind::Ocean => ocean::forcing(cfg, tile, geom, masks, state, bc, ws, ext),
+    }
+}
+
+/// End-of-step adjustments on the updated state (interior only).
+pub fn post_adjust(cfg: &ModelConfig, tile: &Tile, masks: &Masks, state: &mut ModelState) {
+    convective_adjustment(cfg, tile, masks, state);
+    if cfg.eos.kind == FluidKind::Atmosphere && cfg.forcing != SurfaceForcing::None {
+        atmos::condensation(cfg, tile, masks, state);
+    }
+}
+
+/// Flops per wet cell of one adjustment sweep.
+pub const CONVECT_FLOPS_PER_CELL: u64 = 12;
+
+/// Enforce static stability column by column: statically unstable
+/// neighbouring cells are mixed to their thickness-weighted mean
+/// (potential temperature and the second tracer together). A few sweeps
+/// per step suffice — convection is re-triggered next step if needed.
+pub fn convective_adjustment(cfg: &ModelConfig, tile: &Tile, masks: &Masks, state: &mut ModelState) {
+    let (nx, ny) = (tile.nx as i64, tile.ny as i64);
+    let mut cells = 0u64;
+    // Complete adjustment via group merging: walk away from the coupling
+    // interface keeping a stack of fully-mixed layer groups; whenever the
+    // newest group is unstably stratified against the one above it on the
+    // stack, merge them (thickness-weighted) and re-check. One pass
+    // stabilizes any column exactly.
+    struct Group {
+        k_first: usize,
+        k_last: usize,
+        t_sum: f64, // Σ θ·dz
+        s_sum: f64,
+        w: f64, // Σ dz
+    }
+    let mut stack: Vec<Group> = Vec::new();
+    for j in 0..ny {
+        for i in 0..nx {
+            let kmax = masks.kmax.at(i, j) as usize;
+            if kmax < 2 {
+                continue;
+            }
+            stack.clear();
+            for k in 0..kmax {
+                let dz = cfg.grid.dz[k];
+                stack.push(Group {
+                    k_first: k,
+                    k_last: k,
+                    t_sum: state.theta.at(i, j, k) * dz,
+                    s_sum: state.s.at(i, j, k) * dz,
+                    w: dz,
+                });
+                cells += 1;
+                // Merge while the top two stack entries are unstable at
+                // their shared interface.
+                while stack.len() >= 2 {
+                    let lower = &stack[stack.len() - 1];
+                    let upper = &stack[stack.len() - 2];
+                    let (tu, su) = (upper.t_sum / upper.w, upper.s_sum / upper.w);
+                    let (tl, sl) = (lower.t_sum / lower.w, lower.s_sum / lower.w);
+                    let b_near = cfg.eos.buoyancy(tu, su, upper.k_last);
+                    let b_far = cfg.eos.buoyancy(tl, sl, lower.k_first);
+                    if cfg.eos.unstable(b_near, b_far) {
+                        let lower = stack.pop().unwrap();
+                        let upper = stack.last_mut().unwrap();
+                        upper.k_last = lower.k_last;
+                        upper.t_sum += lower.t_sum;
+                        upper.s_sum += lower.s_sum;
+                        upper.w += lower.w;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            // Write the mixed values back.
+            for g in &stack {
+                if g.k_first == g.k_last {
+                    continue;
+                }
+                let t = g.t_sum / g.w;
+                let s = g.s_sum / g.w;
+                for k in g.k_first..=g.k_last {
+                    state.theta.set(i, j, k, t);
+                    state.s.set(i, j, k, s);
+                }
+            }
+        }
+    }
+    flops::add(Phase::Ps, cells * CONVECT_FLOPS_PER_CELL);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomp::Decomp;
+    use crate::state::ModelState;
+    use crate::topography::Topography;
+
+    #[test]
+    fn convective_adjustment_stabilizes_ocean_column() {
+        let d = Decomp::blocks(8, 4, 1, 1, 3);
+        let cfg = ModelConfig::test_ocean(8, 4, 4, d);
+        let tile = d.tile(0);
+        let topo = Topography::aquaplanet(&cfg.grid);
+        let masks = Masks::build(&cfg, &tile, &topo);
+        let mut st = ModelState::initial(&cfg, &tile, &masks);
+        // Make one column violently unstable: cold on top of warm.
+        st.s.fill(cfg.eos.s_ref);
+        for k in 0..4 {
+            st.theta.set(2, 2, k, 5.0 + 3.0 * k as f64); // warm below
+        }
+        convective_adjustment(&cfg, &tile, &masks, &mut st);
+        // After adjustment the column must be (weakly) stable.
+        for k in 0..3usize {
+            let b0 = cfg.eos.buoyancy(st.theta.at(2, 2, k), st.s.at(2, 2, k), k);
+            let b1 = cfg
+                .eos
+                .buoyancy(st.theta.at(2, 2, k + 1), st.s.at(2, 2, k + 1), k + 1);
+            assert!(
+                !cfg.eos.unstable(b0, b1),
+                "still unstable at k={k}: {b0} vs {b1}"
+            );
+        }
+    }
+
+    #[test]
+    fn adjustment_conserves_heat_content() {
+        let d = Decomp::blocks(8, 4, 1, 1, 3);
+        let cfg = ModelConfig::test_ocean(8, 4, 4, d);
+        let tile = d.tile(0);
+        let topo = Topography::aquaplanet(&cfg.grid);
+        let masks = Masks::build(&cfg, &tile, &topo);
+        let mut st = ModelState::initial(&cfg, &tile, &masks);
+        for k in 0..4 {
+            st.theta.set(1, 1, k, 20.0 - 4.0 * k as f64);
+            st.theta.set(2, 2, k, 5.0 + 3.0 * k as f64);
+        }
+        let heat = |st: &ModelState| -> f64 {
+            let mut h = 0.0;
+            for (i, j, k) in st.theta.interior() {
+                h += st.theta.at(i, j, k) * cfg.grid.dz[k];
+            }
+            h
+        };
+        let before = heat(&st);
+        convective_adjustment(&cfg, &tile, &masks, &mut st);
+        let after = heat(&st);
+        assert!(
+            (before - after).abs() < 1e-9 * before.abs(),
+            "heat not conserved: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn stable_column_untouched() {
+        let d = Decomp::blocks(8, 4, 1, 1, 3);
+        let cfg = ModelConfig::test_ocean(8, 4, 4, d);
+        let tile = d.tile(0);
+        let topo = Topography::aquaplanet(&cfg.grid);
+        let masks = Masks::build(&cfg, &tile, &topo);
+        let mut st = ModelState::initial(&cfg, &tile, &masks);
+        let before = st.theta.clone();
+        convective_adjustment(&cfg, &tile, &masks, &mut st);
+        // The initial profile is stable, so nothing changes.
+        for (i, j, k) in before.interior() {
+            assert_eq!(st.theta.at(i, j, k), before.at(i, j, k));
+        }
+    }
+}

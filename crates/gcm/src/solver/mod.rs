@@ -1,0 +1,14 @@
+//! The DS-phase solver (Figure 6): the two-dimensional elliptic equation
+//! for the surface pressure, `∇h·(H ∇h ps) = rhs`, discretized with
+//! symmetric face transmissibilities ([`elliptic`]) and solved with a
+//! Jacobi-preconditioned conjugate-gradient method ([`cg`]) whose
+//! communication pattern matches the paper exactly: one two-field
+//! width-1 halo exchange and two global sums per iteration.
+
+pub mod cg;
+pub mod elliptic;
+pub mod nonhydro;
+
+pub use cg::{CgResult, CgSolver};
+pub use elliptic::EllipticCoeffs;
+pub use nonhydro::NonHydroSolver;

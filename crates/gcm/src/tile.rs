@@ -1,0 +1,62 @@
+//! Tile descriptors: the unit of computation and parallelism (§4).
+
+/// A tile of the horizontally-decomposed domain, extending over the full
+/// depth of the model (Figure 4: "the vertical dimension stays within a
+/// single node").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Tile {
+    /// This tile's rank (its owner in the CommWorld).
+    pub rank: usize,
+    /// Tile coordinates in the process grid.
+    pub tx: usize,
+    pub ty: usize,
+    /// Global index of this tile's first interior column.
+    pub gx0: usize,
+    pub gy0: usize,
+    /// Interior size.
+    pub nx: usize,
+    pub ny: usize,
+    /// Halo width.
+    pub halo: usize,
+}
+
+impl Tile {
+    /// Global x index of local column `i` (wrapping handled by caller for
+    /// halo indices).
+    pub fn gx(&self, i: i64) -> i64 {
+        self.gx0 as i64 + i
+    }
+
+    /// Global y index of local row `j`.
+    pub fn gy(&self, j: i64) -> i64 {
+        self.gy0 as i64 + j
+    }
+
+    /// Number of interior columns.
+    pub fn columns(&self) -> usize {
+        self.nx * self.ny
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_indexing() {
+        let t = Tile {
+            rank: 3,
+            tx: 1,
+            ty: 1,
+            gx0: 32,
+            gy0: 16,
+            nx: 32,
+            ny: 16,
+            halo: 3,
+        };
+        assert_eq!(t.gx(0), 32);
+        assert_eq!(t.gx(-3), 29);
+        assert_eq!(t.gy(15), 31);
+        assert_eq!(t.columns(), 512);
+    }
+}

@@ -1,0 +1,80 @@
+//! Least-squares fitting (behind the paper's global-sum fit
+//! `t = 4.67·log2 N − 0.95` µs, §4.2).
+
+/// Ordinary least squares for `y = a·x + b`; returns `(a, b)`.
+pub fn linear(points: &[(f64, f64)]) -> (f64, f64) {
+    assert!(points.len() >= 2, "need at least two points");
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    assert!(denom.abs() > 1e-300, "degenerate x values");
+    let a = (n * sxy - sx * sy) / denom;
+    (a, (sy - a * sx) / n)
+}
+
+/// Fit `t = C·log2(N) + B` to `(N, t)` latency measurements.
+pub fn log2_fit(points: &[(u32, f64)]) -> (f64, f64) {
+    let xs: Vec<(f64, f64)> = points
+        .iter()
+        .map(|&(n, t)| ((n as f64).log2(), t))
+        .collect();
+    linear(&xs)
+}
+
+/// Coefficient of determination R² of a linear fit.
+pub fn r_squared(points: &[(f64, f64)], a: f64, b: f64) -> f64 {
+    let n = points.len() as f64;
+    let mean = points.iter().map(|p| p.1).sum::<f64>() / n;
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - mean).powi(2)).sum();
+    let ss_res: f64 = points.iter().map(|p| (p.1 - (a * p.0 + b)).powi(2)).sum();
+    if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_paper_gsum_fit() {
+        // §4.2's measured latencies: 4.0/8.3/12.8/18.2 µs for
+        // 2/4/8/16-way; least squares gives t = 4.67·log2 N − 0.95.
+        let pts = [(2u32, 4.0), (4, 8.3), (8, 12.8), (16, 18.2)];
+        let (c, b) = log2_fit(&pts);
+        assert!((c - 4.67).abs() < 0.06, "C = {c}");
+        assert!((b + 0.95).abs() < 0.12, "B = {b}");
+    }
+
+    #[test]
+    fn exact_line_recovered() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 - 7.0)).collect();
+        let (a, b) = linear(&pts);
+        assert!((a - 3.0).abs() < 1e-12);
+        assert!((b + 7.0).abs() < 1e-12);
+        assert!((r_squared(&pts, a, b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_squared_degrades_with_noise() {
+        let clean: Vec<(f64, f64)> = (0..20).map(|i| (i as f64, 2.0 * i as f64)).collect();
+        let noisy: Vec<(f64, f64)> = clean
+            .iter()
+            .map(|&(x, y)| (x, y + if x as i64 % 2 == 0 { 5.0 } else { -5.0 }))
+            .collect();
+        let (a, b) = linear(&noisy);
+        let r2 = r_squared(&noisy, a, b);
+        assert!(r2 < 1.0 && r2 > 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_single_point() {
+        linear(&[(1.0, 1.0)]);
+    }
+}

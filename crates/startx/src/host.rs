@@ -1,0 +1,95 @@
+//! Host-side PCI and memory characteristics (§2.1).
+//!
+//! The Hyades nodes are dual 400-MHz Pentium II SMPs (Intel 82801AB-class
+//! chipset, 512 MB of PC100 SDRAM). The paper reports the I/O
+//! characteristics that "directly govern the performance of interprocessor
+//! communication":
+//!
+//! * 8-byte uncached mmap **read** of a PCI device register: **0.93 µs**;
+//! * minimum gap between back-to-back 8-byte mmap **writes**: **0.18 µs**;
+//! * sustained PCI **DMA** above **120 MByte/s**, with a VI-mode payload
+//!   transfer peak of **110 MByte/s** (§2.3);
+//! * cached memory copies run far faster than PIO — we model cached memcpy at
+//!   800 MByte/s, a representative figure for cache-resident staging copies
+//!   on a 400-MHz PII, used for the VI-region
+//!   staging copies.
+
+use crate::pio::PioCosts;
+use hyades_des::SimDuration;
+
+/// Host platform parameters; defaults are the paper's measurements.
+#[derive(Clone, Copy, Debug)]
+pub struct HostParams {
+    /// PIO register access cost model.
+    pub pio: PioCosts,
+    /// Raw PCI DMA rate the chipset can sustain (paper: >120 MByte/s).
+    pub pci_dma_mbyte_per_sec: f64,
+    /// Effective VI-mode payload rate (paper: 110 MByte/s peak), the
+    /// bottleneck once packetization and descriptor overhead are paid.
+    pub vi_payload_mbyte_per_sec: f64,
+    /// Cached memcpy bandwidth for staging copies into/out of the VI region.
+    pub memcpy_mbyte_per_sec: f64,
+    /// Cost of kicking a DMA engine: one mmap write to a doorbell register
+    /// plus descriptor setup.
+    pub dma_kick: SimDuration,
+    /// Cost of polling DMA/rx status: one mmap read.
+    pub status_poll: SimDuration,
+}
+
+impl Default for HostParams {
+    fn default() -> Self {
+        let pio = PioCosts::default();
+        HostParams {
+            pio,
+            pci_dma_mbyte_per_sec: 122.0,
+            vi_payload_mbyte_per_sec: 110.0,
+            memcpy_mbyte_per_sec: 800.0,
+            dma_kick: SimDuration::from_us_f64(0.18 * 2.0), // doorbell + descriptor
+            status_poll: SimDuration::from_us_f64(0.93),
+        }
+    }
+}
+
+impl HostParams {
+    /// Time for the CPU to copy `bytes` between cached memory regions.
+    pub fn memcpy_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::for_bytes_at(bytes, self.memcpy_mbyte_per_sec)
+    }
+
+    /// Time for the DMA engine to move `bytes` of payload across PCI in VI
+    /// mode.
+    pub fn vi_dma_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::for_bytes_at(bytes, self.vi_payload_mbyte_per_sec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let h = HostParams::default();
+        assert!((h.status_poll.as_us_f64() - 0.93).abs() < 1e-9);
+        assert!((h.vi_payload_mbyte_per_sec - 110.0).abs() < 1e-9);
+        assert!(h.pci_dma_mbyte_per_sec > 120.0);
+    }
+
+    #[test]
+    fn memcpy_faster_than_pio() {
+        let h = HostParams::default();
+        // Copying 8 bytes through cache is far cheaper than one uncached
+        // read — the disparity VI mode exploits (§2.3).
+        assert!(h.memcpy_time(8) < h.status_poll / 10);
+    }
+
+    #[test]
+    fn dma_time_scales_linearly() {
+        let h = HostParams::default();
+        let t1 = h.vi_dma_time(1024);
+        let t2 = h.vi_dma_time(2048);
+        assert_eq!(t2, t1 * 2);
+        // 110 bytes at 110 MB/s is 1 us.
+        assert_eq!(h.vi_dma_time(110), SimDuration::from_us(1));
+    }
+}

@@ -1,0 +1,37 @@
+//! Production planning for the paper's flagship experiment: how long does
+//! a century-long coupled simulation take on Hyades, and what does the
+//! machine cost per delivered simulated year? (E10 + E13.)
+//!
+//! ```sh
+//! cargo run --release --example century_planner
+//! ```
+
+use hyades::experiments::century::{estimate, ocean_1deg_model, OCEAN_STEPS_PER_YEAR};
+use hyades::perf::model::paper_atmosphere;
+
+fn main() {
+    println!("{}", hyades::experiments::century::run());
+    println!("{}", hyades::experiments::economics::run());
+
+    // Sensitivity: how the century wall time responds to the knobs a
+    // group planning a run would actually turn.
+    let e = estimate();
+    println!("sensitivity of the coupled century ({:.1} days baseline):", e.coupled_days);
+    // Solver iterations on the 1-degree ocean.
+    for ni in [100.0, 150.0, 250.0] {
+        let o = ocean_1deg_model();
+        let days = o.t_run(OCEAN_STEPS_PER_YEAR, ni) * 100.0 / 86_400.0;
+        println!("  ocean Ni = {ni:>5.0}: ocean century {days:6.1} days");
+    }
+    // Atmospheric solver iterations.
+    for ni in [40.0, 60.0, 90.0] {
+        let a = paper_atmosphere();
+        let days = a.t_run(77_760, ni) * 100.0 / 86_400.0;
+        println!("  atmos Ni = {ni:>5.0}: atmos century {days:6.1} days");
+    }
+    println!(
+        "\nThe atmosphere's DS share grows linearly in Ni — the solver tolerance is\n\
+         the single biggest production knob, which is why the paper counts the DS\n\
+         phase's communication so carefully (Figure 12)."
+    );
+}

@@ -1,0 +1,67 @@
+//! A climate atlas from a spun-up coupled run: the analyses a climate
+//! scientist reads off the model the paper built its cluster for —
+//! zonal-mean winds and temperature, the meridional overturning
+//! streamfunction, and poleward heat transport.
+//!
+//! ```sh
+//! cargo run --release --example climate_atlas -- [steps]
+//! ```
+
+use hyades::gcm::diagnostics::{
+    overturning_streamfunction, poleward_heat_transport, zonal_mean,
+};
+use hyades::scenario::small_coupled_scenario;
+use hyades_comms::SerialWorld;
+
+fn main() {
+    let steps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400);
+
+    println!("spinning up the coupled model ({steps} steps)...\n");
+    let mut c = small_coupled_scenario(32, 16, 4);
+    let mut wa = SerialWorld;
+    let mut wo = SerialWorld;
+    for _ in 0..steps {
+        let (sa, so) = c.step(&mut wa, &mut wo);
+        assert!(sa.cg_converged && so.cg_converged);
+    }
+
+    println!("=== zonal-mean atmosphere (lat, u_sfc m/s, u_upper m/s, theta_sfc K) ===");
+    let u0 = zonal_mean(&c.atmos, &c.atmos.state.u, 0);
+    let u3 = zonal_mean(&c.atmos, &c.atmos.state.u, 3);
+    let t0 = zonal_mean(&c.atmos, &c.atmos.state.theta, 0);
+    for ((a, b), d) in u0.iter().zip(&u3).zip(&t0) {
+        println!("{:7.1}  {:8.3}  {:8.3}  {:8.2}", a.0, a.1, b.1, d.1);
+    }
+
+    println!("\n=== ocean meridional overturning streamfunction (Sv) ===");
+    let psi = overturning_streamfunction(&c.ocean);
+    let nz = c.ocean.cfg.grid.nz;
+    print!("   lat \\ k ");
+    for k in (0..=nz).step_by(3) {
+        print!("{k:>9}");
+    }
+    println!();
+    for (j, row) in psi.iter().enumerate() {
+        let lat = c.ocean.cfg.grid.lat_s(j as i64).to_degrees();
+        print!("{lat:9.1} ");
+        for k in (0..=nz).step_by(3) {
+            print!("{:9.2}", row[k]);
+        }
+        println!();
+    }
+
+    println!("\n=== poleward heat transport (PW) ===");
+    println!("{:>9}  {:>10}  {:>10}", "lat", "ocean", "atmosphere");
+    let ho = poleward_heat_transport(&c.ocean);
+    let ha = poleward_heat_transport(&c.atmos);
+    for (o, a) in ho.iter().zip(&ha) {
+        println!("{:9.1}  {:10.3}  {:10.3}", o.0, o.1, a.1);
+    }
+    println!(
+        "\n(the structure to look for: surface westerlies with an upper-level jet,\n\
+         wind-driven overturning cells, and poleward heat transport in both fluids)"
+    );
+}

@@ -1,0 +1,86 @@
+//! Non-hydrostatic deep convection — the process study behind the paper's
+//! model-versatility claim (§3: the kernel applies to "non-hydrostatic
+//! rotating fluid dynamics"; Marshall, Jones & Hill 1998 used exactly this
+//! configuration for open-ocean deep convection "chimneys").
+//!
+//! A small ocean domain is cooled over a central surface patch. In
+//! hydrostatic mode the instability is handled by convective adjustment
+//! alone; in non-hydrostatic mode the model resolves the vertical motion:
+//! prognostic `w` with a 3-D pressure solve. The example runs both and
+//! compares the resulting vertical velocities and mixed-layer structure.
+//!
+//! ```sh
+//! cargo run --release --example deep_convection -- [steps]
+//! ```
+
+use hyades::gcm::config::{ModelConfig, SurfaceForcing};
+use hyades::gcm::decomp::Decomp;
+use hyades::gcm::driver::Model;
+use hyades_comms::SerialWorld;
+
+fn build(nonhydro: bool) -> Model {
+    let d = Decomp::blocks(16, 8, 1, 1, 3);
+    let mut cfg = ModelConfig::test_ocean(16, 8, 6, d);
+    cfg.forcing = SurfaceForcing::Coupled; // flux-driven surface
+    cfg.nonhydrostatic = nonhydro;
+    cfg.dt = 1800.0;
+    let mut m = Model::new(cfg, 0);
+    // Strong cooling patch in the domain centre (a winter storm over a
+    // preconditioned gyre, the classic chimney setup).
+    for j in 0..8i64 {
+        for i in 0..16i64 {
+            let in_patch = (4..12).contains(&i) && (2..6).contains(&j);
+            m.bc.qflux.set(i, j, if in_patch { -800.0 } else { 0.0 });
+        }
+    }
+    m
+}
+
+fn main() {
+    let steps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(96); // two simulated days
+
+    println!("deep-convection chimney: 800 W/m2 cooling patch, {steps} steps\n");
+    for nonhydro in [false, true] {
+        let mut m = build(nonhydro);
+        let mut w = SerialWorld;
+        let mut nh_iters = 0usize;
+        for _ in 0..steps {
+            let s = m.step(&mut w);
+            assert!(s.cg_converged, "solver diverged");
+            nh_iters = s.nh_iterations;
+        }
+        let wmax = m.state.w.interior_max_abs();
+        // Mixed-layer depth proxy: how deep the patch-centre column has
+        // homogenized (|theta(k) - theta(0)| < 0.05 K).
+        let (ci, cj) = (8i64, 4i64);
+        let mut ml_depth = 0.0;
+        for k in 0..6 {
+            if (m.state.theta.at(ci, cj, k) - m.state.theta.at(ci, cj, 0)).abs() < 0.05 {
+                ml_depth += m.cfg.grid.dz[k];
+            } else {
+                break;
+            }
+        }
+        println!(
+            "{:<16} max |w| = {:.2e} m/s   mixed layer ~{:4.0} m   centre SST {:+.2} C{}",
+            if nonhydro { "non-hydrostatic" } else { "hydrostatic" },
+            wmax,
+            ml_depth,
+            m.state.theta.at(ci, cj, 0),
+            if nonhydro {
+                format!("   (3-D solver: {nh_iters} iters/step)")
+            } else {
+                String::new()
+            }
+        );
+        assert!(m.state.is_finite());
+    }
+    println!(
+        "\nBoth modes mix the chimney column; the non-hydrostatic run carries the\n\
+         overturning in resolved w with the 3-D pressure keeping the flow\n\
+         non-divergent — the capability the paper cites for process studies."
+    );
+}

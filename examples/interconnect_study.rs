@@ -1,0 +1,20 @@
+//! The interconnect study: regenerates every microbenchmark-driven table
+//! and figure of the paper — LogP (Figure 2), the bandwidth curve
+//! (Figure 7), global-sum latencies (§4.2), Pfpp (Figure 12), and the
+//! HPVM comparison (§6).
+//!
+//! ```sh
+//! cargo run --release --example interconnect_study
+//! ```
+
+fn main() {
+    for exp in hyades::experiments::all() {
+        match exp.id {
+            "E1" | "E2" | "E3" | "E7" | "E8" | "E11" | "E12" => {
+                println!("{}", (exp.run)());
+                println!("{}", "=".repeat(78));
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Scaling study: sustained application rate and parallel efficiency of
+//! the coupled-resolution model versus endpoint count, for each
+//! interconnect. Makes the paper's central claim quantitative: the finer
+//! the decomposition, the more the interconnect decides the outcome.
+//!
+//! ```sh
+//! cargo run --release --example scaling_study
+//! ```
+
+use hyades::cluster::ethernet::{fast_ethernet, gigabit_ethernet, hpvm_myrinet};
+use hyades::cluster::interconnect::{ExchangeShape, Interconnect};
+use hyades::comms::measured::simulated_arctic_model;
+use hyades::perf::model::PerfModel;
+use hyades::perf::params::{DsParams, PsParams};
+use hyades::perf::report::Table;
+
+/// Build the ocean perf model for `n` endpoints of a 128×64×15 domain on
+/// interconnect `net` (square-ish process grids).
+fn model_for(net: &dyn Interconnect, n: u32) -> PerfModel {
+    let (px, py) = match n {
+        1 => (1u32, 1u32),
+        2 => (2, 1),
+        4 => (2, 2),
+        8 => (4, 2),
+        16 => (4, 4),
+        32 => (8, 4),
+        64 => (8, 8),
+        _ => panic!("unsupported endpoint count {n}"),
+    };
+    let (tx, ty) = (128 / px, 64 / py);
+    let levels = 15u32;
+    let legs = |halo: u32, lv: u32| -> Vec<u64> {
+        let mut v = Vec::new();
+        if px > 1 {
+            v.extend(vec![(ty * halo * lv * 8) as u64; 4]);
+        }
+        if py > 1 {
+            v.extend(vec![(tx * halo * lv * 8) as u64; 4]);
+        }
+        v
+    };
+    let (texch_xyz, texch_xy, tgsum) = if n == 1 {
+        (0.0, 0.0, 0.0)
+    } else {
+        (
+            net.exchange_time(&ExchangeShape::from_legs(legs(3, levels))).as_us_f64(),
+            net.exchange_time(&ExchangeShape::from_legs(legs(1, 1))).as_us_f64(),
+            net.gsum_time(n).as_us_f64(),
+        )
+    };
+    PerfModel {
+        ps: PsParams {
+            nps: 751.0,
+            nxyz: (tx * ty * levels) as u64,
+            texch_xyz_us: texch_xyz,
+            fps_mflops: 50.0,
+        },
+        ds: DsParams {
+            nds: 36.0,
+            nxy: (tx * ty) as u64,
+            tgsum_us: tgsum,
+            texch_xy_us: texch_xy,
+            fds_mflops: 60.0,
+        },
+    }
+}
+
+fn main() {
+    let arctic = simulated_arctic_model();
+    let hpvm = hpvm_myrinet();
+    let ge = gigabit_ethernet();
+    let fe = fast_ethernet();
+    let nets: Vec<(&str, &dyn Interconnect)> = vec![
+        ("Arctic (simulated)", &arctic),
+        ("HPVM/Myrinet", &hpvm),
+        ("Gigabit Ethernet", &ge),
+        ("Fast Ethernet", &fe),
+    ];
+    let ni = 60.0;
+    let mut t = Table::new(&[
+        "interconnect",
+        "endpoints",
+        "sustained (MF/s)",
+        "efficiency",
+        "speedup",
+    ]);
+    for (name, net) in &nets {
+        let base = model_for(*net, 1).sustained_mflops(1, ni);
+        for n in [1u32, 2, 4, 8, 16, 32, 64] {
+            let m = model_for(*net, n);
+            let rate = m.sustained_mflops(n, ni);
+            t.row(&[
+                name.to_string(),
+                n.to_string(),
+                format!("{rate:.0}"),
+                format!("{:.0}%", m.efficiency(ni) * 100.0),
+                format!("{:.1}x", rate / base),
+            ]);
+        }
+    }
+    println!(
+        "Scaling of the 2.8125 deg ocean isomorph (Nt-independent steady rate, Ni = 60)\n"
+    );
+    println!("{}", t.render());
+    println!(
+        "The crossover the paper predicts: Ethernet-class interconnects stop scaling\n\
+         as soon as the DS phase's fine-grain communication dominates; Arctic keeps\n\
+         the application compute-bound through the full cluster."
+    );
+}

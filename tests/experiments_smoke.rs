@@ -1,0 +1,45 @@
+//! Smoke test: the experiment registry's reports render with their key
+//! content (the cheap experiments run in full; the instrumented-GCM ones
+//! are covered by their own module tests and the examples).
+
+#[test]
+fn registry_lists_all_artefacts() {
+    let all = hyades::experiments::all();
+    assert_eq!(all.len(), 13);
+    // Every table/figure of the paper's evaluation is covered.
+    let artefacts: Vec<&str> = all.iter().map(|e| e.paper_artefact).collect();
+    for needle in ["Figure 2", "Figure 7", "Figure 10", "Figure 11", "Figure 12", "Figure 9"] {
+        assert!(
+            artefacts.iter().any(|a| a.contains(needle)),
+            "missing {needle}"
+        );
+    }
+}
+
+#[test]
+fn cheap_experiments_render() {
+    use hyades::experiments::*;
+    type Check = (&'static str, fn() -> String, &'static str);
+    let checks: Vec<Check> = vec![
+        ("E1", fig2::run as fn() -> String, "RTT/2"),
+        ("E3", gsum::run, "least-squares"),
+        ("E4", fig10::run, "Hyades"),
+        ("E7", fig12::run, "DS budget"),
+        ("E8", hpvm::run, "HPVM"),
+        ("E10", century::run, "two week"),
+        ("E11", api_tax::run, "generality"),
+        ("E13", economics::run, "price-performance"),
+    ];
+    for (id, run, needle) in checks {
+        let report = run();
+        assert!(report.contains(needle), "{id} report missing '{needle}':\n{report}");
+        assert!(report.lines().count() >= 5, "{id} report too short");
+    }
+}
+
+#[test]
+fn bandwidth_figure_renders() {
+    let report = hyades::experiments::fig7::run();
+    assert!(report.contains("131072"));
+    assert!(report.contains("% of peak"));
+}

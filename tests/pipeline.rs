@@ -1,0 +1,72 @@
+//! End-to-end pipeline test: packet-level simulation → fitted primitive
+//! model → performance model → the paper's headline conclusions.
+//!
+//! This is the reproduction's "does it all hang together" test: the
+//! Figure 12 ordering (Arctic ≫ Gigabit Ethernet ≫ Fast Ethernet on the
+//! fine-grain DS phase), the 306 µs DS budget, and the viability verdicts
+//! must all emerge from the simulated hardware, not from copied numbers.
+
+use hyades::cluster::ethernet::{fast_ethernet, gigabit_ethernet};
+use hyades::cluster::interconnect::{arctic_paper, Interconnect};
+use hyades::comms::measured::simulated_arctic_model;
+use hyades::perf::model::paper_atmosphere;
+use hyades::perf::pfpp::{pfpp_ds, pfpp_ps, PfppRow};
+
+#[test]
+fn simulated_fabric_supports_the_fine_grain_phase() {
+    let base = paper_atmosphere();
+    let arctic = base.on_interconnect(&simulated_arctic_model(), 5, 8);
+    let ge = base.on_interconnect(&gigabit_ethernet(), 5, 8);
+    let fe = base.on_interconnect(&fast_ethernet(), 5, 8);
+
+    // Ordering on both phases.
+    assert!(pfpp_ds(&arctic) > pfpp_ds(&ge));
+    assert!(pfpp_ds(&ge) > pfpp_ds(&fe));
+    assert!(pfpp_ps(&arctic) > pfpp_ps(&ge));
+    assert!(pfpp_ps(&ge) > pfpp_ps(&fe));
+
+    // The paper's verdicts.
+    assert!(pfpp_ds(&arctic) > 60.0, "Arctic must support DS");
+    assert!(pfpp_ds(&ge) < 60.0, "GE must fail DS");
+    assert!(pfpp_ps(&ge) > 50.0, "GE is viable for coarse-grain PS");
+    assert!(pfpp_ps(&fe) < 50.0, "FE fails even PS");
+}
+
+#[test]
+fn ds_budget_conclusion_holds_with_simulated_costs() {
+    let budget = PfppRow::ds_comm_budget_us(36.0, 1024, 60.0);
+    let arctic = paper_atmosphere().on_interconnect(&simulated_arctic_model(), 5, 8);
+    let arctic_sum = arctic.ds.tgsum_us + arctic.ds.texch_xy_us;
+    assert!(
+        arctic_sum < budget,
+        "Arctic ({arctic_sum} µs) must fit the {budget} µs DS budget"
+    );
+    let ge = paper_atmosphere().on_interconnect(&gigabit_ethernet(), 5, 8);
+    let ge_sum = ge.ds.tgsum_us + ge.ds.texch_xy_us;
+    assert!(ge_sum > 5.0 * budget, "GE must miss the budget by far");
+}
+
+#[test]
+fn simulated_model_close_to_paper_constants() {
+    let sim = simulated_arctic_model();
+    let paper = arctic_paper();
+    // Global sum: per-round constants within 30%.
+    assert!(
+        (sim.gsum_round_us / paper.gsum_round_us - 1.0).abs() < 0.3,
+        "{} vs {}",
+        sim.gsum_round_us,
+        paper.gsum_round_us
+    );
+    // Streaming: 110 MB/s within 20%.
+    assert!((sim.exch_byte_us * 110.0 - 1.0).abs() < 0.2);
+    // A 16-way barrier under 20 µs on both.
+    assert!(sim.barrier_time(16).as_us_f64() < 20.0);
+    assert!(paper.barrier_time(16).as_us_f64() < 20.0);
+}
+
+#[test]
+fn validation_pipeline_reproduces_paper_numbers() {
+    let v = hyades::perf::validate::paper_validation();
+    assert!((v.predicted_total_minutes - 181.0).abs() < 2.0);
+    assert!(v.relative_error.abs() < 0.02);
+}
