@@ -274,7 +274,9 @@ mod tests {
 
     fn build(n: u16, cfg: ArcticConfig) -> (Simulator, ArcticNetwork) {
         let mut sim = Simulator::new();
-        let eps: Vec<ActorId> = (0..n).map(|_| sim.add_actor(SinkEndpoint::default())).collect();
+        let eps: Vec<ActorId> = (0..n)
+            .map(|_| sim.add_actor(SinkEndpoint::default()))
+            .collect();
         let net = ArcticNetwork::build(&mut sim, &eps, cfg);
         (sim, net)
     }
@@ -427,7 +429,10 @@ mod tests {
         let r = sim.actor::<RouterActor>(leaf_id);
         let (p0, _, _) = r.port_stats(up_port_index(0));
         let (p1, _, _) = r.port_stats(up_port_index(1));
-        assert!(p0 > 20 && p1 > 20, "random uproute unbalanced: {p0} vs {p1}");
+        assert!(
+            p0 > 20 && p1 > 20,
+            "random uproute unbalanced: {p0} vs {p1}"
+        );
     }
 
     #[test]

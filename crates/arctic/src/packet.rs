@@ -67,7 +67,13 @@ impl Packet {
     /// Build a packet, padding the payload to the 2-word minimum. Panics if
     /// the payload exceeds 22 words — larger transfers must be segmented by
     /// the NIU.
-    pub fn new(src: u16, dst: u16, priority: Priority, usr_tag: u16, mut payload: Vec<u32>) -> Self {
+    pub fn new(
+        src: u16,
+        dst: u16,
+        priority: Priority,
+        usr_tag: u16,
+        mut payload: Vec<u32>,
+    ) -> Self {
         assert!(
             payload.len() <= MAX_PAYLOAD_WORDS,
             "payload of {} words exceeds Arctic maximum of {MAX_PAYLOAD_WORDS}",

@@ -124,7 +124,9 @@ impl RouterActor {
             addr,
             tree,
             timing,
-            ports: (0..PORTS).map(|_| OutputPort::new(PortTarget::None)).collect(),
+            ports: (0..PORTS)
+                .map(|_| OutputPort::new(PortTarget::None))
+                .collect(),
             crc_failures: 0,
             packets_routed: 0,
         }

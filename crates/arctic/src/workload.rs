@@ -130,8 +130,7 @@ impl Actor for Sink {
             return;
         }
         let injected = SimTime::from_ps(u64_from_words(&d.pkt.payload));
-        self.latency
-            .push(ctx.now().since(injected).as_us_f64());
+        self.latency.push(ctx.now().since(injected).as_us_f64());
         self.payload_bytes += d.pkt.payload_bytes();
         self.packets += 1;
     }
@@ -215,7 +214,14 @@ mod tests {
 
     #[test]
     fn nearest_neighbor_delivers_offered_load() {
-        let r = run_traffic(16, Pattern::NearestNeighbor, UpRoute::SourceSpread, 0.7, MEASURE_US, 1);
+        let r = run_traffic(
+            16,
+            Pattern::NearestNeighbor,
+            UpRoute::SourceSpread,
+            0.7,
+            MEASURE_US,
+            1,
+        );
         // 16 endpoints × 0.7 × 137.5 MB/s ≈ 1540 MB/s aggregate.
         let offered = 16.0 * 0.7 * 137.5;
         assert!(
@@ -229,7 +235,14 @@ mod tests {
 
     #[test]
     fn transpose_permutation_is_nonblocking_with_source_spread() {
-        let r = run_traffic(16, Pattern::Transpose, UpRoute::SourceSpread, 0.8, MEASURE_US, 2);
+        let r = run_traffic(
+            16,
+            Pattern::Transpose,
+            UpRoute::SourceSpread,
+            0.8,
+            MEASURE_US,
+            2,
+        );
         let offered = 16.0 * 0.8 * 137.5;
         assert!(
             r.delivered_mbyte_per_sec > 0.9 * offered,
@@ -243,7 +256,14 @@ mod tests {
         // The textbook butterfly worst case: with a fixed up-path per
         // source, bit-reverse traffic funnels through shared links and
         // congests badly…
-        let det = run_traffic(16, Pattern::BitReverse, UpRoute::SourceSpread, 0.8, MEASURE_US, 3);
+        let det = run_traffic(
+            16,
+            Pattern::BitReverse,
+            UpRoute::SourceSpread,
+            0.8,
+            MEASURE_US,
+            3,
+        );
         let offered = 16.0 * 0.8 * 137.5;
         assert!(
             det.delivered_mbyte_per_sec < 0.75 * offered,
@@ -264,7 +284,14 @@ mod tests {
 
     #[test]
     fn random_routing_keeps_transpose_throughput() {
-        let det = run_traffic(16, Pattern::Transpose, UpRoute::SourceSpread, 0.8, MEASURE_US, 4);
+        let det = run_traffic(
+            16,
+            Pattern::Transpose,
+            UpRoute::SourceSpread,
+            0.8,
+            MEASURE_US,
+            4,
+        );
         let rnd = run_traffic(16, Pattern::Transpose, UpRoute::Random, 0.8, MEASURE_US, 4);
         // Transpose is friendly to both: random routing carries the large
         // majority of the deterministic throughput.
@@ -273,7 +300,14 @@ mod tests {
 
     #[test]
     fn hotspot_saturates_the_victim_link() {
-        let r = run_traffic(16, Pattern::Hotspot, UpRoute::SourceSpread, 0.8, MEASURE_US, 5);
+        let r = run_traffic(
+            16,
+            Pattern::Hotspot,
+            UpRoute::SourceSpread,
+            0.8,
+            MEASURE_US,
+            5,
+        );
         // 15 sources × 0.8 × 137.5 ≈ 1650 MB/s offered at node 0, but one
         // down-link delivers at most ~137.5 MB/s of payload (plus node 0's
         // own stream to node 1).
@@ -288,7 +322,14 @@ mod tests {
 
     #[test]
     fn uniform_random_stays_stable_at_half_load() {
-        let r = run_traffic(16, Pattern::UniformRandom, UpRoute::SourceSpread, 0.5, MEASURE_US, 6);
+        let r = run_traffic(
+            16,
+            Pattern::UniformRandom,
+            UpRoute::SourceSpread,
+            0.5,
+            MEASURE_US,
+            6,
+        );
         let offered = 16.0 * 0.5 * 137.5;
         assert!(r.delivered_mbyte_per_sec > 0.85 * offered);
         assert!(r.latency.mean() < 10.0);

@@ -18,25 +18,22 @@ struct Injection {
 }
 
 fn injection_strategy(n: u16) -> impl Strategy<Value = Injection> {
-    (
-        0..n,
-        0..n,
-        0u32..500,
-        2usize..=22,
-        any::<bool>(),
-    )
-        .prop_map(|(src, dst, at_us, payload_words, high)| Injection {
+    (0..n, 0..n, 0u32..500, 2usize..=22, any::<bool>()).prop_map(
+        |(src, dst, at_us, payload_words, high)| Injection {
             src,
             dst,
             at_us,
             payload_words,
             high,
-        })
+        },
+    )
 }
 
 fn run_fabric(n: u16, uproute: UpRoute, injections: &[Injection]) -> Vec<Vec<(u64, Packet)>> {
     let mut sim = Simulator::new();
-    let sinks: Vec<ActorId> = (0..n).map(|_| sim.add_actor(SinkEndpoint::default())).collect();
+    let sinks: Vec<ActorId> = (0..n)
+        .map(|_| sim.add_actor(SinkEndpoint::default()))
+        .collect();
     let cfg = ArcticConfig {
         uproute,
         ..ArcticConfig::default()
@@ -48,7 +45,11 @@ fn run_fabric(n: u16, uproute: UpRoute, injections: &[Injection]) -> Vec<Vec<(u6
         let pkt = Packet::new(
             inj.src,
             inj.dst,
-            if inj.high { Priority::High } else { Priority::Low },
+            if inj.high {
+                Priority::High
+            } else {
+                Priority::Low
+            },
             (seq % 0x7FF) as u16,
             payload,
         );

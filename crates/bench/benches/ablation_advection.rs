@@ -21,14 +21,18 @@ fn bench(c: &mut Criterion) {
         ("upwind1", AdvectionScheme::Upwind1),
         ("superbee", AdvectionScheme::Superbee),
     ] {
-        g.bench_with_input(BenchmarkId::new("tracer_tendency", name), &scheme, |b, &s| {
-            b.iter(|| {
-                gterms::tracer_tendency_scheme(
-                    &m.cfg, &m.tile, &m.geom, &m.masks, &m.state, &theta, &mut ws.gt, 1e3, 1e-5,
-                    0, s,
-                )
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new("tracer_tendency", name),
+            &scheme,
+            |b, &s| {
+                b.iter(|| {
+                    gterms::tracer_tendency_scheme(
+                        &m.cfg, &m.tile, &m.geom, &m.masks, &m.state, &theta, &mut ws.gt, 1e3,
+                        1e-5, 0, s,
+                    )
+                });
+            },
+        );
     }
     g.finish();
 }

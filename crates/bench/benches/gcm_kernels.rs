@@ -21,7 +21,9 @@ fn bench(c: &mut Criterion) {
         g.throughput(Throughput::Elements(5120));
         g.bench_function("momentum_tendencies_32x32x5", |b| {
             b.iter(|| {
-                gterms::momentum_tendencies(&m.cfg, &m.tile, &m.geom, &m.masks, &m.state, &mut ws, 1)
+                gterms::momentum_tendencies(
+                    &m.cfg, &m.tile, &m.geom, &m.masks, &m.state, &mut ws, 1,
+                )
             });
         });
         let theta = m.state.theta.clone();

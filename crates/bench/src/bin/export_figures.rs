@@ -9,7 +9,10 @@ use std::fs;
 use std::path::PathBuf;
 
 fn main() {
-    let outdir: PathBuf = std::env::args().nth(1).unwrap_or_else(|| "output".into()).into();
+    let outdir: PathBuf = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "output".into())
+        .into();
     fs::create_dir_all(&outdir).expect("create output dir");
 
     // Figure 2: LogP rows.
@@ -41,7 +44,14 @@ fn main() {
     {
         let mut csv = String::from("block_bytes,time_us,mbyte_per_sec\n");
         for m in hyades::experiments::fig7::measure() {
-            writeln!(csv, "{},{:.3},{:.3}", m.len, m.elapsed.as_us_f64(), m.mbyte_per_sec).unwrap();
+            writeln!(
+                csv,
+                "{},{:.3},{:.3}",
+                m.len,
+                m.elapsed.as_us_f64(),
+                m.mbyte_per_sec
+            )
+            .unwrap();
         }
         fs::write(outdir.join("fig7_bandwidth.csv"), csv).unwrap();
     }
@@ -54,14 +64,20 @@ fn main() {
         {
             writeln!(csv, "{n},{plain:.3},{smp:.3},{},{}", paper.1, paper.2).unwrap();
         }
-        writeln!(csv, "# fit: t = {:.3}*log2(N) + {:.3}", rep.fit.0, rep.fit.1).unwrap();
+        writeln!(
+            csv,
+            "# fit: t = {:.3}*log2(N) + {:.3}",
+            rep.fit.0, rep.fit.1
+        )
+        .unwrap();
         fs::write(outdir.join("gsum_latency.csv"), csv).unwrap();
     }
 
     // Figure 12: Pfpp rows.
     {
-        let mut csv =
-            String::from("interconnect,tgsum_us,texch_xy_us,texch_xyz_us,pfpp_ps_mflops,pfpp_ds_mflops\n");
+        let mut csv = String::from(
+            "interconnect,tgsum_us,texch_xy_us,texch_xyz_us,pfpp_ps_mflops,pfpp_ds_mflops\n",
+        );
         for r in hyades::experiments::fig12::rows() {
             writeln!(
                 csv,
@@ -77,7 +93,8 @@ fn main() {
     {
         use hyades_arctic::packet::UpRoute;
         use hyades_arctic::workload::Pattern;
-        let mut csv = String::from("pattern,uproute,delivered_mbs,mean_latency_us,max_latency_us\n");
+        let mut csv =
+            String::from("pattern,uproute,delivered_mbs,mean_latency_us,max_latency_us\n");
         for (i, (p, name)) in [
             (Pattern::NearestNeighbor, "nearest"),
             (Pattern::Transpose, "transpose"),
@@ -88,7 +105,10 @@ fn main() {
         .iter()
         .enumerate()
         {
-            for (up, upname) in [(UpRoute::SourceSpread, "deterministic"), (UpRoute::Random, "random")] {
+            for (up, upname) in [
+                (UpRoute::SourceSpread, "deterministic"),
+                (UpRoute::Random, "random"),
+            ] {
                 let r = hyades::experiments::routing::measure(*p, up, 100 + i as u64);
                 writeln!(
                     csv,

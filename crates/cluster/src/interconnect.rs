@@ -188,10 +188,7 @@ mod tests {
         // §4.2 measured: 4.0 / 8.3 / 12.8 / 18.2 µs for 2/4/8/16-way.
         for (n, paper) in [(2u32, 4.0), (4, 8.3), (8, 12.8), (16, 18.2)] {
             let t = m.gsum_time(n).as_us_f64();
-            assert!(
-                (t - paper).abs() < 0.6,
-                "{n}-way gsum {t} vs paper {paper}"
-            );
+            assert!((t - paper).abs() < 0.6, "{n}-way gsum {t} vs paper {paper}");
         }
         // SMP variants: 4.8 / 9.1 / 13.5 / 19.5 µs.
         for (n, paper) in [(2u32, 4.8), (4, 9.1), (8, 13.5), (16, 19.5)] {
@@ -210,10 +207,7 @@ mod tests {
         let ds = m.exchange_time(&ExchangeShape::square_tile(32, 1, 1, 8));
         // 8 × (8.6 + 256/110) ≈ 87 µs: same order as the paper's measured
         // 115 µs (which includes mixed-mode SMP overhead).
-        assert!(
-            (70.0..130.0).contains(&ds.as_us_f64()),
-            "DS exchange {ds}"
-        );
+        assert!((70.0..130.0).contains(&ds.as_us_f64()), "DS exchange {ds}");
         // 1 KB point-to-point leg: 8.6 + 9.3 ≈ 18 µs → ~57 MB/s perceived.
         let t1k = m.ptp_time(1024);
         let bw = 1024.0 / t1k.as_secs_f64() / 1e6;

@@ -81,7 +81,10 @@ mod tests {
     fn table_contents() {
         let rows = figure10_vector_rows();
         assert_eq!(rows.len(), 6);
-        let c90_4 = rows.iter().find(|r| r.name == "Cray C90" && r.processors == 4).unwrap();
+        let c90_4 = rows
+            .iter()
+            .find(|r| r.name == "Cray C90" && r.processors == 4)
+            .unwrap();
         assert_eq!(c90_4.sustained_mflops, 2_200.0);
     }
 
@@ -112,7 +115,12 @@ mod tests {
                 // Published sustained exceeds nominal peak; documented.
                 assert!(r.efficiency() > 1.0);
             } else {
-                assert!((0.2..0.8).contains(&r.efficiency()), "{}: {}", r.name, r.efficiency());
+                assert!(
+                    (0.2..0.8).contains(&r.efficiency()),
+                    "{}: {}",
+                    r.name,
+                    r.efficiency()
+                );
             }
         }
     }

@@ -26,10 +26,7 @@ mod tests {
         // §6: HPVM's 16-way barrier takes more than 50 µs, "more than 2.5
         // times longer than Hyades's context-specific primitive" — so ours
         // must land under 20 µs.
-        assert!(
-            t.as_us_f64() < 20.0,
-            "16-way barrier {t} should be < 20 µs"
-        );
+        assert!(t.as_us_f64() < 20.0, "16-way barrier {t} should be < 20 µs");
     }
 
     #[test]

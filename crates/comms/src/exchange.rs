@@ -18,7 +18,7 @@ use hyades_des::event::Payload;
 use hyades_des::{Actor, ActorId, Ctx, SimDuration, SimTime, Simulator};
 use hyades_startx::msg::{bulk_packet, segment};
 use hyades_startx::HostParams;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 const TAG_REQ_BASE: u16 = 0x100; // + round
 const TAG_ACK_BASE: u16 = 0x200;
@@ -43,8 +43,14 @@ pub type Schedule = Vec<Option<PairPlan>>;
 /// then the same in y (skipped when the dimension is 1).
 pub fn torus_schedule(px: u16, py: u16, bytes: u64) -> Vec<Schedule> {
     assert!(px >= 1 && py >= 1);
-    assert!(px == 1 || px.is_multiple_of(2), "px must be even (or 1) for pairing");
-    assert!(py == 1 || py.is_multiple_of(2), "py must be even (or 1) for pairing");
+    assert!(
+        px == 1 || px.is_multiple_of(2),
+        "px must be even (or 1) for pairing"
+    );
+    assert!(
+        py == 1 || py.is_multiple_of(2),
+        "py must be even (or 1) for pairing"
+    );
     let n = px * py;
     let rank = |x: u16, y: u16| y * px + x;
     let mut schedules: Vec<Schedule> = vec![Vec::new(); n as usize];
@@ -140,7 +146,9 @@ pub struct ExchangeNode {
     half: Half,
     phase: LegPhase,
     /// REQs that arrived before this node entered the matching round.
-    early_reqs: HashMap<u16, u64>,
+    /// BTreeMap, not HashMap: hash-iteration order could differ between
+    /// runs and leak into event ordering (lint rule `hash-iteration`).
+    early_reqs: BTreeMap<u16, u64>,
     pub started: Option<SimTime>,
     pub finished: Option<SimTime>,
     /// Staging chunk size for copy/DMA overlap.
@@ -160,7 +168,7 @@ impl ExchangeNode {
             round: 0,
             half: Half::First,
             phase: LegPhase::Start,
-            early_reqs: HashMap::new(),
+            early_reqs: BTreeMap::new(),
             started: None,
             finished: None,
             chunk: 512,
@@ -318,10 +326,7 @@ impl ExchangeNode {
                 let bytes = pkt.payload[0] as u64;
                 let here = self.round == round
                     && matches!(self.phase, LegPhase::Start)
-                    && self
-                        .plan()
-                        .map(|p| !self.i_send_now(&p))
-                        .unwrap_or(false);
+                    && self.plan().map(|p| !self.i_send_now(&p)).unwrap_or(false);
                 if here {
                     let cost = self.ctrl_cost_rx();
                     self.accept_req(bytes);
@@ -356,8 +361,13 @@ impl ExchangeNode {
                     let partner = plan.partner;
                     // ACK after the descriptor post.
                     let os = self.host.pio.send_overhead(8);
-                    let pkt =
-                        Packet::new(self.me, partner, Priority::High, TAG_ACK_BASE + round, vec![0, 0]);
+                    let pkt = Packet::new(
+                        self.me,
+                        partner,
+                        Priority::High,
+                        TAG_ACK_BASE + round,
+                        vec![0, 0],
+                    );
                     ctx.send_after(kick + os, self.tx_port, Inject(pkt));
                 }
             }
@@ -402,7 +412,10 @@ impl ExchangeNode {
 /// finishes its schedule.
 pub fn measure_exchange(host: HostParams, px: u16, py: u16, leg_bytes: u64) -> SimDuration {
     let n = px * py;
-    assert!(n.is_power_of_two(), "fabric needs a power-of-two endpoint count");
+    assert!(
+        n.is_power_of_two(),
+        "fabric needs a power-of-two endpoint count"
+    );
     let schedules = torus_schedule(px, py, leg_bytes);
     let mut sim = Simulator::new();
     let ids: Vec<ActorId> = (0..n).map(|_| sim.add_actor(Slot)).collect();

@@ -18,7 +18,7 @@ use hyades_arctic::packet::{f64_from_words, words_from_f64, Packet, Priority};
 use hyades_des::event::Payload;
 use hyades_des::{Actor, ActorId, Ctx, SimDuration, SimTime, Simulator};
 use hyades_startx::HostParams;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Kick event: begin a global sum contributing `value`.
 pub struct StartGsum {
@@ -47,7 +47,9 @@ pub struct GsumNode {
 
     round: u32,
     partial: f64,
-    early: HashMap<u32, f64>,
+    /// BTreeMap, not HashMap: keeps early-arrival bookkeeping free of
+    /// hash-iteration order (lint rule `hash-iteration`).
+    early: BTreeMap<u32, f64>,
     pub started: Option<SimTime>,
     pub finished: Option<SimTime>,
     pub result: Option<f64>,
@@ -64,7 +66,7 @@ impl GsumNode {
             post_cost: SimDuration::ZERO,
             round: 0,
             partial: 0.0,
-            early: HashMap::new(),
+            early: BTreeMap::new(),
             started: None,
             finished: None,
             result: None,
@@ -107,10 +109,13 @@ impl GsumNode {
             // The add happens before the next send; fold its cost in by
             // delaying the send kick.
             let round = self.round;
-            ctx.wake_after(add, RxReady {
-                round,
-                value: f64::NAN, // marker: "send next round" (value unused)
-            });
+            ctx.wake_after(
+                add,
+                RxReady {
+                    round,
+                    value: f64::NAN, // marker: "send next round" (value unused)
+                },
+            );
         }
     }
 }
@@ -127,10 +132,13 @@ impl Actor for GsumNode {
                 self.result = None;
                 // Mixed mode: combine the SMP-local values first.
                 let pre = self.pre_cost;
-                ctx.wake_after(pre, RxReady {
-                    round: 0,
-                    value: f64::NAN,
-                });
+                ctx.wake_after(
+                    pre,
+                    RxReady {
+                        round: 0,
+                        value: f64::NAN,
+                    },
+                );
                 return;
             }
             Err(e) => e,
@@ -193,10 +201,7 @@ pub fn measure_gsum(host: HostParams, values: &[f64], smp_step: bool) -> GsumMea
     for e in 0..n {
         let mut node = GsumNode::new(e, n, host, net.tx_port(e));
         if smp_step {
-            node = node.with_smp_step(
-                SimDuration::from_us_f64(0.6),
-                SimDuration::from_us_f64(0.4),
-            );
+            node = node.with_smp_step(SimDuration::from_us_f64(0.6), SimDuration::from_us_f64(0.4));
         }
         let _ = sim.remove_actor(ids[e as usize]);
         sim.insert_actor_at(ids[e as usize], Box::new(node));
@@ -280,11 +285,7 @@ impl TreeGsumNode {
         // span... simpler: me XOR 2^i for i in (level(me)..log2 n) where
         // level = index of lowest set bit (or log2 n for node 0).
         let rounds = n.trailing_zeros();
-        let level = if me == 0 {
-            rounds
-        } else {
-            me.trailing_zeros()
-        };
+        let level = if me == 0 { rounds } else { me.trailing_zeros() };
         let children = (0..level).filter(|i| me + (1u16 << i) < n).count() as u32;
         TreeGsumNode {
             me,
@@ -463,10 +464,7 @@ mod tests {
         let d3 = us[3] - us[2];
         let max = d1.max(d2).max(d3);
         let min = d1.min(d2).min(d3);
-        assert!(
-            max / min < 1.6,
-            "increments not linear in log2 N: {us:?}"
-        );
+        assert!(max / min < 1.6, "increments not linear in log2 N: {us:?}");
     }
 
     #[test]
@@ -474,10 +472,7 @@ mod tests {
         let t = latency_table(HostParams::default());
         for (n, plain, smp) in &t {
             let d = smp.elapsed.as_us_f64() - plain.elapsed.as_us_f64();
-            assert!(
-                (0.8..1.3).contains(&d),
-                "{n}-way SMP step added {d} µs"
-            );
+            assert!((0.8..1.3).contains(&d), "{n}-way SMP step added {d} µs");
         }
     }
 
@@ -527,7 +522,11 @@ mod tree_tests {
         let m = measure_gsum_tree(HostParams::default(), &[2.0, 3.0]);
         assert_eq!(m.value, 5.0);
         // Two user-to-user message latencies ≈ 7–9 µs.
-        assert!((6.0..10.0).contains(&m.elapsed.as_us_f64()), "{}", m.elapsed);
+        assert!(
+            (6.0..10.0).contains(&m.elapsed.as_us_f64()),
+            "{}",
+            m.elapsed
+        );
     }
 }
 

@@ -35,14 +35,20 @@ pub fn measure_arctic(host: HostParams) -> ArcticMeasurements {
         .iter()
         .map(|&n| {
             let vals: Vec<f64> = (0..n).map(|i| i as f64).collect();
-            (n as u32, measure_gsum(host, &vals, false).elapsed.as_us_f64())
+            (
+                n as u32,
+                measure_gsum(host, &vals, false).elapsed.as_us_f64(),
+            )
         })
         .collect();
     let gsum_smp = sizes
         .iter()
         .map(|&n| {
             let vals: Vec<f64> = (0..n).map(|i| i as f64).collect();
-            (n as u32, measure_gsum(host, &vals, true).elapsed.as_us_f64())
+            (
+                n as u32,
+                measure_gsum(host, &vals, true).elapsed.as_us_f64(),
+            )
         })
         .collect();
     let exchange = [256u64, 1024, 3840, 15360]

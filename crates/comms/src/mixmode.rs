@@ -59,7 +59,8 @@ impl SmpCosts {
         master_mbyte_per_sec: f64,
     ) -> SimDuration {
         let stream_master = SimDuration::for_bytes_at(bytes, master_mbyte_per_sec);
-        let stream_slave = SimDuration::for_bytes_at(bytes, self.slave_bandwidth(master_mbyte_per_sec));
+        let stream_slave =
+            SimDuration::for_bytes_at(bytes, self.slave_bandwidth(master_mbyte_per_sec));
         master_leg + self.combine + self.broadcast + (stream_slave - stream_master)
     }
 }

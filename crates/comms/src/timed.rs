@@ -147,10 +147,7 @@ mod tests {
         assert!(t_arctic > 0.0);
         // The same functional traffic costs far more on Gigabit Ethernet —
         // the paper's whole point, now measurable on live runs.
-        assert!(
-            t_ge > 10.0 * t_arctic,
-            "GE {t_ge} vs Arctic {t_arctic}"
-        );
+        assert!(t_ge > 10.0 * t_arctic, "GE {t_ge} vs Arctic {t_arctic}");
     }
 
     #[test]

@@ -116,7 +116,12 @@ impl RendezvousCore {
 
     /// Deposit this rank's contribution; the last arriver combines all
     /// contributions in rank order with `combine` and publishes the result.
-    fn reduce(&self, rank: usize, contribution: Vec<f64>, combine: fn(&mut [f64], &[f64])) -> Vec<f64> {
+    fn reduce(
+        &self,
+        rank: usize,
+        contribution: Vec<f64>,
+        combine: fn(&mut [f64], &[f64]),
+    ) -> Vec<f64> {
         let mut st = self.m.lock();
         let my_gen = st.generation;
         debug_assert!(st.slots[rank].is_none(), "rank {rank} reduced twice");
@@ -160,7 +165,8 @@ impl ThreadWorld {
     pub fn create(n: usize) -> Vec<ThreadWorld> {
         assert!(n >= 1);
         // txs[s][d] / rxs[d][s]
-        let mut txs: Vec<Vec<Option<Sender<Vec<f64>>>>> = (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        let mut txs: Vec<Vec<Option<Sender<Vec<f64>>>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
         let mut rxs: Vec<Vec<Option<Receiver<Vec<f64>>>>> =
             (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
         for s in 0..n {

@@ -8,9 +8,9 @@
 //! equivalent of running the year-long simulation on the real cluster —
 //! while the closed-form performance model provides the prediction.
 
+use hyades_comms::{CommWorld, SerialWorld};
 use hyades_gcm::config::ModelConfig;
 use hyades_gcm::driver::Model;
-use hyades_comms::{CommWorld, SerialWorld};
 use hyades_perf::model::PerfModel;
 
 /// Result of a charged run.

@@ -99,7 +99,11 @@ pub fn run() -> String {
         ocean.ps.texch_xyz_us,
         ocean.ds.texch_xy_us,
         e.coupled_days,
-        if e.coupled_days <= 14.5 { "HOLDS" } else { "DOES NOT HOLD" },
+        if e.coupled_days <= 14.5 {
+            "HOLDS"
+        } else {
+            "DOES NOT HOLD"
+        },
     )
 }
 

@@ -7,9 +7,9 @@
 //! from the performance model with communication costs measured on the
 //! simulated fabric.
 
+use hyades_cluster::interconnect::{ExchangeShape, Interconnect};
 use hyades_cluster::machines::figure10_vector_rows;
 use hyades_comms::measured::simulated_arctic_model;
-use hyades_cluster::interconnect::{ExchangeShape, Interconnect};
 use hyades_perf::model::PerfModel;
 use hyades_perf::params::{DsParams, PsParams};
 use hyades_perf::report::Table;

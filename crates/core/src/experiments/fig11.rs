@@ -5,13 +5,13 @@
 //! benchmarks. The paper's values were obtained the same way on the real
 //! hardware, so this table is the honest side-by-side.
 
-use hyades_comms::measured::{measure_exchange_mixmode, simulated_arctic_model};
 use hyades_cluster::interconnect::{ExchangeShape, Interconnect};
+use hyades_comms::measured::{measure_exchange_mixmode, simulated_arctic_model};
+use hyades_comms::SerialWorld;
 use hyades_gcm::config::ModelConfig;
 use hyades_gcm::decomp::Decomp;
 use hyades_gcm::driver::Model;
 use hyades_perf::report::Table;
-use hyades_comms::SerialWorld;
 
 /// Measured flop coefficients from `steps` instrumented steps of a model.
 pub fn measure_flops(cfg: ModelConfig, steps: usize) -> (f64, f64, f64) {
@@ -50,8 +50,13 @@ pub fn run() -> String {
     acfg.decomp = d;
     let (a_nps, a_nds, a_ni) = measure_flops(acfg, 3);
     let mut ocfg = ModelConfig::ocean_2p8125(Decomp::blocks(128, 64, 1, 1, 3));
-    ocfg.grid =
-        hyades_gcm::grid::Grid::global(32, 16, 15, 78.75, hyades_gcm::grid::stretched_levels(15, 4000.0));
+    ocfg.grid = hyades_gcm::grid::Grid::global(
+        32,
+        16,
+        15,
+        78.75,
+        hyades_gcm::grid::stretched_levels(15, 4000.0),
+    );
     ocfg.decomp = d;
     ocfg.continents = false;
     let (o_nps, o_nds, o_ni) = measure_flops(ocfg, 3);
@@ -60,17 +65,57 @@ pub fn run() -> String {
     let (o_xyz, _, _) = measure_comm(15);
 
     let mut t = Table::new(&["parameter", "paper", "this reproduction"]);
-    t.row(&["PS atmos: Nps (flops/cell)".into(), "781".into(), format!("{a_nps:.0}")]);
-    t.row(&["PS atmos: texch_xyz (us)".into(), "1640".into(), format!("{a_xyz:.0}")]);
-    t.row(&["PS ocean: Nps (flops/cell)".into(), "751".into(), format!("{o_nps:.0}")]);
-    t.row(&["PS ocean: texch_xyz (us)".into(), "4573".into(), format!("{o_xyz:.0}")]);
-    t.row(&["DS: Nds (flops/col/iter)".into(), "36".into(), format!("{:.0}", 0.5 * (a_nds + o_nds))]);
-    t.row(&["DS: tgsum 2x8-way (us)".into(), "13.5".into(), format!("{gsum:.1}")]);
+    t.row(&[
+        "PS atmos: Nps (flops/cell)".into(),
+        "781".into(),
+        format!("{a_nps:.0}"),
+    ]);
+    t.row(&[
+        "PS atmos: texch_xyz (us)".into(),
+        "1640".into(),
+        format!("{a_xyz:.0}"),
+    ]);
+    t.row(&[
+        "PS ocean: Nps (flops/cell)".into(),
+        "751".into(),
+        format!("{o_nps:.0}"),
+    ]);
+    t.row(&[
+        "PS ocean: texch_xyz (us)".into(),
+        "4573".into(),
+        format!("{o_xyz:.0}"),
+    ]);
+    t.row(&[
+        "DS: Nds (flops/col/iter)".into(),
+        "36".into(),
+        format!("{:.0}", 0.5 * (a_nds + o_nds)),
+    ]);
+    t.row(&[
+        "DS: tgsum 2x8-way (us)".into(),
+        "13.5".into(),
+        format!("{gsum:.1}"),
+    ]);
     t.row(&["DS: texch_xy (us)".into(), "115".into(), format!("{xy:.0}")]);
-    t.row(&["DS: mean Ni (solver iters)".into(), "60".into(), format!("{:.0}/{:.0} (atm/oce)", a_ni, o_ni)]);
-    t.row(&["nxyz per endpoint (atmos)".into(), "5120".into(), "5120 (128x64x5 / 8)".into()]);
-    t.row(&["nxyz per endpoint (ocean)".into(), "15360".into(), "15360 (128x64x15 / 8)".into()]);
-    t.row(&["nxy per endpoint".into(), "1024".into(), "1024 (128x64 / 8)".into()]);
+    t.row(&[
+        "DS: mean Ni (solver iters)".into(),
+        "60".into(),
+        format!("{:.0}/{:.0} (atm/oce)", a_ni, o_ni),
+    ]);
+    t.row(&[
+        "nxyz per endpoint (atmos)".into(),
+        "5120".into(),
+        "5120 (128x64x5 / 8)".into(),
+    ]);
+    t.row(&[
+        "nxyz per endpoint (ocean)".into(),
+        "15360".into(),
+        "15360 (128x64x15 / 8)".into(),
+    ]);
+    t.row(&[
+        "nxy per endpoint".into(),
+        "1024".into(),
+        "1024 (128x64 / 8)".into(),
+    ]);
     format!(
         "E5  Figure 11: performance model parameters (2.8125 deg, 8 endpoints)\n\
          Nps/Nds measured from instrumented kernels; exchange/global-sum\n\

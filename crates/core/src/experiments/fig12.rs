@@ -86,7 +86,11 @@ mod tests {
         let ge = &rows[1];
         assert!((fe.pfpp_ps - 8.0).abs() < 0.3, "FE Pfpp_ps {}", fe.pfpp_ps);
         assert!((fe.pfpp_ds - 1.6).abs() < 0.2, "FE Pfpp_ds {}", fe.pfpp_ds);
-        assert!((ge.pfpp_ps - 139.0).abs() < 3.0, "GE Pfpp_ps {}", ge.pfpp_ps);
+        assert!(
+            (ge.pfpp_ps - 139.0).abs() < 3.0,
+            "GE Pfpp_ps {}",
+            ge.pfpp_ps
+        );
         assert!((ge.pfpp_ds - 6.2).abs() < 0.3, "GE Pfpp_ds {}", ge.pfpp_ds);
     }
 

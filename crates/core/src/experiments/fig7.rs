@@ -47,7 +47,11 @@ mod tests {
                 .mbyte_per_sec
         };
         // 1 KB: 56.8 MB/s ± 15%.
-        assert!((at(1024) - PAPER_1KB_MBS).abs() / PAPER_1KB_MBS < 0.15, "{}", at(1024));
+        assert!(
+            (at(1024) - PAPER_1KB_MBS).abs() / PAPER_1KB_MBS < 0.15,
+            "{}",
+            at(1024)
+        );
         // Half-power point near 1 KB: 512 B below 50%, 4 KB above 75%.
         assert!(at(512) < 0.5 * PAPER_PEAK_MBS);
         assert!(at(4096) > 0.75 * PAPER_PEAK_MBS);

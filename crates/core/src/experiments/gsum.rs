@@ -38,13 +38,7 @@ pub fn measure() -> GsumReport {
 
 pub fn run() -> String {
     let rep = measure();
-    let mut t = Table::new(&[
-        "N-way",
-        "t (us)",
-        "paper",
-        "2xN-way (us)",
-        "paper",
-    ]);
+    let mut t = Table::new(&["N-way", "t (us)", "paper", "2xN-way (us)", "paper"]);
     for ((n, plain, smp), paper) in rep.rows.iter().zip(PAPER.iter()) {
         t.row(&[
             n.to_string(),

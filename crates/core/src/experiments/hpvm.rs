@@ -46,7 +46,10 @@ pub fn run() -> String {
         "1-KB transfer (MB/s)".into(),
         format!("{:.1}", c.hyades_1kb_mbs),
         format!("{:.1}", c.hpvm_1kb_mbs),
-        format!("{:.0}% slower", (1.0 - c.hpvm_1kb_mbs / c.hyades_1kb_mbs) * 100.0),
+        format!(
+            "{:.0}% slower",
+            (1.0 - c.hpvm_1kb_mbs / c.hyades_1kb_mbs) * 100.0
+        ),
     ]);
     format!(
         "E8  Section 6: application-specific primitives vs the general-purpose\n\

@@ -115,6 +115,9 @@ mod tests {
         let all = super::all();
         assert_eq!(all.len(), 13);
         let ids: Vec<&str> = all.iter().map(|e| e.id).collect();
-        assert_eq!(ids, ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"]);
+        assert_eq!(
+            ids,
+            ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"]
+        );
     }
 }

@@ -36,7 +36,10 @@ pub fn run() -> String {
         (Pattern::Hotspot, "hotspot"),
     ];
     for (i, (p, name)) in cases.iter().enumerate() {
-        for (up, upname) in [(UpRoute::SourceSpread, "deterministic"), (UpRoute::Random, "random")] {
+        for (up, upname) in [
+            (UpRoute::SourceSpread, "deterministic"),
+            (UpRoute::Random, "random"),
+        ] {
             let r = measure(*p, up, 10 + i as u64);
             t.row(&[
                 name.to_string(),

@@ -43,7 +43,10 @@ pub fn closed_loop(steps: usize) -> (Validation, f64) {
             ..base.ds
         },
     };
-    (validate(&pm, nt, run.mean_ni, observed_minutes), run.mean_ni)
+    (
+        validate(&pm, nt, run.mean_ni, observed_minutes),
+        run.mean_ni,
+    )
 }
 
 pub fn run() -> String {

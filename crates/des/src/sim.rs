@@ -173,10 +173,7 @@ impl Simulator {
     /// protocol actors once wiring information (e.g. network port ids)
     /// exists.
     pub fn insert_actor_at(&mut self, id: ActorId, actor: Box<dyn Actor>) {
-        assert!(
-            self.actors[id.0].is_none(),
-            "slot {id:?} is still occupied"
-        );
+        assert!(self.actors[id.0].is_none(), "slot {id:?} is still occupied");
         self.actors[id.0] = Some(actor);
     }
 

@@ -86,8 +86,12 @@ impl Trace {
             writeln!(out, "... {} earlier records dropped ...", self.dropped).unwrap();
         }
         for r in &self.buf {
-            writeln!(out, "{}  actor {:>4}  {:<24} {}", r.at, r.actor.0, r.label, r.detail)
-                .unwrap();
+            writeln!(
+                out,
+                "{}  actor {:>4}  {:<24} {}",
+                r.at, r.actor.0, r.label, r.detail
+            )
+            .unwrap();
         }
         out
     }

@@ -69,7 +69,15 @@ pub fn save(model: &Model, w: &mut impl Write) -> io::Result<()> {
     write_u64(w, model.state.first_step as u64)?;
     let st = &model.state;
     let f3: [&Field3; 10] = [
-        &st.u, &st.v, &st.w, &st.theta, &st.s, &st.gu_prev, &st.gv_prev, &st.gt_prev, &st.gs_prev,
+        &st.u,
+        &st.v,
+        &st.w,
+        &st.theta,
+        &st.s,
+        &st.gu_prev,
+        &st.gv_prev,
+        &st.gt_prev,
+        &st.gs_prev,
         &st.gw_prev,
     ];
     let mut hash = 0xCBF2_9CE4_8422_2325u64;

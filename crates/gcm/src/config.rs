@@ -252,9 +252,17 @@ mod tests {
         let d = Decomp::blocks(128, 64, 4, 2, 3);
         let atm = ModelConfig::atmosphere_2p8125(d);
         // 60 m/s jet at the wall latitude must still satisfy CFL.
-        assert!(atm.stability_ratio(60.0) < 1.0, "{}", atm.stability_ratio(60.0));
+        assert!(
+            atm.stability_ratio(60.0) < 1.0,
+            "{}",
+            atm.stability_ratio(60.0)
+        );
         let oce = ModelConfig::ocean_2p8125(d);
-        assert!(oce.stability_ratio(1.5) < 1.0, "{}", oce.stability_ratio(1.5));
+        assert!(
+            oce.stability_ratio(1.5) < 1.0,
+            "{}",
+            oce.stability_ratio(1.5)
+        );
     }
 }
 
@@ -274,7 +282,11 @@ mod one_degree_tests {
         // E10 throughput analysis' nxyz.
         assert_eq!(cfg.grid.nx * cfg.grid.ny * cfg.grid.nz / 8, 108_000);
         assert!((cfg.grid.dlon.to_degrees() - 1.0).abs() < 1e-12);
-        assert!(cfg.stability_ratio(1.5) < 1.0, "{}", cfg.stability_ratio(1.5));
+        assert!(
+            cfg.stability_ratio(1.5) < 1.0,
+            "{}",
+            cfg.stability_ratio(1.5)
+        );
     }
 
     #[test]

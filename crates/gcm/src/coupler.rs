@@ -93,8 +93,8 @@ impl CoupledModel {
                     // moisture uptake capacity.
                     let qs = crate::physics::atmos::q_sat(sst_k, 0.9 * crate::eos::P00);
                     let deficit = (qs - self.atmos.state.s.at(i, j, 0)).max(0.0);
-                    let evap_mass =
-                        RHO_AIR * deficit * self.atmos.cfg.grid.dz[0] / (9.81 * crate::physics::atmos::TAU_EVAP);
+                    let evap_mass = RHO_AIR * deficit * self.atmos.cfg.grid.dz[0]
+                        / (9.81 * crate::physics::atmos::TAU_EVAP);
                     let q_evap = -L_VAP * evap_mass;
                     let _ = CP_AIR;
                     self.ocean.bc.qflux.set(i, j, q_turb + q_evap);

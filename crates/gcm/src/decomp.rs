@@ -26,7 +26,13 @@ impl Decomp {
         assert_eq!(ny % py, 0, "ny={ny} not divisible by py={py}");
         assert!(nx / px >= halo, "tile narrower than its halo");
         assert!(ny / py >= halo, "tile shorter than its halo");
-        Decomp { nx, ny, px, py, halo }
+        Decomp {
+            nx,
+            ny,
+            px,
+            py,
+            halo,
+        }
     }
 
     /// Long-strip decomposition (upper panel of Figure 5): each tile spans

@@ -204,12 +204,15 @@ pub fn poleward_heat_transport(model: &Model) -> Vec<(f64, f64)> {
     let t = &model.tile;
     let nz = model.cfg.grid.nz;
     let (rho_cp, to_kelvin) = match model.cfg.eos.kind {
-        crate::eos::FluidKind::Ocean => {
-            (crate::physics::ocean::RHO0 * crate::physics::ocean::CP_SEA, 273.15)
-        }
+        crate::eos::FluidKind::Ocean => (
+            crate::physics::ocean::RHO0 * crate::physics::ocean::CP_SEA,
+            273.15,
+        ),
         // Atmosphere isomorph: "dz" is Δp, mass per area = Δp/g, so the
         // factor is cp/g.
-        crate::eos::FluidKind::Atmosphere => (crate::physics::atmos::CP_AIR / crate::grid::GRAVITY, 0.0),
+        crate::eos::FluidKind::Atmosphere => {
+            (crate::physics::atmos::CP_AIR / crate::grid::GRAVITY, 0.0)
+        }
     };
     let mut out = Vec::with_capacity(t.ny);
     for j in 0..t.ny as i64 {
@@ -221,9 +224,9 @@ pub fn poleward_heat_transport(model: &Model) -> Vec<(f64, f64)> {
             for i in 0..t.nx as i64 {
                 if model.masks.v.at(i, j, k) > 0.0 {
                     // θ interpolated to the v-point, in Kelvin.
-                    let th =
-                        0.5 * (model.state.theta.at(i, j - 1, k) + model.state.theta.at(i, j, k))
-                            + to_kelvin;
+                    let th = 0.5
+                        * (model.state.theta.at(i, j - 1, k) + model.state.theta.at(i, j, k))
+                        + to_kelvin;
                     flux += model.state.v.at(i, j, k) * th * dx * dz;
                 }
             }
@@ -235,15 +238,14 @@ pub fn poleward_heat_transport(model: &Model) -> Vec<(f64, f64)> {
 
 /// Gather one level of θ (plus u, v) from every rank to rank 0 and render
 /// the *global* field as CSV; other ranks return `None`. Collective.
-pub fn gathered_level_csv(model: &Model, world: &mut dyn CommWorld, level: usize) -> Option<String> {
+pub fn gathered_level_csv(
+    model: &Model,
+    world: &mut dyn CommWorld,
+    level: usize,
+) -> Option<String> {
     let t = &model.tile;
     // Payload per rank: [gx0, gy0, nx, ny, then row-major u,v,theta].
-    let mut data = vec![
-        t.gx0 as f64,
-        t.gy0 as f64,
-        t.nx as f64,
-        t.ny as f64,
-    ];
+    let mut data = vec![t.gx0 as f64, t.gy0 as f64, t.nx as f64, t.ny as f64];
     for j in 0..t.ny as i64 {
         for i in 0..t.nx as i64 {
             data.push(model.state.u.at(i, j, level));
@@ -272,7 +274,12 @@ pub fn gathered_level_csv(model: &Model, world: &mut dyn CommWorld, level: usize
     let mut out = String::from("# gi,gj,u,v,theta\n");
     for (g, cell) in grid.iter().enumerate() {
         let (gi, gj) = (g % gnx, g / gnx);
-        writeln!(out, "{gi},{gj},{:.6},{:.6},{:.4}", cell[0], cell[1], cell[2]).unwrap();
+        writeln!(
+            out,
+            "{gi},{gj},{:.6},{:.6},{:.4}",
+            cell[0], cell[1], cell[2]
+        )
+        .unwrap();
     }
     Some(out)
 }
@@ -345,12 +352,9 @@ mod climate_tests {
         // * temperature range.
         let vmax = m.state.v.interior_max_abs();
         let section = m.geom.dxs_at(4) * 16.0 * m.cfg.grid.full_depth();
-        let scale = crate::physics::ocean::RHO0
-            * crate::physics::ocean::CP_SEA
-            * vmax
-            * section
-            * 300.0
-            / 1e15;
+        let scale =
+            crate::physics::ocean::RHO0 * crate::physics::ocean::CP_SEA * vmax * section * 300.0
+                / 1e15;
         for &(lat, pw) in &ht {
             assert!(pw.is_finite(), "lat {lat}");
             assert!(pw.abs() <= scale, "transport {pw} PW vs scale {scale}");

@@ -80,7 +80,10 @@ impl Model {
 
     /// Build with an explicit (shared) topography.
     pub fn with_topography(cfg: ModelConfig, rank: usize, topo: Arc<Topography>) -> Model {
-        assert!(cfg.decomp.halo >= 3, "PS overcomputation needs a width-3 halo");
+        assert!(
+            cfg.decomp.halo >= 3,
+            "PS overcomputation needs a width-3 halo"
+        );
         let tile = cfg.decomp.tile(rank);
         let geom = TileGeom::build(&cfg, &tile);
         let masks = Masks::build(&cfg, &tile, &topo);
@@ -141,7 +144,13 @@ impl Model {
         // Tendencies: momentum on +1 (feeds v* on +1), tracers on the
         // interior.
         gterms::momentum_tendencies(
-            &self.cfg, &self.tile, &self.geom, &self.masks, &self.state, &mut self.ws, 1,
+            &self.cfg,
+            &self.tile,
+            &self.geom,
+            &self.masks,
+            &self.state,
+            &mut self.ws,
+            1,
         );
         gterms::tracer_tendency(
             &self.cfg,
@@ -152,7 +161,11 @@ impl Model {
             &self.state.theta.clone(),
             &mut self.ws.gt,
             self.cfg.diff_h,
-            if self.cfg.implicit_vertical { 0.0 } else { self.cfg.diff_v },
+            if self.cfg.implicit_vertical {
+                0.0
+            } else {
+                self.cfg.diff_v
+            },
             0,
         );
         gterms::tracer_tendency(
@@ -164,24 +177,65 @@ impl Model {
             &self.state.s.clone(),
             &mut self.ws.gs,
             self.cfg.diff_h,
-            if self.cfg.implicit_vertical { 0.0 } else { self.cfg.diff_v },
+            if self.cfg.implicit_vertical {
+                0.0
+            } else {
+                self.cfg.diff_v
+            },
             0,
         );
         physics::apply_forcing(
-            &self.cfg, &self.tile, &self.geom, &self.masks, &self.state, &self.bc, &mut self.ws, 1,
+            &self.cfg,
+            &self.tile,
+            &self.geom,
+            &self.masks,
+            &self.state,
+            &self.bc,
+            &mut self.ws,
+            1,
         );
 
         // Adams–Bashforth extrapolation (momentum on +1, tracers interior).
         let first = self.state.first_step;
-        timestep::ab2_extrapolate(&mut self.ws.gu, &mut self.state.gu_prev, self.cfg.ab_eps, first, 1);
-        timestep::ab2_extrapolate(&mut self.ws.gv, &mut self.state.gv_prev, self.cfg.ab_eps, first, 1);
-        timestep::ab2_extrapolate(&mut self.ws.gt, &mut self.state.gt_prev, self.cfg.ab_eps, first, 0);
-        timestep::ab2_extrapolate(&mut self.ws.gs, &mut self.state.gs_prev, self.cfg.ab_eps, first, 0);
+        timestep::ab2_extrapolate(
+            &mut self.ws.gu,
+            &mut self.state.gu_prev,
+            self.cfg.ab_eps,
+            first,
+            1,
+        );
+        timestep::ab2_extrapolate(
+            &mut self.ws.gv,
+            &mut self.state.gv_prev,
+            self.cfg.ab_eps,
+            first,
+            1,
+        );
+        timestep::ab2_extrapolate(
+            &mut self.ws.gt,
+            &mut self.state.gt_prev,
+            self.cfg.ab_eps,
+            first,
+            0,
+        );
+        timestep::ab2_extrapolate(
+            &mut self.ws.gs,
+            &mut self.state.gs_prev,
+            self.cfg.ab_eps,
+            first,
+            0,
+        );
         self.state.first_step = false;
 
         // Provisional velocities and tracer update.
         timestep::velocity_star(
-            &self.cfg, &self.tile, &self.geom, &self.masks, &self.state, &mut self.ws, 1,
+            &self.cfg,
+            &self.tile,
+            &self.geom,
+            &self.masks,
+            &self.state,
+            &mut self.ws,
+            1,
         );
         timestep::update_tracers(&self.cfg, &self.masks, &mut self.state, &self.ws);
 
@@ -217,7 +271,14 @@ impl Model {
             // a 3-D pressure solve projects the full flow to
             // non-divergence (§3.1's p_nh part).
             let mut gw = self.state.gw_prev.clone();
-            w_tendency(&self.cfg, &self.tile, &self.geom, &self.masks, &self.state, &mut gw);
+            w_tendency(
+                &self.cfg,
+                &self.tile,
+                &self.geom,
+                &self.masks,
+                &self.state,
+                &mut gw,
+            );
             timestep::ab2_extrapolate(&mut gw, &mut self.state.gw_prev, self.cfg.ab_eps, first, 0);
             for (i, j, k) in gw.interior() {
                 self.state.w.add(i, j, k, self.cfg.dt * gw.at(i, j, k));
@@ -235,7 +296,13 @@ impl Model {
                 );
             }
             let res = nh.project(
-                world, &self.cfg, &decomp, &self.tile, &self.geom, &self.masks, &mut self.state,
+                world,
+                &self.cfg,
+                &decomp,
+                &self.tile,
+                &self.geom,
+                &self.masks,
+                &mut self.state,
             );
             debug_assert!(res.converged, "non-hydrostatic solve diverged");
             nh_iterations = res.iterations;
@@ -326,7 +393,8 @@ impl Model {
         if self.steps_taken == 0 || self.masks.wet_cells == 0 {
             return (0.0, 0.0);
         }
-        let nps = self.total_ps_flops as f64 / (self.steps_taken as f64 * self.masks.wet_cells as f64);
+        let nps =
+            self.total_ps_flops as f64 / (self.steps_taken as f64 * self.masks.wet_cells as f64);
         let cols = self.masks.wet_columns() as f64;
         let nds = if self.total_cg_iterations == 0 {
             0.0
@@ -342,7 +410,11 @@ impl Model {
         let mut out = Vec::new();
         for j in 0..self.tile.ny as i64 {
             for i in 0..self.tile.nx as i64 {
-                out.push((self.tile.gx(i), self.tile.gy(j), self.state.theta.at(i, j, 0)));
+                out.push((
+                    self.tile.gx(i),
+                    self.tile.gy(j),
+                    self.state.theta.at(i, j, 0),
+                ));
             }
         }
         out
@@ -458,7 +530,11 @@ mod tests {
         let mut w = SerialWorld;
         let s = m.run(&mut w, 30);
         assert!(s.max_speed > 1e-6, "wind stress should drive a current");
-        assert!(s.max_speed < 3.0, "speeds should stay oceanic: {}", s.max_speed);
+        assert!(
+            s.max_speed < 3.0,
+            "speeds should stay oceanic: {}",
+            s.max_speed
+        );
         assert!(m.state.is_finite());
     }
 
@@ -630,8 +706,7 @@ mod free_surface_tests {
         let mut max_dt = 0.0f64;
         for (i, j, k) in rl.state.u.clone().interior() {
             max_du = max_du.max((rl.state.u.at(i, j, k) - fs.state.u.at(i, j, k)).abs());
-            max_dt = max_dt
-                .max((rl.state.theta.at(i, j, k) - fs.state.theta.at(i, j, k)).abs());
+            max_dt = max_dt.max((rl.state.theta.at(i, j, k) - fs.state.theta.at(i, j, k)).abs());
         }
         assert!(
             max_du < 0.5 * scale,
@@ -757,7 +832,11 @@ mod partial_cell_model_tests {
         assert!(m.state.is_finite());
         // Bottom-intensified blocking: speeds in the deepest level above
         // the ridge crest region stay bounded and the run is stable.
-        let s = m.state.u.interior_max_abs().max(m.state.v.interior_max_abs());
+        let s = m
+            .state
+            .u
+            .interior_max_abs()
+            .max(m.state.v.interior_max_abs());
         assert!(s > 1e-6 && s < 3.0, "speed {s}");
     }
 }

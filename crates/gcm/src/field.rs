@@ -180,8 +180,7 @@ impl Field3 {
     pub fn interior(&self) -> impl Iterator<Item = (i64, i64, usize)> + '_ {
         let nx = self.nx as i64;
         let ny = self.ny as i64;
-        (0..self.nz)
-            .flat_map(move |k| (0..ny).flat_map(move |j| (0..nx).map(move |i| (i, j, k))))
+        (0..self.nz).flat_map(move |k| (0..ny).flat_map(move |j| (0..nx).map(move |i| (i, j, k))))
     }
 
     pub fn interior_sum(&self) -> f64 {

@@ -140,7 +140,9 @@ pub fn uniform_levels(nz: usize, total: f64) -> Vec<f64> {
 /// Ocean-style stretched levels: thin near the surface, thick at depth,
 /// summing to `total`.
 pub fn stretched_levels(nz: usize, total: f64) -> Vec<f64> {
-    let weights: Vec<f64> = (0..nz).map(|k| 1.0 + 2.0 * k as f64 / (nz as f64 - 1.0).max(1.0)).collect();
+    let weights: Vec<f64> = (0..nz)
+        .map(|k| 1.0 + 2.0 * k as f64 / (nz as f64 - 1.0).max(1.0))
+        .collect();
     let sum: f64 = weights.iter().sum();
     weights.into_iter().map(|w| w / sum * total).collect()
 }

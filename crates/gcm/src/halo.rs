@@ -295,7 +295,10 @@ mod tests {
             }
             errs
         });
-        assert!(results.iter().all(|&e| e == 0), "halo mismatches: {results:?}");
+        assert!(
+            results.iter().all(|&e| e == 0),
+            "halo mismatches: {results:?}"
+        );
     }
 
     #[test]
@@ -336,8 +339,7 @@ mod tests {
             }
             exchange2(world, &d, &t, &mut [&mut f], 1);
             // Only the innermost ring needs to be correct.
-            f.at(t.nx as i64, 0)
-                == ((t.gx(t.nx as i64).rem_euclid(8)) * 100 + t.gy(0)) as f64
+            f.at(t.nx as i64, 0) == ((t.gx(t.nx as i64).rem_euclid(8)) * 100 + t.gy(0)) as f64
         });
         assert!(results.iter().all(|&ok| ok));
     }

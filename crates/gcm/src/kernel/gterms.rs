@@ -76,7 +76,11 @@ pub fn momentum_tendencies(
                     };
                     let u_top = if k > 0 { u.at(i, j, k - 1) } else { uc };
                     let u_bot = if k + 1 < nz { u.at(i, j, k + 1) } else { uc };
-                    let flux_top = if w_top > 0.0 { w_top * uc } else { w_top * u_top };
+                    let flux_top = if w_top > 0.0 {
+                        w_top * uc
+                    } else {
+                        w_top * u_top
+                    };
                     let flux_bot = if w_bot > 0.0 {
                         w_bot * u_bot
                     } else {
@@ -130,7 +134,11 @@ pub fn momentum_tendencies(
                     };
                     let v_top = if k > 0 { v.at(i, j, k - 1) } else { vc };
                     let v_bot = if k + 1 < nz { v.at(i, j, k + 1) } else { vc };
-                    let flux_top = if w_top > 0.0 { w_top * vc } else { w_top * v_top };
+                    let flux_top = if w_top > 0.0 {
+                        w_top * vc
+                    } else {
+                        w_top * v_top
+                    };
                     let flux_bot = if w_bot > 0.0 {
                         w_bot * v_bot
                     } else {
@@ -172,7 +180,14 @@ pub fn momentum_tendencies(
 /// * `Superbee`: donor plus a Superbee-limited correction — second-order
 ///   where smooth, monotone at fronts (TVD).
 #[inline]
-pub fn face_value(scheme: AdvectionScheme, vel: f64, t_mm: f64, t_m: f64, t_p: f64, t_pp: f64) -> f64 {
+pub fn face_value(
+    scheme: AdvectionScheme,
+    vel: f64,
+    t_mm: f64,
+    t_m: f64,
+    t_p: f64,
+    t_pp: f64,
+) -> f64 {
     match scheme {
         AdvectionScheme::Centered2 => 0.5 * (t_m + t_p),
         AdvectionScheme::Upwind1 => {
@@ -217,7 +232,17 @@ pub fn tracer_tendency(
     ext: i64,
 ) {
     tracer_tendency_scheme(
-        cfg, tile, geom, masks, state, tracer, out, diff_h, diff_v, ext, cfg.advection,
+        cfg,
+        tile,
+        geom,
+        masks,
+        state,
+        tracer,
+        out,
+        diff_h,
+        diff_v,
+        ext,
+        cfg.advection,
     )
 }
 
@@ -270,22 +295,54 @@ pub fn tracer_tendency_scheme(
                 let fx_w = mu_w
                     * dy
                     * dz
-                    * (uw * face_value(scheme, uw, t.at(i - 2, j, k), t.at(i - 1, j, k), t.at(i, j, k), t.at(i + 1, j, k))
+                    * (uw
+                        * face_value(
+                            scheme,
+                            uw,
+                            t.at(i - 2, j, k),
+                            t.at(i - 1, j, k),
+                            t.at(i, j, k),
+                            t.at(i + 1, j, k),
+                        )
                         - diff_h * (t.at(i, j, k) - t.at(i - 1, j, k)) / dxc);
                 let fx_e = mu_e
                     * dy
                     * dz
-                    * (ue * face_value(scheme, ue, t.at(i - 1, j, k), t.at(i, j, k), t.at(i + 1, j, k), t.at(i + 2, j, k))
+                    * (ue
+                        * face_value(
+                            scheme,
+                            ue,
+                            t.at(i - 1, j, k),
+                            t.at(i, j, k),
+                            t.at(i + 1, j, k),
+                            t.at(i + 2, j, k),
+                        )
                         - diff_h * (t.at(i + 1, j, k) - t.at(i, j, k)) / dxc);
                 let fy_s = mv_s
                     * geom.dxs_at(j)
                     * dz
-                    * (vs * face_value(scheme, vs, t.at(i, j - 2, k), t.at(i, j - 1, k), t.at(i, j, k), t.at(i, j + 1, k))
+                    * (vs
+                        * face_value(
+                            scheme,
+                            vs,
+                            t.at(i, j - 2, k),
+                            t.at(i, j - 1, k),
+                            t.at(i, j, k),
+                            t.at(i, j + 1, k),
+                        )
                         - diff_h * (t.at(i, j, k) - t.at(i, j - 1, k)) / dy);
                 let fy_n = mv_n
                     * geom.dxs_at(j + 1)
                     * dz
-                    * (vn * face_value(scheme, vn, t.at(i, j - 1, k), t.at(i, j, k), t.at(i, j + 1, k), t.at(i, j + 2, k))
+                    * (vn
+                        * face_value(
+                            scheme,
+                            vn,
+                            t.at(i, j - 1, k),
+                            t.at(i, j, k),
+                            t.at(i, j + 1, k),
+                            t.at(i, j + 2, k),
+                        )
                         - diff_h * (t.at(i, j + 1, k) - t.at(i, j, k)) / dy);
                 let mut g = -(fx_e - fx_w + fy_n - fy_s) / vol;
                 // Vertical: upwind advection + diffusion across wet
@@ -390,7 +447,12 @@ mod tests {
         // continuity).
         for (i, j, k) in st.u.clone().interior() {
             st.u.set(i, j, k, 0.03 * ((i + 2 * j) as f64 * 0.7 + k as f64).sin());
-            st.v.set(i, j, k, 0.02 * ((2 * i - j) as f64 * 0.9).cos() * masks.v.at(i, j, k));
+            st.v.set(
+                i,
+                j,
+                k,
+                0.02 * ((2 * i - j) as f64 * 0.9).cos() * masks.v.at(i, j, k),
+            );
             st.theta
                 .set(i, j, k, 10.0 + ((i * j) as f64 * 0.3).sin() + k as f64);
         }
@@ -408,7 +470,16 @@ mod tests {
         diagnose_w(&cfg, &tile, &geom, &masks, &st.u, &st.v, &mut st.w, 1);
         // Zero diffusivity: advection alone must conserve.
         tracer_tendency(
-            &cfg, &tile, &geom, &masks, &st, &st.theta.clone(), &mut ws.gt, 0.0, 0.0, 0,
+            &cfg,
+            &tile,
+            &geom,
+            &masks,
+            &st,
+            &st.theta.clone(),
+            &mut ws.gt,
+            0.0,
+            0.0,
+            0,
         );
         // Volume-weighted integral of the tendency.
         let mut total = 0.0;
@@ -430,7 +501,16 @@ mod tests {
         st.theta.fill(10.0);
         st.theta.set(8, 4, 1, 11.0);
         tracer_tendency(
-            &cfg, &tile, &geom, &masks, &st, &st.theta.clone(), &mut ws.gt, cfg.diff_h, 0.0, 0,
+            &cfg,
+            &tile,
+            &geom,
+            &masks,
+            &st,
+            &st.theta.clone(),
+            &mut ws.gt,
+            cfg.diff_h,
+            0.0,
+            0,
         );
         assert!(ws.gt.at(8, 4, 1) < 0.0);
         assert!(ws.gt.at(7, 4, 1) > 0.0);
@@ -507,7 +587,8 @@ mod advection_scheme_tests {
             st.w.fill(0.0);
             // Top-hat tracer.
             for (i, j, k) in st.theta.clone().interior() {
-                st.theta.set(i, j, k, if (8..16).contains(&i) { 1.0 } else { 0.0 });
+                st.theta
+                    .set(i, j, k, if (8..16).contains(&i) { 1.0 } else { 0.0 });
             }
             let mut ws = Workspace::new(&cfg, &tile);
             for _ in 0..40 {
@@ -519,7 +600,16 @@ mod advection_scheme_tests {
                     3,
                 );
                 tracer_tendency_scheme(
-                    &cfg, &tile, &geom, &masks, &st, &st.theta.clone(), &mut ws.gt, 0.0, 0.0, 0,
+                    &cfg,
+                    &tile,
+                    &geom,
+                    &masks,
+                    &st,
+                    &st.theta.clone(),
+                    &mut ws.gt,
+                    0.0,
+                    0.0,
+                    0,
                     scheme,
                 );
                 for (i, j, k) in ws.gt.interior() {
@@ -547,8 +637,14 @@ mod advection_scheme_tests {
         assert!((sum_c2 - 32.0).abs() < 1e-9, "centered sum {sum_c2}");
         assert!((sum_u1 - 32.0).abs() < 1e-9, "upwind sum {sum_u1}");
         // TVD: no new extrema for Superbee and Upwind.
-        assert!(min_sb >= -1e-9 && max_sb <= 1.0 + 1e-9, "superbee [{min_sb}, {max_sb}]");
-        assert!(min_u1 >= -1e-9 && max_u1 <= 1.0 + 1e-9, "upwind [{min_u1}, {max_u1}]");
+        assert!(
+            min_sb >= -1e-9 && max_sb <= 1.0 + 1e-9,
+            "superbee [{min_sb}, {max_sb}]"
+        );
+        assert!(
+            min_u1 >= -1e-9 && max_u1 <= 1.0 + 1e-9,
+            "upwind [{min_u1}, {max_u1}]"
+        );
         // Centred without diffusion overshoots visibly.
         assert!(
             min_c2 < -0.01 || max_c2 > 1.01,

@@ -39,7 +39,9 @@ pub fn buoyancy_and_phy(
                     state.phy.set(i, j, k, p);
                     continue;
                 }
-                let b = cfg.eos.buoyancy(state.theta.at(i, j, k), state.s.at(i, j, k), k);
+                let b = cfg
+                    .eos
+                    .buoyancy(state.theta.at(i, j, k), state.s.at(i, j, k), k);
                 state.b.set(i, j, k, b);
                 // Midpoint rule: contribution of the half-levels flanking
                 // interface k.
@@ -175,7 +177,11 @@ mod tests {
         st.u.fill(0.1);
         st.v.fill(0.0);
         diagnose_w(&cfg, &tile, &geom, &masks, &st.u, &st.v, &mut st.w, 0);
-        assert!(st.w.interior_max_abs() < 1e-12, "{}", st.w.interior_max_abs());
+        assert!(
+            st.w.interior_max_abs() < 1e-12,
+            "{}",
+            st.w.interior_max_abs()
+        );
     }
 
     #[test]

@@ -21,7 +21,13 @@ pub const CORRECT_FLOPS_PER_CELL: u64 = 8;
 /// value in `g` and the *pre-extrapolation* tendency in `g_prev` for the
 /// next step. On the first step the tendency is used as-is
 /// (forward Euler).
-pub fn ab2_extrapolate(g: &mut Field3, g_prev: &mut Field3, ab_eps: f64, first_step: bool, ext: i64) {
+pub fn ab2_extrapolate(
+    g: &mut Field3,
+    g_prev: &mut Field3,
+    ab_eps: f64,
+    first_step: bool,
+    ext: i64,
+) {
     let (nx, ny) = (g.nx() as i64, g.ny() as i64);
     let (a, b) = if first_step {
         (1.0, 0.0)

@@ -77,8 +77,7 @@ pub fn forcing(
                 }
                 let tau = if k == 0 { TAU_RAD_SURF } else { TAU_RAD };
                 let teq = theta_eq(cfg, lat, k);
-                ws.gt
-                    .add(i, j, k, (teq - state.theta.at(i, j, k)) / tau);
+                ws.gt.add(i, j, k, (teq - state.theta.at(i, j, k)) / tau);
                 if k == 0 {
                     // Rayleigh friction on the boundary-layer winds.
                     ws.gu.add(i, j, k, -state.u.at(i, j, k) / TAU_FRICTION);
@@ -126,9 +125,7 @@ pub fn condensation(cfg: &ModelConfig, tile: &Tile, masks: &Masks, state: &mut M
                 if q > qs {
                     let dq = q - qs;
                     state.s.set(i, j, k, qs);
-                    state
-                        .theta
-                        .add(i, j, k, L_VAP / CP_AIR * dq / exner);
+                    state.theta.add(i, j, k, L_VAP / CP_AIR * dq / exner);
                 }
                 cells += 1;
             }
@@ -144,7 +141,15 @@ mod tests {
     use crate::state::ModelState;
     use crate::topography::Topography;
 
-    fn atm() -> (ModelConfig, Tile, TileGeom, Masks, ModelState, Workspace, BoundaryFields) {
+    fn atm() -> (
+        ModelConfig,
+        Tile,
+        TileGeom,
+        Masks,
+        ModelState,
+        Workspace,
+        BoundaryFields,
+    ) {
         let d = Decomp::blocks(128, 64, 1, 1, 3);
         let cfg = ModelConfig::atmosphere_2p8125(d);
         let tile = d.tile(0);

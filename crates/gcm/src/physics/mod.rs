@@ -79,7 +79,12 @@ pub const CONVECT_FLOPS_PER_CELL: u64 = 12;
 /// neighbouring cells are mixed to their thickness-weighted mean
 /// (potential temperature and the second tracer together). A few sweeps
 /// per step suffice — convection is re-triggered next step if needed.
-pub fn convective_adjustment(cfg: &ModelConfig, tile: &Tile, masks: &Masks, state: &mut ModelState) {
+pub fn convective_adjustment(
+    cfg: &ModelConfig,
+    tile: &Tile,
+    masks: &Masks,
+    state: &mut ModelState,
+) {
     let (nx, ny) = (tile.nx as i64, tile.ny as i64);
     let mut cells = 0u64;
     // Complete adjustment via group merging: walk away from the coupling

@@ -24,7 +24,8 @@ pub const FLOPS_PER_CELL: u64 = 18;
 /// equator, westerlies in mid-latitudes.
 pub fn tau_x_climatology(lat: f64, lat_max: f64) -> f64 {
     let phi = lat / lat_max; // −1..1
-    0.1 * (-(3.0 * std::f64::consts::FRAC_PI_2 * phi).cos()) * (std::f64::consts::FRAC_PI_2 * phi).cos()
+    0.1 * (-(3.0 * std::f64::consts::FRAC_PI_2 * phi).cos())
+        * (std::f64::consts::FRAC_PI_2 * phi).cos()
 }
 
 /// Climatological SST (°C) and sea-surface salinity (psu).
@@ -96,7 +97,15 @@ mod tests {
     use crate::state::ModelState;
     use crate::topography::Topography;
 
-    fn oce() -> (ModelConfig, Tile, TileGeom, Masks, ModelState, Workspace, BoundaryFields) {
+    fn oce() -> (
+        ModelConfig,
+        Tile,
+        TileGeom,
+        Masks,
+        ModelState,
+        Workspace,
+        BoundaryFields,
+    ) {
         let d = Decomp::blocks(128, 64, 1, 1, 3);
         let mut cfg = ModelConfig::ocean_2p8125(d);
         cfg.continents = false;

@@ -10,10 +10,10 @@
 use crate::config::ModelConfig;
 use crate::decomp::Decomp;
 use crate::field::Field2;
-use crate::grid::GRAVITY;
-use crate::kernel::TileGeom;
 use crate::flops::{self, Phase};
+use crate::grid::GRAVITY;
 use crate::halo;
+use crate::kernel::TileGeom;
 use crate::solver::elliptic::{EllipticCoeffs, APPLY_FLOPS_PER_CELL};
 use crate::state::Masks;
 use crate::tile::Tile;
@@ -289,7 +289,11 @@ mod tests {
         }
         for (n, &(i, j)) in wetcells.iter().enumerate() {
             let gx = (tile.gx(i) * 13 + tile.gy(j) * 7) % 19;
-            rhs.set(i, j, (gx as f64 - 9.0) * 1e4 + if n % 2 == 0 { 5e3 } else { -5e3 });
+            rhs.set(
+                i,
+                j,
+                (gx as f64 - 9.0) * 1e4 + if n % 2 == 0 { 5e3 } else { -5e3 },
+            );
         }
         rhs
     }
@@ -307,7 +311,9 @@ mod tests {
         let mut x = Field2::new(16, 8, 3);
         let mut world = SerialWorld;
         let mut solver = CgSolver::new(&tile);
-        let res = solver.solve(&mut world, &cfg, &d, &tile, &geom, &coeffs, &masks, &rhs, &mut x);
+        let res = solver.solve(
+            &mut world, &cfg, &d, &tile, &geom, &coeffs, &masks, &rhs, &mut x,
+        );
         assert!(res.converged, "CG did not converge: {res:?}");
         let rr = residual_of(&tile, &coeffs, &masks, &cfg, &rhs, &x, &mut world, &d);
         assert!(rr < 1e-6, "true residual {rr}");
@@ -327,7 +333,9 @@ mod tests {
         let mut x = Field2::new(32, 16, 3);
         let mut world = SerialWorld;
         let mut solver = CgSolver::new(&tile);
-        let res = solver.solve(&mut world, &cfg, &d, &tile, &geom, &coeffs, &masks, &rhs, &mut x);
+        let res = solver.solve(
+            &mut world, &cfg, &d, &tile, &geom, &coeffs, &masks, &rhs, &mut x,
+        );
         assert!(res.converged, "CG did not converge: {res:?}");
         // Land cells stay untouched.
         for (i, j) in x.clone().interior() {
@@ -351,8 +359,9 @@ mod tests {
         let rhs_s = rhs_pattern(&tile_s, &masks_s);
         let mut x_s = Field2::new(nx, ny, 3);
         let mut world = SerialWorld;
-        CgSolver::new(&tile_s)
-            .solve(&mut world, &cfg_s, &ds, &tile_s, &geom_s, &coeffs_s, &masks_s, &rhs_s, &mut x_s);
+        CgSolver::new(&tile_s).solve(
+            &mut world, &cfg_s, &ds, &tile_s, &geom_s, &coeffs_s, &masks_s, &rhs_s, &mut x_s,
+        );
 
         // 2×2 parallel run.
         let dp = Decomp::blocks(nx, ny, 2, 2, 3);
@@ -411,8 +420,9 @@ mod tests {
         let rhs = Field2::new(16, 8, 3);
         let mut x = Field2::new(16, 8, 3);
         let mut world = SerialWorld;
-        let res = CgSolver::new(&tile)
-            .solve(&mut world, &cfg, &d, &tile, &geom, &coeffs, &masks, &rhs, &mut x);
+        let res = CgSolver::new(&tile).solve(
+            &mut world, &cfg, &d, &tile, &geom, &coeffs, &masks, &rhs, &mut x,
+        );
         assert!(res.converged);
         assert_eq!(res.iterations, 0);
         assert_eq!(x.interior_max_abs(), 0.0);
@@ -433,8 +443,9 @@ mod tests {
         let rhs = rhs_pattern(&tile, &masks);
         let mut x = Field2::new(32, 16, 3);
         let mut world = SerialWorld;
-        let res = CgSolver::new(&tile)
-            .solve(&mut world, &cfg, &d, &tile, &geom, &coeffs, &masks, &rhs, &mut x);
+        let res = CgSolver::new(&tile).solve(
+            &mut world, &cfg, &d, &tile, &geom, &coeffs, &masks, &rhs, &mut x,
+        );
         assert!(res.converged);
         assert!(
             (5..300).contains(&res.iterations),

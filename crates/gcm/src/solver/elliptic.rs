@@ -126,7 +126,11 @@ mod tests {
         // Interior rows away from walls: exact zero. Wall rows: the
         // missing face has zero transmissibility (depth 0 outside), so
         // also zero.
-        assert!(out.interior_max_abs() < 1e-6 * coeffs.diag.at(0, 4), "{}", out.interior_max_abs());
+        assert!(
+            out.interior_max_abs() < 1e-6 * coeffs.diag.at(0, 4),
+            "{}",
+            out.interior_max_abs()
+        );
     }
 
     #[test]

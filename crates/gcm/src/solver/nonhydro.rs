@@ -56,11 +56,20 @@ impl NhCoeffs {
             let dz = cfg.grid.dz[k];
             for j in -hi..(ny as i64 + hi) {
                 for i in -hi..(nx as i64 + hi) {
-                    aw.set(i, j, k, masks.hu.at(i, j, k) * geom.dy * dz / geom.dxc_at(j));
-                    a_s.set(i, j, k, masks.hv.at(i, j, k) * geom.dxs_at(j) * dz / geom.dy);
-                    let vert_ok = k > 0
-                        && masks.c.at(i, j, k) != 0.0
-                        && masks.c.at(i, j, k - 1) != 0.0;
+                    aw.set(
+                        i,
+                        j,
+                        k,
+                        masks.hu.at(i, j, k) * geom.dy * dz / geom.dxc_at(j),
+                    );
+                    a_s.set(
+                        i,
+                        j,
+                        k,
+                        masks.hv.at(i, j, k) * geom.dxs_at(j) * dz / geom.dy,
+                    );
+                    let vert_ok =
+                        k > 0 && masks.c.at(i, j, k) != 0.0 && masks.c.at(i, j, k - 1) != 0.0;
                     if vert_ok {
                         let dzi = 0.5 * (cfg.grid.dz[k - 1] + dz);
                         at.set(i, j, k, geom.area_at(j) / dzi);
@@ -199,7 +208,9 @@ impl NonHydroSolver {
         let nz = cfg.grid.nz;
         let (nx, ny) = (tile.nx as i64, tile.ny as i64);
         let mut rhs = self.q.clone();
-        divergence3(cfg, tile, geom, masks, &state.u, &state.v, &state.w, &mut rhs);
+        divergence3(
+            cfg, tile, geom, masks, &state.u, &state.v, &state.w, &mut rhs,
+        );
 
         // Compatibility: remove the wet-cell mean of b = −rhs/Δt.
         let mut sums = [0.0f64, 0.0];
@@ -210,7 +221,11 @@ impl NonHydroSolver {
             }
         }
         world.global_sum_vec(&mut sums);
-        let mean_b = if sums[1] > 0.0 { sums[0] / sums[1] } else { 0.0 };
+        let mean_b = if sums[1] > 0.0 {
+            sums[0] / sums[1]
+        } else {
+            0.0
+        };
 
         // Warm-started residual.
         halo::exchange3(world, decomp, tile, &mut [&mut self.pnh], 1);
@@ -354,11 +369,13 @@ pub fn w_tendency(
                 let wc = w.at(i, j, k);
                 // Horizontal advecting velocities averaged to the w-point.
                 let ubar = 0.25
-                    * (state.u.at(i, j, k) + state.u.at(i + 1, j, k)
+                    * (state.u.at(i, j, k)
+                        + state.u.at(i + 1, j, k)
                         + state.u.at(i, j, k - 1)
                         + state.u.at(i + 1, j, k - 1));
                 let vbar = 0.25
-                    * (state.v.at(i, j, k) + state.v.at(i, j + 1, k)
+                    * (state.v.at(i, j, k)
+                        + state.v.at(i, j + 1, k)
                         + state.v.at(i, j, k - 1)
                         + state.v.at(i, j + 1, k - 1));
                 let dwdx = (w.at(i + 1, j, k) - w.at(i - 1, j, k)) / (2.0 * dx);
@@ -428,15 +445,25 @@ mod tests {
         // A messy divergent flow.
         for (i, j, k) in st.u.clone().interior() {
             st.u.set(i, j, k, 0.05 * ((i * 3 + j + k as i64) as f64).sin());
-            st.v
-                .set(i, j, k, 0.04 * ((i - 2 * j) as f64).cos() * masks.v.at(i, j, k));
+            st.v.set(
+                i,
+                j,
+                k,
+                0.04 * ((i - 2 * j) as f64).cos() * masks.v.at(i, j, k),
+            );
             if k > 0 {
                 st.w.set(i, j, k, 0.01 * ((i + j) as f64 * 0.3).sin());
             }
         }
         let d = Decomp::blocks(8, 8, 1, 1, 3);
         let mut world = SerialWorld;
-        halo::exchange3(&mut world, &d, &tile, &mut [&mut st.u, &mut st.v, &mut st.w], 1);
+        halo::exchange3(
+            &mut world,
+            &d,
+            &tile,
+            &mut [&mut st.u, &mut st.v, &mut st.w],
+            1,
+        );
         let mut div = Field3::new(8, 8, 4, 3);
         divergence3(&cfg, &tile, &geom, &masks, &st.u, &st.v, &st.w, &mut div);
         let before = div.interior_max_abs();
@@ -446,7 +473,13 @@ mod tests {
         let res = solver.project(&mut world, &cfg, &d, &tile, &geom, &masks, &mut st);
         assert!(res.converged, "{res:?}");
 
-        halo::exchange3(&mut world, &d, &tile, &mut [&mut st.u, &mut st.v, &mut st.w], 1);
+        halo::exchange3(
+            &mut world,
+            &d,
+            &tile,
+            &mut [&mut st.u, &mut st.v, &mut st.w],
+            1,
+        );
         divergence3(&cfg, &tile, &geom, &masks, &st.u, &st.v, &st.w, &mut div);
         let after = div.interior_max_abs();
         assert!(

@@ -237,9 +237,9 @@ mod tests {
             for i in 0..16i64 {
                 for k in 0..3usize {
                     let b0 = cfg.eos.buoyancy(st.theta.at(i, j, k), st.s.at(i, j, k), k);
-                    let b1 = cfg
-                        .eos
-                        .buoyancy(st.theta.at(i, j, k + 1), st.s.at(i, j, k + 1), k + 1);
+                    let b1 =
+                        cfg.eos
+                            .buoyancy(st.theta.at(i, j, k + 1), st.s.at(i, j, k + 1), k + 1);
                     if cfg.eos.unstable(b0, b1) {
                         violations += 1;
                     }

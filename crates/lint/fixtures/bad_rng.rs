@@ -1,0 +1,22 @@
+// Deliberately bad code for hyades-lint self-tests. This file is NOT
+// compiled and NOT scanned by the workspace walker (fixtures/ is
+// excluded); it is only fed through `analyze` by unit tests, which
+// assert that every violation below is caught.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+fn nondeterministic_soup() -> f64 {
+    let mut rng = rand::thread_rng(); // unseeded-rng
+    let jitter: f64 = rand::random(); // unseeded-rng
+    let t0 = Instant::now(); // instant-wallclock
+
+    let mut pending: HashMap<u32, f64> = HashMap::new();
+    pending.insert(1, jitter);
+    let mut acc = 0.0;
+    for (_, v) in pending.iter() {
+        // hash-iteration
+        acc += v;
+    }
+    acc + t0.elapsed().as_secs_f64() + rng.sample_something()
+}

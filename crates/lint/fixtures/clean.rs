@@ -1,0 +1,19 @@
+// Clean counterpart to bad_rng.rs: everything here is allowed, and the
+// self-test asserts zero findings. Mentions of forbidden tokens in
+// comments and strings ("thread_rng", Instant::now) must not fire.
+
+use std::collections::{BTreeMap, HashMap};
+
+fn deterministic(seed: u64) -> f64 {
+    let mut rng = hyades_des::rng::SplitMix64::new(seed);
+    let mut ordered: BTreeMap<u32, f64> = BTreeMap::new();
+    ordered.insert(1, rng.next_f64());
+
+    // Keyed access into a hash map is fine; only iteration is banned.
+    let mut lookup: HashMap<u32, f64> = HashMap::new();
+    lookup.insert(7, 0.5);
+    let x = lookup.get(&7).copied().unwrap_or(0.0);
+
+    let msg = "never call thread_rng or Instant::now in sim code";
+    ordered.values().sum::<f64>() + x + msg.len() as f64 * 0.0
+}

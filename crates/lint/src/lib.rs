@@ -1,0 +1,210 @@
+//! hyades-lint: a determinism & numerical-correctness static-analysis
+//! pass over the Hyades workspace sources.
+//!
+//! The discrete-event simulation results in this repo are only
+//! trustworthy if they are bit-reproducible: same seed, same trace, same
+//! numbers (paper §4: validation against the measured Hyades cluster
+//! depends on replayable runs). This crate enforces, mechanically, the
+//! coding rules that keep it that way — see [`rules`] for the table.
+//!
+//! Runs two ways:
+//!
+//! * `cargo run -p hyades-lint` — prints `file:line: rule: message`
+//!   diagnostics, exits nonzero on violations;
+//! * as a `#[test]` (`tests/lint_gate.rs` in the workspace root), so
+//!   plain `cargo test` enforces the rules in CI.
+
+pub mod baseline;
+pub mod rules;
+pub mod source;
+
+pub use rules::{analyze, Finding};
+
+use std::path::{Path, PathBuf};
+
+/// The workspace root, resolved relative to this crate
+/// (`crates/lint` → two levels up).
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint has a workspace root two levels up")
+        .to_path_buf()
+}
+
+/// Directories scanned, relative to the workspace root. `vendor/` (stub
+/// crates), `target/`, and `crates/lint/fixtures/` (deliberately bad
+/// code for self-tests) are outside this list by construction.
+const SCAN_ROOTS: &[&str] = &["crates", "src", "tests", "examples"];
+
+/// All `.rs` files under the scan roots as (workspace-relative path with
+/// `/` separators, contents), sorted by path for deterministic reports.
+pub fn collect_sources(root: &Path) -> std::io::Result<Vec<(String, String)>> {
+    let mut files = Vec::new();
+    for sub in SCAN_ROOTS {
+        let dir = root.join(sub);
+        if dir.is_dir() {
+            walk(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut out = Vec::with_capacity(files.len());
+    for path in files {
+        let contents = std::fs::read_to_string(&path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        out.push((rel, contents));
+    }
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" || name == "vendor" {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Result of a full workspace lint.
+pub struct LintReport {
+    /// Hard failures, sorted by path/line.
+    pub violations: Vec<Finding>,
+    /// Informational ratchet notes (files now under baseline).
+    pub notes: Vec<String>,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Human-readable report body (diagnostics + notes, no summary line).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for v in &self.violations {
+            s.push_str(&format!("{v}\n"));
+        }
+        for n in &self.notes {
+            s.push_str(&format!("note: {n}\n"));
+        }
+        s
+    }
+}
+
+/// Lint every scanned source against the checked-in baseline.
+pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
+    let sources = collect_sources(root)?;
+    let files_scanned = sources.len();
+    let mut findings = Vec::new();
+    for (rel, contents) in &sources {
+        findings.extend(rules::analyze(rel, contents));
+    }
+
+    let baseline_path = root.join(baseline_file());
+    let baseline = if baseline_path.is_file() {
+        baseline::parse(&std::fs::read_to_string(&baseline_path)?).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("{}: {e}", baseline_path.display()),
+            )
+        })?
+    } else {
+        baseline::Baseline::new()
+    };
+    let (mut violations, notes) = baseline::apply(findings, &baseline);
+    violations.sort();
+    violations.dedup();
+    Ok(LintReport {
+        violations,
+        notes,
+        files_scanned,
+    })
+}
+
+/// Workspace-relative location of the baseline file.
+pub fn baseline_file() -> &'static str {
+    "crates/lint/baseline.txt"
+}
+
+/// Recompute the baseline from the current tree and write it out.
+/// Returns the number of (file, rule) entries.
+pub fn write_baseline(root: &Path) -> std::io::Result<usize> {
+    let sources = collect_sources(root)?;
+    let mut findings = Vec::new();
+    for (rel, contents) in &sources {
+        findings.extend(rules::analyze(rel, contents));
+    }
+    let b = baseline::from_findings(&findings);
+    std::fs::write(root.join(baseline_file()), baseline::render(&b))?;
+    Ok(b.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_root_has_manifest() {
+        assert!(workspace_root().join("Cargo.toml").is_file());
+    }
+
+    #[test]
+    fn collect_sees_known_files_and_skips_fixtures() {
+        let files = collect_sources(&workspace_root()).unwrap();
+        let paths: Vec<&str> = files.iter().map(|(p, _)| p.as_str()).collect();
+        assert!(
+            paths.contains(&"crates/des/src/sim.rs"),
+            "missing des sources"
+        );
+        assert!(
+            paths.contains(&"crates/lint/src/lib.rs"),
+            "lint must lint itself"
+        );
+        assert!(
+            paths
+                .iter()
+                .all(|p| !p.contains("fixtures") && !p.starts_with("vendor")),
+            "fixtures and vendor stubs must not be scanned"
+        );
+    }
+
+    /// Acceptance criterion: a fixture with a deliberate `thread_rng()`
+    /// (and friends) must be caught when fed through the analyzer.
+    #[test]
+    fn fixture_with_thread_rng_is_caught() {
+        let bad = include_str!("../fixtures/bad_rng.rs");
+        let findings = analyze("crates/des/src/bad_rng.rs", bad);
+        let rules_hit: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+        assert!(rules_hit.contains(&rules::UNSEEDED_RNG), "{findings:?}");
+        assert!(
+            rules_hit.contains(&rules::INSTANT_WALLCLOCK),
+            "{findings:?}"
+        );
+        assert!(rules_hit.contains(&rules::HASH_ITERATION), "{findings:?}");
+    }
+
+    #[test]
+    fn fixture_clean_passes() {
+        let good = include_str!("../fixtures/clean.rs");
+        let findings = analyze("crates/des/src/clean.rs", good);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

@@ -1,0 +1,50 @@
+//! `cargo run -p hyades-lint [-- --write-baseline]`
+//!
+//! Lints the workspace sources and exits nonzero on violations. With
+//! `--write-baseline`, regenerates `crates/lint/baseline.txt` from the
+//! current tree instead (used to ratchet the unwrap-in-lib burndown).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = hyades_lint::workspace_root();
+
+    if args.iter().any(|a| a == "--write-baseline") {
+        match hyades_lint::write_baseline(&root) {
+            Ok(n) => {
+                println!("wrote {} with {n} entries", hyades_lint::baseline_file());
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("hyades-lint: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(unknown) = args.iter().find(|a| *a != "--write-baseline") {
+        eprintln!("hyades-lint: unknown argument `{unknown}` (only --write-baseline is accepted)");
+        return ExitCode::FAILURE;
+    }
+
+    match hyades_lint::lint_workspace(&root) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.is_clean() {
+                println!("hyades-lint: {} files clean", report.files_scanned);
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "hyades-lint: {} violation(s) in {} files scanned",
+                    report.violations.len(),
+                    report.files_scanned
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("hyades-lint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,543 @@
+//! The rule engine: repo-specific determinism and numerical-correctness
+//! invariants, run over scrubbed source lines.
+//!
+//! | rule                | scope                                   | forbids                                        |
+//! |---------------------|-----------------------------------------|------------------------------------------------|
+//! | `instant-wallclock` | everywhere except `crates/bench`        | `std::time::Instant`, `Instant::now`, `SystemTime` |
+//! | `unseeded-rng`      | everywhere                              | `thread_rng`, `from_entropy`, `rand::random`   |
+//! | `hash-iteration`    | `des`, `arctic`, `comms`, `cluster`     | iterating `HashMap`/`HashSet` (keyed lookup ok)|
+//! | `f32-in-gcm`        | `crates/gcm/src`                        | the `f32` type (the model is 64-bit)           |
+//! | `unwrap-in-lib`     | `des`/`comms`/`arctic` non-test lib code| `.unwrap()` / `.expect(` (baseline burndown)   |
+//!
+//! Any finding can be suppressed with an inline pragma:
+//! `// lint:allow(rule-name, reason)` on the offending line, or on a
+//! comment-only line directly above it. The reason is mandatory.
+
+use crate::source::{find_tokens, scrub, ScrubbedLine};
+use std::collections::BTreeSet;
+use std::fmt;
+
+pub const INSTANT_WALLCLOCK: &str = "instant-wallclock";
+pub const UNSEEDED_RNG: &str = "unseeded-rng";
+pub const HASH_ITERATION: &str = "hash-iteration";
+pub const F32_IN_GCM: &str = "f32-in-gcm";
+pub const UNWRAP_IN_LIB: &str = "unwrap-in-lib";
+pub const BAD_PRAGMA: &str = "bad-pragma";
+
+pub const ALL_RULES: &[&str] = &[
+    INSTANT_WALLCLOCK,
+    UNSEEDED_RNG,
+    HASH_ITERATION,
+    F32_IN_GCM,
+    UNWRAP_IN_LIB,
+];
+
+/// One diagnostic. Renders as `file:line: rule: message`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    pub rel_path: String,
+    /// 1-based.
+    pub line: usize,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.rel_path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Where a file sits in the workspace, derived from its relative path.
+struct FileScope {
+    /// `Some("des")` for `crates/des/...`.
+    crate_name: Option<String>,
+    /// Under a `src/` directory (library code), as opposed to
+    /// `tests/`, `benches/`, or the workspace `examples/`.
+    in_src: bool,
+}
+
+fn classify(rel_path: &str) -> FileScope {
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    let crate_name = if parts.len() >= 2 && parts[0] == "crates" {
+        Some(parts[1].to_string())
+    } else {
+        None
+    };
+    let in_src = match crate_name {
+        Some(_) => parts.get(2) == Some(&"src"),
+        None => parts.first() == Some(&"src"),
+    };
+    FileScope { crate_name, in_src }
+}
+
+/// A parsed `lint:allow(rule, reason)` pragma.
+struct Pragma {
+    rule: String,
+    has_reason: bool,
+    /// Pragma sits on a comment-only line, so it covers the next line.
+    own_line: bool,
+}
+
+fn parse_pragmas(lines: &[ScrubbedLine]) -> Vec<Vec<Pragma>> {
+    lines
+        .iter()
+        .map(|l| {
+            let mut out = Vec::new();
+            // Doc comments (`///`, `//!`, `/**`, `/*!`) describe the
+            // pragma syntax without invoking it; only plain comments
+            // carry live pragmas.
+            if matches!(l.comment.chars().next(), Some('/' | '!' | '*')) {
+                return out;
+            }
+            let mut rest = l.comment.as_str();
+            while let Some(pos) = rest.find("lint:allow(") {
+                let body = &rest[pos + "lint:allow(".len()..];
+                let close = body.find(')').unwrap_or(body.len());
+                let inner = &body[..close];
+                let (rule, reason) = match inner.split_once(',') {
+                    Some((r, why)) => (r.trim(), !why.trim().is_empty()),
+                    None => (inner.trim(), false),
+                };
+                out.push(Pragma {
+                    rule: rule.to_string(),
+                    has_reason: reason,
+                    own_line: l.code.trim().is_empty(),
+                });
+                rest = &body[close..];
+            }
+            out
+        })
+        .collect()
+}
+
+/// Per-line flag: inside a `#[cfg(test)]`-gated item (tracked by brace
+/// depth on scrubbed code, so braces in strings/comments don't count).
+fn cfg_test_lines(lines: &[ScrubbedLine]) -> Vec<bool> {
+    let mut flags = vec![false; lines.len()];
+    let mut depth: i64 = 0;
+    let mut region_starts: Vec<i64> = Vec::new();
+    let mut pending = false;
+    for (idx, l) in lines.iter().enumerate() {
+        if region_starts.is_empty() && l.code.contains("#[cfg(test)]") {
+            pending = true;
+        }
+        flags[idx] = !region_starts.is_empty() || pending;
+        for c in l.code.chars() {
+            match c {
+                '{' => {
+                    if pending {
+                        region_starts.push(depth);
+                        pending = false;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if region_starts.last() == Some(&depth) {
+                        region_starts.pop();
+                    }
+                }
+                ';' if pending && depth == 0 => {
+                    // `#[cfg(test)] mod x;` — out-of-line module; the
+                    // gated code lives in another file we don't see.
+                    pending = false;
+                }
+                _ => {}
+            }
+        }
+        if !region_starts.is_empty() {
+            flags[idx] = true;
+        }
+    }
+    flags
+}
+
+/// Trailing identifier of `s` (e.g. receiver of a method call), skipping
+/// a `self.` qualifier: `self.early` → `early`.
+fn trailing_ident(s: &str) -> Option<&str> {
+    let bytes = s.as_bytes();
+    let mut end = bytes.len();
+    while end > 0 && (bytes[end - 1].is_ascii_alphanumeric() || bytes[end - 1] == b'_') {
+        end -= 1;
+    }
+    if end == bytes.len() {
+        return None;
+    }
+    Some(&s[end..])
+}
+
+/// Leading identifier of `s`: `early_reqs.remove(..)` → `early_reqs`.
+fn leading_ident(s: &str) -> &str {
+    let end = s
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .unwrap_or(s.len());
+    &s[..end]
+}
+
+/// Names bound to `HashMap`/`HashSet` in this file (field declarations,
+/// typed bindings, and `= HashMap::new()` initializers).
+fn hash_container_names(lines: &[ScrubbedLine]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for l in lines {
+        for container in ["HashMap", "HashSet"] {
+            for pos in find_tokens(&l.code, container) {
+                let before = l.code[..pos].trim_end();
+                // `name: HashMap<..>` or `name: std::collections::HashMap<..>`
+                let before_path = before
+                    .strip_suffix("std::collections::")
+                    .or_else(|| before.strip_suffix("collections::"))
+                    .unwrap_or(before)
+                    .trim_end();
+                if let Some(prefix) = before_path.strip_suffix(':') {
+                    // Exclude `::` paths — only type ascription.
+                    if !prefix.ends_with(':') {
+                        if let Some(name) = trailing_ident(prefix.trim_end()) {
+                            if !name.is_empty() {
+                                names.insert(name.to_string());
+                            }
+                        }
+                    }
+                }
+                // `let [mut] name = [std::collections::]HashMap::new()`
+                if before_path.ends_with('=') {
+                    if let Some(let_pos) = l.code[..pos].rfind("let ") {
+                        let after_let = l.code[let_pos + 4..].trim_start();
+                        let after_mut = after_let.strip_prefix("mut ").unwrap_or(after_let);
+                        let name = leading_ident(after_mut.trim_start());
+                        if !name.is_empty() {
+                            names.insert(name.to_string());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    names
+}
+
+/// Methods on a hash container whose results depend on hash-iteration
+/// order. Keyed access (`get`, `insert`, `remove`, `contains_key`,
+/// indexing) is fine.
+const ITERATION_METHODS: &[&str] = &[
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".drain(",
+    ".into_iter()",
+    ".retain(",
+    ".into_keys()",
+    ".into_values()",
+];
+
+/// Run every rule over one file. `rel_path` is workspace-relative with
+/// `/` separators.
+pub fn analyze(rel_path: &str, source: &str) -> Vec<Finding> {
+    let scope = classify(rel_path);
+    let lines = scrub(source);
+    let pragmas = parse_pragmas(&lines);
+    let in_test = cfg_test_lines(&lines);
+
+    let mut raw: Vec<Finding> = Vec::new();
+    let mut push = |line: usize, rule: &'static str, message: String| {
+        raw.push(Finding {
+            rel_path: rel_path.to_string(),
+            line: line + 1,
+            rule,
+            message,
+        });
+    };
+
+    let crate_name = scope.crate_name.as_deref();
+    let event_ordering_crate = matches!(crate_name, Some("des" | "arctic" | "comms" | "cluster"));
+    let hash_names = if event_ordering_crate {
+        hash_container_names(&lines)
+    } else {
+        BTreeSet::new()
+    };
+
+    for (idx, l) in lines.iter().enumerate() {
+        let code = &l.code;
+
+        // R1: wall-clock time outside the benchmark crate breaks
+        // replayability of anything it touches.
+        if crate_name != Some("bench") {
+            for tok in [
+                "std::time::Instant",
+                "time::Instant",
+                "Instant::now",
+                "SystemTime",
+            ] {
+                if !find_tokens(code, tok).is_empty() {
+                    push(
+                        idx,
+                        INSTANT_WALLCLOCK,
+                        format!("wall-clock `{tok}` outside crates/bench; simulated time only"),
+                    );
+                    break;
+                }
+            }
+        }
+
+        // R2: unseeded randomness is nondeterminism by construction.
+        for tok in ["thread_rng", "from_entropy", "rand::random"] {
+            if !find_tokens(code, tok).is_empty() {
+                push(
+                    idx,
+                    UNSEEDED_RNG,
+                    format!("unseeded RNG `{tok}`; use hyades_des::rng::SplitMix64 with an explicit seed"),
+                );
+            }
+        }
+
+        // R3: hash-iteration order can leak into event ordering.
+        if event_ordering_crate {
+            let mut hit = false;
+            for m in ITERATION_METHODS {
+                for pos in memfind(code, m) {
+                    if let Some(recv) = trailing_ident(&code[..pos]) {
+                        if hash_names.contains(recv) {
+                            push(
+                                idx,
+                                HASH_ITERATION,
+                                format!(
+                                    "iterating hash container `{recv}` (`{m}`); order is nondeterministic — use BTreeMap/BTreeSet or keyed access"
+                                ),
+                            );
+                            hit = true;
+                        }
+                    }
+                }
+            }
+            // `for x in [&[mut ]]name` over a hash container.
+            if !hit {
+                if let Some(in_pos) = code.find(" in ") {
+                    if code[..in_pos].trim_start().starts_with("for ") {
+                        let expr = code[in_pos + 4..].trim_start();
+                        let expr = expr.strip_prefix('&').unwrap_or(expr);
+                        let expr = expr.strip_prefix("mut ").unwrap_or(expr).trim_start();
+                        let expr = expr.strip_prefix("self.").unwrap_or(expr);
+                        let name = leading_ident(expr);
+                        let after = &expr[name.len()..];
+                        if hash_names.contains(name) && !after.starts_with('.') {
+                            push(
+                                idx,
+                                HASH_ITERATION,
+                                format!("`for … in {name}` iterates a hash container; order is nondeterministic"),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        // R4: the GCM is a 64-bit model (paper §5); f32 anywhere in its
+        // kernels/solvers silently halves the precision of a reduction.
+        if crate_name == Some("gcm") && scope.in_src && !find_tokens(code, "f32").is_empty() {
+            push(
+                idx,
+                F32_IN_GCM,
+                "`f32` in the GCM; the model is 64-bit end to end".to_string(),
+            );
+        }
+
+        // R5: panicking on Err/None in library code of the simulation
+        // crates; burned down via the checked-in baseline.
+        if matches!(crate_name, Some("des" | "comms" | "arctic")) && scope.in_src && !in_test[idx] {
+            let unwraps = memfind(code, ".unwrap()").len() + memfind(code, ".expect(").len();
+            for _ in 0..unwraps {
+                push(
+                    idx,
+                    UNWRAP_IN_LIB,
+                    "`.unwrap()`/`.expect(` in non-test library code; return an error or annotate with lint:allow".to_string(),
+                );
+            }
+        }
+    }
+
+    // Pragma application: same-line always; a comment-only pragma line
+    // also covers the next line. Unknown rules / missing reasons are
+    // themselves findings.
+    let mut out = Vec::new();
+    for f in raw {
+        let idx = f.line - 1;
+        let mut allowed = false;
+        for (pline, own_line_required) in [(idx, false), (idx.wrapping_sub(1), true)] {
+            if let Some(ps) = pragmas.get(pline) {
+                for p in ps {
+                    if p.rule == f.rule && p.has_reason && (!own_line_required || p.own_line) {
+                        allowed = true;
+                    }
+                }
+            }
+        }
+        if !allowed {
+            out.push(f);
+        }
+    }
+    for (idx, ps) in pragmas.iter().enumerate() {
+        for p in ps {
+            if !ALL_RULES.contains(&p.rule.as_str()) {
+                out.push(Finding {
+                    rel_path: rel_path.to_string(),
+                    line: idx + 1,
+                    rule: BAD_PRAGMA,
+                    message: format!("pragma allows unknown rule `{}`", p.rule),
+                });
+            } else if !p.has_reason {
+                out.push(Finding {
+                    rel_path: rel_path.to_string(),
+                    line: idx + 1,
+                    rule: BAD_PRAGMA,
+                    message: format!(
+                        "lint:allow({}) needs a reason: lint:allow({}, why)",
+                        p.rule, p.rule
+                    ),
+                });
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Plain substring occurrences (no token boundary: used for method-call
+/// patterns that carry their own punctuation).
+fn memfind(hay: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = hay[from..].find(needle) {
+        out.push(from + rel);
+        from += rel + needle.len();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_hit(rel: &str, src: &str) -> Vec<&'static str> {
+        analyze(rel, src).into_iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn thread_rng_is_flagged() {
+        let hits = rules_hit("crates/des/src/x.rs", "let r = rand::thread_rng();\n");
+        assert_eq!(hits, vec![UNSEEDED_RNG]);
+    }
+
+    #[test]
+    fn rng_in_string_or_comment_is_not_flagged() {
+        let src = "// never call thread_rng\nlet s = \"thread_rng\";\n";
+        assert!(rules_hit("crates/des/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn instant_flagged_outside_bench_only() {
+        let src = "let t0 = std::time::Instant::now();\n";
+        assert!(rules_hit("crates/des/src/x.rs", src).contains(&INSTANT_WALLCLOCK));
+        assert!(!rules_hit("crates/bench/benches/b.rs", src).contains(&INSTANT_WALLCLOCK));
+    }
+
+    #[test]
+    fn hash_lookup_ok_iteration_flagged() {
+        let keyed =
+            "struct S { early: HashMap<u32, f64> }\nfn f(s: &mut S) { s.early.remove(&1); }\n";
+        assert!(rules_hit("crates/comms/src/x.rs", keyed).is_empty());
+        let iterated = "struct S { early: HashMap<u32, f64> }\nfn f(s: &S) { for (k, v) in s.early.iter() {} }\n";
+        assert_eq!(
+            rules_hit("crates/comms/src/x.rs", iterated),
+            vec![HASH_ITERATION]
+        );
+        let for_loop = "let mut m = HashMap::new();\nfor v in &m {}\n";
+        assert_eq!(
+            rules_hit("crates/des/src/x.rs", for_loop),
+            vec![HASH_ITERATION]
+        );
+    }
+
+    #[test]
+    fn hash_iteration_outside_scope_crates_ignored() {
+        let src = "let mut m = HashMap::new();\nfor v in m.values() {}\n";
+        assert!(rules_hit("crates/gcm/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn f32_only_in_gcm_src() {
+        let src = "let x: f32 = 0.0;\n";
+        assert_eq!(
+            rules_hit("crates/gcm/src/kernel/k.rs", src),
+            vec![F32_IN_GCM]
+        );
+        assert!(rules_hit("crates/perf/src/x.rs", src).is_empty());
+        assert!(rules_hit("crates/gcm/tests/t.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_lib_scoped_and_test_exempt() {
+        let src =
+            "fn f() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n  fn g() { y.unwrap(); }\n}\n";
+        let hits = analyze("crates/des/src/x.rs", src);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].line, 1);
+        assert!(rules_hit("crates/des/tests/t.rs", src).is_empty());
+        assert!(rules_hit("crates/gcm/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_else_not_flagged() {
+        let src = "fn f() { x.unwrap_or_else(|| 3); y.expect_err(\"no\"); }\n";
+        assert!(rules_hit("crates/des/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn pragma_suppresses_with_reason() {
+        let same = "let t = Instant::now(); // lint:allow(instant-wallclock, demo timer)\n";
+        assert!(rules_hit("crates/des/src/x.rs", same).is_empty());
+        let above = "// lint:allow(instant-wallclock, demo timer)\nlet t = Instant::now();\n";
+        assert!(rules_hit("crates/des/src/x.rs", above).is_empty());
+    }
+
+    #[test]
+    fn pragma_without_reason_rejected() {
+        let src = "let t = Instant::now(); // lint:allow(instant-wallclock)\n";
+        let hits = rules_hit("crates/des/src/x.rs", src);
+        assert!(hits.contains(&INSTANT_WALLCLOCK), "finding not suppressed");
+        assert!(hits.contains(&BAD_PRAGMA));
+    }
+
+    #[test]
+    fn doc_comments_do_not_carry_pragmas() {
+        let src = "//! Use `lint:allow(rule, reason)` to suppress.\n/// e.g. lint:allow(instant-wallclock, why)\nlet t = Instant::now();\n";
+        let hits = rules_hit("crates/des/src/x.rs", src);
+        assert_eq!(
+            hits,
+            vec![INSTANT_WALLCLOCK],
+            "doc mention must neither suppress nor be bad-pragma"
+        );
+    }
+
+    #[test]
+    fn pragma_unknown_rule_rejected() {
+        let src = "// lint:allow(no-such-rule, why)\nlet x = 1;\n";
+        assert_eq!(rules_hit("crates/des/src/x.rs", src), vec![BAD_PRAGMA]);
+    }
+
+    #[test]
+    fn display_format() {
+        let f = Finding {
+            rel_path: "crates/des/src/x.rs".into(),
+            line: 3,
+            rule: UNSEEDED_RNG,
+            message: "m".into(),
+        };
+        assert_eq!(f.to_string(), "crates/des/src/x.rs:3: unseeded-rng: m");
+    }
+}

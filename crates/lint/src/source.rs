@@ -1,0 +1,310 @@
+//! Comment- and string-aware source scrubbing.
+//!
+//! The rule engine must not fire on text inside comments, string
+//! literals, or char literals (`"thread_rng"` in a diagnostic message is
+//! not a call to `thread_rng()`). `scrub` walks the source once with a
+//! small lexer and produces, per physical line:
+//!
+//! * `code` — the source text with comments removed and string/char
+//!   *contents* blanked (the delimiting quotes are kept so token
+//!   boundaries survive), and
+//! * `comment` — the comment text on that line, which is where
+//!   `lint:allow(...)` pragmas live.
+//!
+//! Handled: line comments, nested block comments, string literals with
+//! escapes, raw strings `r"…"`/`r#"…"#` (any number of hashes, plus the
+//! `b`/`br` byte forms), char literals, and lifetimes (`'a` is not an
+//! unterminated char literal).
+
+/// One physical source line after scrubbing.
+#[derive(Debug, Clone, Default)]
+pub struct ScrubbedLine {
+    pub code: String,
+    pub comment: String,
+}
+
+/// Scrub `source` into per-line code/comment views.
+pub fn scrub(source: &str) -> Vec<ScrubbedLine> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut lines: Vec<ScrubbedLine> = Vec::new();
+    let mut cur = ScrubbedLine::default();
+    let mut i = 0usize;
+
+    // Local states; `block_depth` > 0 means inside (possibly nested)
+    // block comments.
+    let mut block_depth = 0usize;
+
+    let at = |i: usize| -> char { chars.get(i).copied().unwrap_or('\0') };
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            lines.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        if block_depth > 0 {
+            if c == '/' && at(i + 1) == '*' {
+                block_depth += 1;
+                i += 2;
+            } else if c == '*' && at(i + 1) == '/' {
+                block_depth -= 1;
+                i += 2;
+            } else {
+                cur.comment.push(c);
+                i += 1;
+            }
+            continue;
+        }
+        match c {
+            '/' if at(i + 1) == '/' => {
+                // Line comment: consume to end of line (exclusive).
+                i += 2;
+                while i < chars.len() && chars[i] != '\n' {
+                    cur.comment.push(chars[i]);
+                    i += 1;
+                }
+            }
+            '/' if at(i + 1) == '*' => {
+                block_depth = 1;
+                i += 2;
+            }
+            '"' => {
+                cur.code.push('"');
+                i += 1;
+                while i < chars.len() {
+                    match chars[i] {
+                        '\\' => i += 2,
+                        '"' => {
+                            cur.code.push('"');
+                            i += 1;
+                            break;
+                        }
+                        '\n' => {
+                            // Multi-line string: keep line structure.
+                            lines.push(std::mem::take(&mut cur));
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+            }
+            'r' | 'b' if is_raw_or_byte_string_start(&chars, i) => {
+                let (prefix_len, hashes) = string_prefix(&chars, i);
+                for k in 0..prefix_len {
+                    cur.code.push(at(i + k));
+                }
+                i += prefix_len; // now past the opening quote
+                if hashes == usize::MAX {
+                    // b"…" — ordinary escapes apply.
+                    while i < chars.len() {
+                        match chars[i] {
+                            '\\' => i += 2,
+                            '"' => {
+                                cur.code.push('"');
+                                i += 1;
+                                break;
+                            }
+                            '\n' => {
+                                lines.push(std::mem::take(&mut cur));
+                                i += 1;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                } else {
+                    // Raw string: ends at `"` followed by `hashes` hashes.
+                    while i < chars.len() {
+                        if chars[i] == '"' && (0..hashes).all(|k| at(i + 1 + k) == '#') {
+                            cur.code.push('"');
+                            for _ in 0..hashes {
+                                cur.code.push('#');
+                            }
+                            i += 1 + hashes;
+                            break;
+                        }
+                        if chars[i] == '\n' {
+                            lines.push(std::mem::take(&mut cur));
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            '\'' => {
+                // Lifetime or char literal. A lifetime is `'ident` NOT
+                // followed by a closing quote ('a' is a char, 'abc is a
+                // lifetime, '\'' is a char).
+                let n1 = at(i + 1);
+                let is_lifetime =
+                    (n1.is_alphabetic() || n1 == '_') && n1 != '\\' && at(i + 2) != '\'';
+                if is_lifetime {
+                    cur.code.push('\'');
+                    i += 1;
+                } else {
+                    cur.code.push('\'');
+                    i += 1;
+                    while i < chars.len() {
+                        match chars[i] {
+                            '\\' => i += 2,
+                            '\'' => {
+                                cur.code.push('\'');
+                                i += 1;
+                                break;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                }
+            }
+            _ => {
+                cur.code.push(c);
+                i += 1;
+            }
+        }
+    }
+    lines.push(cur);
+    lines
+}
+
+/// Does position `i` start a raw/byte string (`r"`, `r#`, `b"`, `br"` …)
+/// rather than an identifier containing `r`/`b`?
+fn is_raw_or_byte_string_start(chars: &[char], i: usize) -> bool {
+    // The previous char must not be part of an identifier (otherwise
+    // `for`, `br` inside `abr` etc. would confuse us).
+    if i > 0 {
+        let p = chars[i - 1];
+        if p.is_alphanumeric() || p == '_' {
+            return false;
+        }
+    }
+    let at = |k: usize| -> char { chars.get(k).copied().unwrap_or('\0') };
+    match chars[i] {
+        'r' => at(i + 1) == '"' || (at(i + 1) == '#' && raw_hash_run(chars, i + 1).1),
+        'b' => {
+            at(i + 1) == '"'
+                || (at(i + 1) == 'r'
+                    && (at(i + 2) == '"' || (at(i + 2) == '#' && raw_hash_run(chars, i + 2).1)))
+        }
+        _ => false,
+    }
+}
+
+/// Count a run of `#` starting at `i`; returns (count, followed_by_quote).
+fn raw_hash_run(chars: &[char], i: usize) -> (usize, bool) {
+    let mut n = 0;
+    while chars.get(i + n) == Some(&'#') {
+        n += 1;
+    }
+    (n, chars.get(i + n) == Some(&'"'))
+}
+
+/// Length of the opening delimiter at `i` (through the opening quote) and
+/// the hash count (`usize::MAX` encodes "not raw": ordinary escapes).
+fn string_prefix(chars: &[char], i: usize) -> (usize, usize) {
+    let at = |k: usize| -> char { chars.get(k).copied().unwrap_or('\0') };
+    match chars[i] {
+        'r' => {
+            let (h, _) = raw_hash_run(chars, i + 1);
+            (1 + h + 1, h)
+        }
+        'b' if at(i + 1) == '"' => (2, usize::MAX),
+        'b' => {
+            // br…
+            let (h, _) = raw_hash_run(chars, i + 2);
+            (2 + h + 1, h)
+        }
+        _ => unreachable!("string_prefix on non-prefix"),
+    }
+}
+
+/// Is `hay[pos..pos+token.len()]` the token `token` with identifier
+/// boundaries on both sides?
+pub fn token_at(hay: &str, pos: usize, token: &str) -> bool {
+    let bytes = hay.as_bytes();
+    let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    if pos > 0 && is_ident(bytes[pos - 1]) {
+        return false;
+    }
+    let end = pos + token.len();
+    if end < bytes.len() && is_ident(bytes[end]) {
+        return false;
+    }
+    true
+}
+
+/// All boundary-respecting occurrences of `token` in `hay`.
+pub fn find_tokens(hay: &str, token: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = hay[from..].find(token) {
+        let pos = from + rel;
+        if token_at(hay, pos, token) {
+            out.push(pos);
+        }
+        from = pos + token.len().max(1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_comments_are_stripped() {
+        let l = scrub("let x = 1; // thread_rng() here\nlet y = 2;");
+        assert_eq!(l[0].code, "let x = 1; ");
+        assert!(l[0].comment.contains("thread_rng"));
+        assert_eq!(l[1].code, "let y = 2;");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = scrub("a /* x /* y */ z */ b");
+        assert_eq!(l[0].code, "a  b");
+        assert!(l[0].comment.contains('y'));
+    }
+
+    #[test]
+    fn string_contents_blanked_quotes_kept() {
+        let l = scrub(r#"panic!("do not call thread_rng() \" here");"#);
+        assert_eq!(l[0].code, r#"panic!("");"#);
+        assert!(l[0].comment.is_empty());
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let l = scrub(r##"let s = r#"Instant::now() "quoted""#; x"##);
+        assert_eq!(l[0].code, r##"let s = r#""#; x"##);
+    }
+
+    #[test]
+    fn byte_strings() {
+        let l = scrub(r#"let s = b"SystemTime"; y"#);
+        assert_eq!(l[0].code, r#"let s = b""; y"#);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let l = scrub("fn f<'a>(x: &'a str) { let c = '\"'; let q = '\\''; }");
+        assert!(
+            !l[0].code.contains('"'),
+            "char contents must be blanked: {}",
+            l[0].code
+        );
+        assert!(l[0].code.contains("'a"), "lifetime must survive");
+    }
+
+    #[test]
+    fn multiline_strings_keep_line_numbers() {
+        let l = scrub("let s = \"line one\nline two\";\nlet t = 3;");
+        assert_eq!(l.len(), 3);
+        assert_eq!(l[2].code, "let t = 3;");
+    }
+
+    #[test]
+    fn token_boundaries() {
+        assert_eq!(find_tokens("f32x4 f32 my_f32", "f32"), vec![6]);
+        assert_eq!(find_tokens("thread_rng()", "thread_rng"), vec![0]);
+    }
+}

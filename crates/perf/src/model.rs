@@ -80,7 +80,12 @@ impl PerfModel {
     /// keeping the compute parameters. `levels` is the isomorph's
     /// vertical resolution; tiles are the standard 32×32 columns with a
     /// width-3 PS halo and width-1 DS halo, 8-byte elements.
-    pub fn on_interconnect(&self, net: &dyn Interconnect, levels: u32, n_endpoints: u32) -> PerfModel {
+    pub fn on_interconnect(
+        &self,
+        net: &dyn Interconnect,
+        levels: u32,
+        n_endpoints: u32,
+    ) -> PerfModel {
         let edge = (self.ds.nxy as f64).sqrt().round() as u32;
         let ps_shape = ExchangeShape::square_tile(edge, 3, levels, 8);
         let ds_shape = ExchangeShape::square_tile(edge, 1, 1, 8);
@@ -155,7 +160,10 @@ mod tests {
         let atmos = paper_atmosphere().sustained_mflops(8, ni);
         let ocean = paper_ocean().sustained_mflops(8, ni);
         let total = atmos + ocean;
-        assert!((600.0..900.0).contains(&total), "combined rate {total} MFlop/s");
+        assert!(
+            (600.0..900.0).contains(&total),
+            "combined rate {total} MFlop/s"
+        );
         // Both isomorphs individually sustain hundreds of MFlop/s.
         assert!(atmos > 250.0 && ocean > 250.0, "{atmos} / {ocean}");
     }

@@ -73,6 +73,9 @@ mod tests {
     fn error_sign_convention() {
         let m = crate::model::paper_atmosphere();
         let slow_obs = validate(&m, 1000, 60.0, 1e9);
-        assert!(slow_obs.relative_error < 0.0, "prediction below observation");
+        assert!(
+            slow_obs.relative_error < 0.0,
+            "prediction below observation"
+        );
     }
 }

@@ -59,7 +59,13 @@ impl PingPonger {
     fn send(&self, ctx: &mut Ctx<'_>, tag: u16) {
         let os = self.host.pio.send_overhead(self.payload_bytes);
         let data = vec![0u8; self.payload_bytes as usize];
-        let pkt = Packet::new(self.me, self.peer, Priority::High, tag, words_from_bytes(&data));
+        let pkt = Packet::new(
+            self.me,
+            self.peer,
+            Priority::High,
+            tag,
+            words_from_bytes(&data),
+        );
         ctx.send_after(os, self.tx_port, Inject(pkt));
     }
 }
@@ -80,7 +86,12 @@ impl Actor for PingPonger {
             Ok(del) => {
                 assert!(!del.pkt.corrupted);
                 let or = self.host.pio.recv_overhead(self.payload_bytes);
-                ctx.wake_after(or, RxProcessed { tag: del.pkt.usr_tag });
+                ctx.wake_after(
+                    or,
+                    RxProcessed {
+                        tag: del.pkt.usr_tag,
+                    },
+                );
                 return;
             }
             Err(e) => e,

@@ -24,7 +24,10 @@ pub fn words_from_bytes(bytes: &[u8]) -> Vec<u32> {
 /// Unpack payload words into `len` bytes (inverse of [`words_from_bytes`]).
 pub fn bytes_from_words(words: &[u32], len: usize) -> Vec<u8> {
     let mut out: Vec<u8> = words.iter().flat_map(|w| w.to_be_bytes()).collect();
-    assert!(out.len() >= len, "word buffer shorter than requested length");
+    assert!(
+        out.len() >= len,
+        "word buffer shorter than requested length"
+    );
     out.truncate(len);
     out
 }

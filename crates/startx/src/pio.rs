@@ -83,7 +83,11 @@ impl CpuClock {
     /// Occupy the CPU for `cost`, starting no earlier than `now`; returns
     /// the completion time.
     pub fn occupy(&mut self, now: SimTime, cost: SimDuration) -> SimTime {
-        let start = if now > self.free_at { now } else { self.free_at };
+        let start = if now > self.free_at {
+            now
+        } else {
+            self.free_at
+        };
         self.free_at = start + cost;
         self.free_at
     }

@@ -59,7 +59,11 @@ impl Default for ViConfig {
 
 /// Analytic model of the one-time per-transfer overhead: PIO round trip
 /// (request + ack) + DMA kick + first staging copy.
-pub fn negotiation_time(host: &HostParams, net_latency: SimDuration, first_chunk: u64) -> SimDuration {
+pub fn negotiation_time(
+    host: &HostParams,
+    net_latency: SimDuration,
+    first_chunk: u64,
+) -> SimDuration {
     let pio = &host.pio;
     let req = pio.send_overhead(8) + net_latency + pio.recv_overhead(8);
     let ack = pio.send_overhead(8) + net_latency + pio.recv_overhead(8);
@@ -68,19 +72,33 @@ pub fn negotiation_time(host: &HostParams, net_latency: SimDuration, first_chunk
 
 /// Analytic transfer time: negotiation + streaming at the PCI payload rate
 /// + the receiver's final copy-out.
-pub fn transfer_time(host: &HostParams, net_latency: SimDuration, cfg: &ViConfig, len: u64) -> SimDuration {
+pub fn transfer_time(
+    host: &HostParams,
+    net_latency: SimDuration,
+    cfg: &ViConfig,
+    len: u64,
+) -> SimDuration {
     let first = len.min(cfg.chunk_bytes);
     let last = if len > cfg.chunk_bytes {
         len % cfg.chunk_bytes
     } else {
         0
     };
-    let last = if last == 0 { len.min(cfg.chunk_bytes) } else { last };
+    let last = if last == 0 {
+        len.min(cfg.chunk_bytes)
+    } else {
+        last
+    };
     negotiation_time(host, net_latency, first) + host.vi_dma_time(len) + host.memcpy_time(last)
 }
 
 /// Perceived bandwidth in MByte/s for a transfer of `len` bytes.
-pub fn perceived_bandwidth(host: &HostParams, net_latency: SimDuration, cfg: &ViConfig, len: u64) -> f64 {
+pub fn perceived_bandwidth(
+    host: &HostParams,
+    net_latency: SimDuration,
+    cfg: &ViConfig,
+    len: u64,
+) -> f64 {
     len as f64 / transfer_time(host, net_latency, cfg, len).as_secs_f64() / 1e6
 }
 
@@ -322,7 +340,8 @@ impl Actor for ViReceiver {
                         let cost = self.host.pio.recv_overhead(8)
                             + self.host.dma_kick
                             + self.host.pio.send_overhead(8);
-                        let ack = Packet::new(self.me, pkt.src, Priority::High, TAG_ACK, vec![0, 0]);
+                        let ack =
+                            Packet::new(self.me, pkt.src, Priority::High, TAG_ACK, vec![0, 0]);
                         ctx.send_after(cost, self.tx_port, Inject(ack));
                     }
                     TAG_DATA => {
@@ -381,7 +400,12 @@ pub struct TransferMeasurement {
 /// Run one VI transfer of `len` bytes between endpoints 0 → 1 of a
 /// `n_endpoints` fabric and measure the user-to-user time (start of send
 /// call to receiver's data being copied out).
-pub fn measure_transfer(host: HostParams, cfg: ViConfig, n_endpoints: u16, len: u64) -> TransferMeasurement {
+pub fn measure_transfer(
+    host: HostParams,
+    cfg: ViConfig,
+    n_endpoints: u16,
+    len: u64,
+) -> TransferMeasurement {
     let mut sim = Simulator::new();
     // Reserve actor slots: sender is endpoint 0, receiver endpoint 1, the
     // rest are inert sinks.
@@ -487,7 +511,10 @@ mod tests {
         assert!(bw9k >= 0.88 * 110.0, "9 KB bandwidth {bw9k}");
         // Peak approaches 110 MB/s.
         let bw128k = perceived_bandwidth(&host, lat, &cfg, 128 * 1024);
-        assert!((105.0..=110.0).contains(&bw128k), "128 KB bandwidth {bw128k}");
+        assert!(
+            (105.0..=110.0).contains(&bw128k),
+            "128 KB bandwidth {bw128k}"
+        );
     }
 
     #[test]

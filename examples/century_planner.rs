@@ -16,7 +16,10 @@ fn main() {
     // Sensitivity: how the century wall time responds to the knobs a
     // group planning a run would actually turn.
     let e = estimate();
-    println!("sensitivity of the coupled century ({:.1} days baseline):", e.coupled_days);
+    println!(
+        "sensitivity of the coupled century ({:.1} days baseline):",
+        e.coupled_days
+    );
     // Solver iterations on the 1-degree ocean.
     for ni in [100.0, 150.0, 250.0] {
         let o = ocean_1deg_model();

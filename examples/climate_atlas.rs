@@ -7,9 +7,7 @@
 //! cargo run --release --example climate_atlas -- [steps]
 //! ```
 
-use hyades::gcm::diagnostics::{
-    overturning_streamfunction, poleward_heat_transport, zonal_mean,
-};
+use hyades::gcm::diagnostics::{overturning_streamfunction, poleward_heat_transport, zonal_mean};
 use hyades::scenario::small_coupled_scenario;
 use hyades_comms::SerialWorld;
 

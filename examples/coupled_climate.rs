@@ -26,12 +26,18 @@ fn main() {
     let mut wa = SerialWorld;
     let mut wo = SerialWorld;
 
-    println!("running {steps} coupled steps (dt_atm = {:.0}s, dt_oce = {:.0}s)...",
-        coupled.atmos.cfg.dt, coupled.ocean.cfg.dt);
+    println!(
+        "running {steps} coupled steps (dt_atm = {:.0}s, dt_oce = {:.0}s)...",
+        coupled.atmos.cfg.dt, coupled.ocean.cfg.dt
+    );
+    // lint:allow(instant-wallclock, example prints human-facing throughput; never feeds simulated time)
     let t0 = std::time::Instant::now();
     for step in 1..=steps {
         let (sa, so) = coupled.step(&mut wa, &mut wo);
-        assert!(sa.cg_converged && so.cg_converged, "solver diverged at step {step}");
+        assert!(
+            sa.cg_converged && so.cg_converged,
+            "solver diverged at step {step}"
+        );
         if step % 50 == 0 || step == steps {
             let mut w = SerialWorld;
             let da = global_diagnostics(&coupled.atmos, &mut w);
@@ -53,10 +59,16 @@ fn main() {
     // Figure 9 equivalents: upper-level atmospheric winds (the paper's
     // 250 mb zonal velocity panel) and surface ocean state (the 25 m
     // currents panel).
-    fs::write("output/atmos_upper_level.csv", tile_level_csv(&coupled.atmos, 3))
-        .expect("write atmos csv");
-    fs::write("output/ocean_surface.csv", tile_level_csv(&coupled.ocean, 0))
-        .expect("write ocean csv");
+    fs::write(
+        "output/atmos_upper_level.csv",
+        tile_level_csv(&coupled.atmos, 3),
+    )
+    .expect("write atmos csv");
+    fs::write(
+        "output/ocean_surface.csv",
+        tile_level_csv(&coupled.ocean, 0),
+    )
+    .expect("write ocean csv");
     println!("\nwrote output/atmos_upper_level.csv and output/ocean_surface.csv");
     println!(
         "mean Ni: atmosphere {:.1}, ocean {:.1} (paper's coupled runs: ~60)",

@@ -66,7 +66,11 @@ fn main() {
         }
         println!(
             "{:<16} max |w| = {:.2e} m/s   mixed layer ~{:4.0} m   centre SST {:+.2} C{}",
-            if nonhydro { "non-hydrostatic" } else { "hydrostatic" },
+            if nonhydro {
+                "non-hydrostatic"
+            } else {
+                "hydrostatic"
+            },
             wmax,
             ml_depth,
             m.state.theta.at(ci, cj, 0),

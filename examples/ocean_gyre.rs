@@ -13,6 +13,7 @@ use hyades::gcm::driver::Model;
 use hyades_comms::{CommWorld, ThreadWorld};
 
 fn run_decomp(name: &str, decomp: Decomp, steps: usize) -> (f64, f64) {
+    // lint:allow(instant-wallclock, example prints human-facing throughput; never feeds simulated time)
     let t0 = std::time::Instant::now();
     let results = ThreadWorld::run(decomp.n_ranks(), |world| {
         let mut cfg = ModelConfig::test_ocean(64, 32, 6, decomp);
@@ -42,7 +43,11 @@ fn main() {
         .unwrap_or(100);
 
     println!("wind-driven ocean spin-up, 64x32x6, two decomposition styles\n");
-    let blocks = run_decomp("compact blocks (4x2)", Decomp::blocks(64, 32, 4, 2, 3), steps);
+    let blocks = run_decomp(
+        "compact blocks (4x2)",
+        Decomp::blocks(64, 32, 4, 2, 3),
+        steps,
+    );
     let strips = run_decomp("long strips (1x8)", Decomp::strips(64, 32, 8, 3), steps);
     let serial = run_decomp("serial (1x1)", Decomp::blocks(64, 32, 1, 1, 3), steps);
 
@@ -58,5 +63,7 @@ fn main() {
         agree(blocks, strips),
         agree(blocks, serial)
     );
-    println!("(tile shape is a performance knob; answers agree to roundoff growth — Figure 5's point)");
+    println!(
+        "(tile shape is a performance knob; answers agree to roundoff growth — Figure 5's point)"
+    );
 }

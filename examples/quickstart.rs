@@ -32,15 +32,22 @@ fn main() {
     let mut w = SerialWorld;
     let da = global_diagnostics(&coupled.atmos, &mut w);
     let doc = global_diagnostics(&coupled.ocean, &mut w);
-    println!("\natmosphere: max wind {:.2} m/s, CFL {:.3}", da.max_speed, da.cfl);
+    println!(
+        "\natmosphere: max wind {:.2} m/s, CFL {:.3}",
+        da.max_speed, da.cfl
+    );
     println!("ocean:      max current {:.4} m/s", doc.max_speed);
     println!("\nsea-surface temperature ('#' = land):");
     println!("{}", ascii_map(&coupled.ocean, 0, 32));
 
-    println!("mean solver iterations (the paper's Ni): atmosphere {:.1}, ocean {:.1}",
+    println!(
+        "mean solver iterations (the paper's Ni): atmosphere {:.1}, ocean {:.1}",
         coupled.atmos.mean_cg_iterations(),
-        coupled.ocean.mean_cg_iterations());
+        coupled.ocean.mean_cg_iterations()
+    );
     let (nps, nds) = coupled.atmos.measured_n_coefficients();
-    println!("measured flop coefficients: Nps = {nps:.0} flops/cell, Nds = {nds:.0} flops/col/iter");
+    println!(
+        "measured flop coefficients: Nps = {nps:.0} flops/cell, Nds = {nds:.0} flops/col/iter"
+    );
     println!("(paper's Figure 11: Nps = 781, Nds = 36)");
 }

@@ -43,8 +43,10 @@ fn model_for(net: &dyn Interconnect, n: u32) -> PerfModel {
         (0.0, 0.0, 0.0)
     } else {
         (
-            net.exchange_time(&ExchangeShape::from_legs(legs(3, levels))).as_us_f64(),
-            net.exchange_time(&ExchangeShape::from_legs(legs(1, 1))).as_us_f64(),
+            net.exchange_time(&ExchangeShape::from_legs(legs(3, levels)))
+                .as_us_f64(),
+            net.exchange_time(&ExchangeShape::from_legs(legs(1, 1)))
+                .as_us_f64(),
             net.gsum_time(n).as_us_f64(),
         )
     };
@@ -98,9 +100,7 @@ fn main() {
             ]);
         }
     }
-    println!(
-        "Scaling of the 2.8125 deg ocean isomorph (Nt-independent steady rate, Ni = 60)\n"
-    );
+    println!("Scaling of the 2.8125 deg ocean isomorph (Nt-independent steady rate, Ni = 60)\n");
     println!("{}", t.render());
     println!(
         "The crossover the paper predicts: Ethernet-class interconnects stop scaling\n\

@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Full local gate: formatting, release build, static analysis, tests.
+# Run from anywhere inside the repo.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> hyades-lint (determinism & numerical-correctness rules)"
+cargo run -q -p hyades-lint
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "All checks passed."

@@ -8,7 +8,14 @@ fn registry_lists_all_artefacts() {
     assert_eq!(all.len(), 13);
     // Every table/figure of the paper's evaluation is covered.
     let artefacts: Vec<&str> = all.iter().map(|e| e.paper_artefact).collect();
-    for needle in ["Figure 2", "Figure 7", "Figure 10", "Figure 11", "Figure 12", "Figure 9"] {
+    for needle in [
+        "Figure 2",
+        "Figure 7",
+        "Figure 10",
+        "Figure 11",
+        "Figure 12",
+        "Figure 9",
+    ] {
         assert!(
             artefacts.iter().any(|a| a.contains(needle)),
             "missing {needle}"
@@ -32,7 +39,10 @@ fn cheap_experiments_render() {
     ];
     for (id, run, needle) in checks {
         let report = run();
-        assert!(report.contains(needle), "{id} report missing '{needle}':\n{report}");
+        assert!(
+            report.contains(needle),
+            "{id} report missing '{needle}':\n{report}"
+        );
         assert!(report.lines().count() >= 5, "{id} report too short");
     }
 }

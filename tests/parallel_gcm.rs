@@ -236,6 +236,9 @@ fn coupled_pair_runs_on_eight_threads_and_matches_serial() {
         global_diagnostics(&c.ocean, w).heat_content
     });
     for h in &par_heats {
-        assert!(((h - serial_heat) / serial_heat).abs() < 1e-7, "{h} vs {serial_heat}");
+        assert!(
+            ((h - serial_heat) / serial_heat).abs() < 1e-7,
+            "{h} vs {serial_heat}"
+        );
     }
 }

@@ -1,0 +1,154 @@
+//! Offline stub of `criterion`.
+//!
+//! Keeps the workspace's `harness = false` benchmarks compiling and
+//! runnable without the real crate. Each benchmark runs a short warmup,
+//! then `sample_size` timed iterations, and prints the median per-call
+//! time (and throughput when configured). No statistics machinery, no
+//! HTML reports — numbers are indicative, not rigorous.
+//!
+//! This stub (and the `hyades-bench` crate) are the only places in the
+//! tree allowed to read wall-clock time; simulation and model crates are
+//! kept deterministic (see rule `instant-wallclock` in `hyades-lint`).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier: a function name plus a parameter rendering.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{function}/{parameter}") }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Units processed per iteration, reported as a rate alongside the time.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function(&mut self, id: impl Display, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.run(&id.to_string(), &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(&id.to_string(), &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        // Warmup pass (also seeds caches/allocator), then timed samples.
+        for warm in [true, false] {
+            let n = if warm { 1 } else { self.sample_size };
+            for _ in 0..n {
+                let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+                f(&mut b);
+                if !warm && b.iters > 0 {
+                    samples.push(b.elapsed.as_secs_f64() / b.iters as f64);
+                }
+            }
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples.get(samples.len() / 2).copied().unwrap_or(0.0);
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) if median > 0.0 => {
+                format!("  {:.1} MB/s", n as f64 / median / 1e6)
+            }
+            Some(Throughput::Elements(n)) if median > 0.0 => {
+                format!("  {:.3} Melem/s", n as f64 / median / 1e6)
+            }
+            _ => String::new(),
+        };
+        println!("  {}/{id}: {:.3} us/iter{rate}", self.name, median * 1e6);
+    }
+}
+
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let start = Instant::now();
+        black_box(f());
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,15 @@
+//! Offline stub of `crossbeam`.
+//!
+//! The workspace only uses `crossbeam::channel::{unbounded, Sender,
+//! Receiver}` with `send`/`recv`; `std::sync::mpsc` provides identical
+//! semantics (unbounded FIFO, per-sender ordering), so the stub is a
+//! thin re-export.
+
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender};
+
+    /// Create an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}

@@ -1,0 +1,79 @@
+//! `any::<T>()` for the primitive types the workspace asks for.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy producing uniformly distributed values of `T`.
+pub struct Any<T>(PhantomData<T>);
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Finite values spanning many magnitudes (not raw bit patterns:
+    /// NaN/inf almost never help the properties in this tree).
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        let mantissa = rng.next_f64() * 2.0 - 1.0;
+        let exponent = (rng.next_below(613) as i32 - 306) as f64;
+        mantissa * 10f64.powf(exponent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_takes_both_values() {
+        let mut rng = TestRng::new(9);
+        let (mut t, mut f) = (false, false);
+        for _ in 0..64 {
+            if bool::arbitrary(&mut rng) {
+                t = true;
+            } else {
+                f = true;
+            }
+        }
+        assert!(t && f);
+    }
+
+    #[test]
+    fn f64_is_finite() {
+        let mut rng = TestRng::new(10);
+        for _ in 0..100 {
+            assert!(f64::arbitrary(&mut rng).is_finite());
+        }
+    }
+}

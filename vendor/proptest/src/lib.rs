@@ -1,0 +1,157 @@
+//! Offline stub of `proptest`: a deterministic mini property-test runner.
+//!
+//! Implements the subset of the proptest API this workspace uses:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`strategy::Strategy`] with `prop_map`, implemented for integer and
+//!   float ranges and for tuples,
+//! * [`arbitrary::any`] for the primitive types,
+//! * [`collection::vec`] and [`sample::{select, Index}`],
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` /
+//!   `prop_assume!`.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case panics with the regular assert
+//!   message; inputs are reported by the assert text only.
+//! * **Deterministic seeding.** Each property derives its RNG seed from
+//!   its own function name, so every run of the suite executes the exact
+//!   same cases — repo policy is that `cargo test` is bit-reproducible.
+//! * `prop_assume!` skips the case instead of retrying a fresh one, so
+//!   the effective case count can be lower than configured.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Mirror of `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Run every property in the block `cases` times with freshly sampled
+/// inputs. Supports an optional leading `#![proptest_config(expr)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::test_runner::Config = $cfg;
+                let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+                for __case in 0..cfg.cases {
+                    let _ = __case;
+                    let ( $($pat,)+ ) = ( $(
+                        $crate::strategy::Strategy::sample(&$strat, &mut rng),
+                    )+ );
+                    // Bindings land outside the closure (their types come
+                    // from the strategies), then the body runs inside an
+                    // immediately-invoked closure so `prop_assume!` can
+                    // skip the case via `return`.
+                    let __run = move || $body;
+                    __run();
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skip the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 3u32..17, b in -2.5f64..4.0, c in 1usize..=5) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((-2.5..4.0).contains(&b));
+            prop_assert!((1..=5).contains(&c));
+        }
+
+        #[test]
+        fn vec_sizes_respect_request(v in prop::collection::vec(any::<u8>(), 2..6), w in prop::collection::vec(0u16..9, 4)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert_eq!(w.len(), 4);
+            prop_assert!(w.iter().all(|&x| x < 9));
+        }
+
+        #[test]
+        fn assume_skips(n in 0u32..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn select_and_index(x in prop::sample::select(vec![2u32, 4, 8]), idx in any::<prop::sample::Index>()) {
+            prop_assert!(x == 2 || x == 4 || x == 8);
+            prop_assert!(idx.index(7) < 7);
+        }
+
+        #[test]
+        fn tuples_and_map(p in (0u16..4, 10u64..20).prop_map(|(a, b)| a as u64 + b)) {
+            prop_assert!((10..24).contains(&p));
+        }
+    }
+
+    #[test]
+    fn seeding_is_deterministic() {
+        use crate::strategy::Strategy;
+        let sample = |name: &str| {
+            let mut rng = crate::test_runner::TestRng::from_name(name);
+            (0..8).map(|_| (0u64..1 << 40).sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(sample("alpha"), sample("alpha"));
+        assert_ne!(sample("alpha"), sample("beta"));
+    }
+}

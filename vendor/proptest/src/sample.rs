@@ -1,0 +1,42 @@
+//! `prop::sample` — selecting from fixed choices and random indices.
+
+use crate::arbitrary::Arbitrary;
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// An index into a collection whose length is only known at use time
+/// (`prop::sample::Index`).
+#[derive(Clone, Copy, Debug)]
+pub struct Index(u64);
+
+impl Index {
+    /// Map onto `[0, len)`; `len` must be nonzero.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Index(rng.next_u64())
+    }
+}
+
+/// Strategy drawing uniformly from a fixed list of options.
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+pub fn select<T: Clone + std::fmt::Debug>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select from empty list");
+    Select { options }
+}
+
+impl<T: Clone + std::fmt::Debug> Strategy for Select<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.options[rng.next_below(self.options.len() as u64) as usize].clone()
+    }
+}

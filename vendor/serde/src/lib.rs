@@ -1,0 +1,15 @@
+//! Offline stub of `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on a few config and
+//! report structs but never actually serializes them (there is no
+//! `serde_json`/`bincode` in the tree). This stub keeps those derives
+//! compiling without the real crate: the traits are empty markers and
+//! the derive macros expand to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

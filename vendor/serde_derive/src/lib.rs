@@ -1,0 +1,17 @@
+//! Offline stub of `serde_derive`.
+//!
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` must parse, but no
+//! code in this workspace ever requires the trait bounds, so the derives
+//! simply emit an empty token stream.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
