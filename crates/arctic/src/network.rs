@@ -8,6 +8,8 @@ use crate::topology::{DownTarget, FatTree, RouterAddr};
 use hyades_des::event::Payload;
 use hyades_des::rng::SplitMix64;
 use hyades_des::{Actor, ActorId, Ctx, SimDuration, SimTime, Simulator};
+use hyades_telemetry as telemetry;
+use hyades_telemetry::flight;
 use std::sync::Arc;
 
 /// Fabric configuration. Defaults are the paper's hardware constants.
@@ -82,6 +84,10 @@ impl TxPort {
         self.free_at = now + ser;
         self.packets_injected += 1;
         self.bytes_injected += pkt.wire_bytes();
+        telemetry::record_span(ctx.self_id().0 as u64, "arctic", "niu.inject", now, ser);
+        telemetry::count("arctic.txport", "packets_injected", 1);
+        telemetry::count("arctic.txport", "bytes_injected", pkt.wire_bytes());
+        flight::record(now, ctx.self_id(), "txport.inject", pkt.usr_tag as u64);
         // Cut-through: head reaches the leaf router one wire latency after
         // transmission starts.
         ctx.send_after(self.timing.wire_latency, self.leaf, RouterEv::Arrive(pkt));

@@ -23,6 +23,8 @@ use crate::packet::{Packet, Priority};
 use crate::topology::{FatTree, RouterAddr};
 use hyades_des::event::Payload;
 use hyades_des::{Actor, ActorId, Ctx, SimDuration, SimTime};
+use hyades_telemetry as telemetry;
+use hyades_telemetry::flight;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -161,8 +163,22 @@ impl RouterActor {
         // Per-stage CRC verification.
         if !pkt.verify() {
             self.crc_failures += 1;
+            flight::record(
+                ctx.now(),
+                ctx.self_id(),
+                "router.crc_fail",
+                pkt.usr_tag as u64,
+            );
+            telemetry::count("arctic.router", "crc_failures", 1);
         }
         self.packets_routed += 1;
+        telemetry::count("arctic.router", "stage_crossings", 1);
+        flight::record(
+            ctx.now(),
+            ctx.self_id(),
+            "router.enqueue",
+            pkt.usr_tag as u64,
+        );
         let port = self.route(&pkt);
         if pkt.up_remaining > 0 {
             pkt.up_remaining -= 1;
@@ -198,6 +214,9 @@ impl RouterActor {
         q.free_at = now + ser;
         q.packets += 1;
         q.bytes += pkt.wire_bytes();
+        telemetry::record_span(ctx.self_id().0 as u64, "arctic", "router.tx", now, ser);
+        telemetry::observe_hist("arctic.router", "tx_queue_depth", q.queued() as u64);
+        flight::record(now, ctx.self_id(), "router.tx", pkt.usr_tag as u64);
         match q.target {
             PortTarget::Router(next) => {
                 // Cut-through: the head reaches the next stage after the

@@ -6,7 +6,29 @@
 use hyades_arctic::network::{ArcticConfig, ArcticNetwork, SinkEndpoint};
 use hyades_arctic::packet::{Packet, Priority, UpRoute};
 use hyades_des::{ActorId, SimTime, Simulator};
+use hyades_telemetry::flight;
 use proptest::prelude::*;
+
+/// Dumps the flight recorder when a property fails: the router/NIU event
+/// paths append to the thread-local `des::Trace` installed by
+/// [`run_fabric`], and this guard prints the buffered event history while
+/// the failing assertion unwinds — the "black box" for the wreck.
+struct FlightDumpOnFailure;
+
+impl Drop for FlightDumpOnFailure {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            if let Some(tr) = flight::take() {
+                eprintln!(
+                    "--- arctic flight recorder: last {} events ({} dropped) ---\n{}",
+                    tr.len(),
+                    tr.dropped(),
+                    tr.dump()
+                );
+            }
+        }
+    }
+}
 
 #[derive(Debug, Clone)]
 struct Injection {
@@ -30,6 +52,9 @@ fn injection_strategy(n: u16) -> impl Strategy<Value = Injection> {
 }
 
 fn run_fabric(n: u16, uproute: UpRoute, injections: &[Injection]) -> Vec<Vec<(u64, Packet)>> {
+    // Arm the flight recorder: router enqueue/tx and NIU injection events
+    // are recorded as they happen, bounded to the most recent 4096.
+    flight::install(4096);
     let mut sim = Simulator::new();
     let sinks: Vec<ActorId> = (0..n)
         .map(|_| sim.add_actor(SinkEndpoint::default()))
@@ -77,6 +102,7 @@ proptest! {
         random_route in any::<bool>(),
     ) {
         let uproute = if random_route { UpRoute::Random } else { UpRoute::SourceSpread };
+        let _flight_dump = FlightDumpOnFailure;
         let delivered = run_fabric(8, uproute, &injections);
         let mut seen = vec![0u32; injections.len()];
         for (dst, sink) in delivered.iter().enumerate() {
@@ -104,6 +130,7 @@ proptest! {
         // (the queue breaks time ties by insertion sequence).
         let mut inj = injections.clone();
         inj.sort_by_key(|i| i.at_us);
+        let _flight_dump = FlightDumpOnFailure;
         let delivered = run_fabric(8, UpRoute::SourceSpread, &inj);
         // For each (src, dst, priority) class, delivery order must match
         // injection order.
@@ -129,4 +156,39 @@ proptest! {
             }
         }
     }
+}
+
+/// The flight recorder actually sees the router/NIU event paths: a short
+/// deterministic run leaves injection, enqueue, and transmit records in
+/// the buffer (guards against the instrumentation silently rotting).
+#[test]
+fn flight_recorder_captures_router_and_niu_events() {
+    let injections = [
+        Injection {
+            src: 0,
+            dst: 7,
+            at_us: 0,
+            payload_words: 4,
+            high: true,
+        },
+        Injection {
+            src: 3,
+            dst: 1,
+            at_us: 2,
+            payload_words: 8,
+            high: false,
+        },
+    ];
+    let _ = run_fabric(8, UpRoute::SourceSpread, &injections);
+    let tr = flight::take().expect("run_fabric installs the recorder");
+    assert!(!tr.is_empty());
+    for label in ["txport.inject", "router.enqueue", "router.tx"] {
+        assert!(
+            tr.iter().any(|r| r.label == label),
+            "no '{label}' record in:\n{}",
+            tr.dump()
+        );
+    }
+    // Packet 0's injection is the first record of its path.
+    assert_eq!(tr.last_matching("txport.inject", 2).len(), 2);
 }

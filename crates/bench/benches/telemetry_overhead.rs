@@ -1,0 +1,85 @@
+//! Overhead of the telemetry hooks (DESIGN.md §9 acceptance bar).
+//!
+//! The instrumentation is compiled into the kernels unconditionally, so
+//! the quantity that matters is the *disabled-path* cost: every hook
+//! must bail on a thread-local flag check before touching its
+//! arguments. Three measurements:
+//!
+//! * `disabled_hooks_4k` — raw per-call price of the four hook shapes
+//!   (counter, stat, span, comm charge) with the recorder off; this is
+//!   the cost every instrumented call site pays in a normal run.
+//! * `full_step_telemetry_off` — the instrumented GCM step with the
+//!   recorder off; compare against `gcm_kernels/full_step_32x32x5`
+//!   (same model, same world) — the two should agree within the ≤ 2 %
+//!   acceptance bar.
+//! * `full_step_telemetry_on` — the same step with a live recorder, to
+//!   show what enabling the flight recorder actually costs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use hyades_bench::setup::tile_model;
+use hyades_comms::SerialWorld;
+use hyades_des::{SimDuration, SimTime};
+use hyades_telemetry as telemetry;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry_overhead");
+    g.sample_size(25);
+
+    // Per-call price of each hook shape with the recorder disabled
+    // (the state every call site is in during ordinary runs).
+    {
+        assert!(
+            telemetry::disable().is_none(),
+            "recorder must start disabled"
+        );
+        const CALLS: u64 = 1000;
+        g.throughput(Throughput::Elements(4 * CALLS));
+        g.bench_function("disabled_hooks_4k", |b| {
+            b.iter(|| {
+                for i in 0..CALLS {
+                    telemetry::count("bench", "counter", black_box(i));
+                    telemetry::observe("bench", "stat", black_box(i as f64));
+                    telemetry::record_span(
+                        black_box(i),
+                        "bench",
+                        "span",
+                        SimTime::ZERO,
+                        SimDuration::from_ns(1),
+                    );
+                    telemetry::charge_comm("bench", SimDuration::from_ns(black_box(i)));
+                }
+            });
+        });
+    }
+
+    // Instrumented full step, recorder off: should match the
+    // uninstrumented-era gcm_kernels/full_step_32x32x5 figure within 2 %.
+    g.throughput(Throughput::Elements(5120));
+    g.bench_function("full_step_telemetry_off", |b| {
+        let mut m = tile_model();
+        let mut w = SerialWorld;
+        b.iter(|| m.step(&mut w));
+    });
+
+    // Same step with a live recorder: the price of actually flying the
+    // flight recorder (span pushes, registry updates, phase accounting).
+    {
+        let mut m = tile_model();
+        let mut w = SerialWorld;
+        telemetry::enable(0);
+        g.bench_function("full_step_telemetry_on", |b| {
+            b.iter(|| m.step(&mut w));
+        });
+        let t = telemetry::disable().expect("recorder was enabled");
+        println!(
+            "  (enabled run recorded {} spans, {} steps)",
+            t.spans.len(),
+            t.registry.counter("gcm.driver", "steps")
+        );
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

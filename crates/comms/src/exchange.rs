@@ -18,6 +18,8 @@ use hyades_des::event::Payload;
 use hyades_des::{Actor, ActorId, Ctx, SimDuration, SimTime, Simulator};
 use hyades_startx::msg::{bulk_packet, segment};
 use hyades_startx::HostParams;
+use hyades_telemetry as telemetry;
+use hyades_telemetry::flight;
 use std::collections::BTreeMap;
 
 const TAG_REQ_BASE: u16 = 0x100; // + round
@@ -248,11 +250,29 @@ impl ExchangeNode {
         self.round += 1;
         self.half = Half::First;
         self.phase = LegPhase::Start;
+        telemetry::count("comms.exchange", "rounds_completed", 1);
         if self.round >= self.schedule.len() {
-            self.finished = Some(ctx.now());
+            self.mark_finished(ctx);
         } else {
             self.begin_half(ctx);
         }
+    }
+
+    /// Record completion: span over the whole schedule plus flight crumbs.
+    fn mark_finished(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        self.finished = Some(now);
+        if let Some(started) = self.started {
+            telemetry::record_span(
+                u64::from(self.me),
+                "comms",
+                "exchange.node",
+                started,
+                now.since(started),
+            );
+        }
+        telemetry::count("comms.exchange", "nodes_finished", 1);
+        flight::record(now, ctx.self_id(), "exchange.finished", u64::from(self.me));
     }
 
     fn start_stream(&mut self, ctx: &mut Ctx<'_>, bytes: u64) {
@@ -274,8 +294,14 @@ impl Actor for ExchangeNode {
                 self.started = Some(ctx.now());
                 self.round = 0;
                 self.half = Half::First;
+                flight::record(
+                    ctx.now(),
+                    ctx.self_id(),
+                    "exchange.start",
+                    u64::from(self.me),
+                );
                 if self.schedule.is_empty() {
-                    self.finished = Some(ctx.now());
+                    self.mark_finished(ctx);
                 } else {
                     self.begin_half(ctx);
                 }

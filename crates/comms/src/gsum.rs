@@ -18,6 +18,8 @@ use hyades_arctic::packet::{f64_from_words, words_from_f64, Packet, Priority};
 use hyades_des::event::Payload;
 use hyades_des::{Actor, ActorId, Ctx, SimDuration, SimTime, Simulator};
 use hyades_startx::HostParams;
+use hyades_telemetry as telemetry;
+use hyades_telemetry::flight;
 use std::collections::BTreeMap;
 
 /// Kick event: begin a global sum contributing `value`.
@@ -103,8 +105,20 @@ impl GsumNode {
         self.round += 1;
         let add = SimDuration::from_us_f64(ADD_COST_US);
         if self.round == self.rounds() {
-            self.finished = Some(ctx.now() + add + self.post_cost);
+            let done = ctx.now() + add + self.post_cost;
+            self.finished = Some(done);
             self.result = Some(self.partial);
+            if let Some(started) = self.started {
+                telemetry::record_span(
+                    u64::from(self.me),
+                    "comms",
+                    "gsum.node",
+                    started,
+                    done.since(started),
+                );
+            }
+            telemetry::count("comms.gsum", "rounds", u64::from(self.rounds()));
+            flight::record(done, ctx.self_id(), "gsum.finished", u64::from(self.round));
         } else {
             // The add happens before the next send; fold its cost in by
             // delaying the send kick.

@@ -11,6 +11,7 @@
 use crate::world::CommWorld;
 use hyades_cluster::interconnect::{ExchangeShape, Interconnect};
 use hyades_des::SimDuration;
+use hyades_telemetry as telemetry;
 
 /// Wraps `inner`, charging primitive costs to `net`'s cost model.
 pub struct TimedWorld<'a, W: CommWorld> {
@@ -61,9 +62,13 @@ impl<W: CommWorld> CommWorld for TimedWorld<'_, W> {
                 [bytes, bytes]
             })
             .collect();
-        self.bytes_exchanged += legs.iter().sum::<u64>();
+        let leg_bytes = legs.iter().sum::<u64>();
+        self.bytes_exchanged += leg_bytes;
         if !legs.is_empty() {
-            self.comm_time += self.net.exchange_time(&ExchangeShape::from_legs(legs));
+            let cost = self.net.exchange_time(&ExchangeShape::from_legs(legs));
+            self.comm_time += cost;
+            telemetry::charge_comm("exchange", cost);
+            telemetry::count("comm", "exchange_bytes", leg_bytes);
         }
         self.exchanges += 1;
         self.inner.exchange(outgoing)
@@ -72,7 +77,9 @@ impl<W: CommWorld> CommWorld for TimedWorld<'_, W> {
     fn global_sum_vec(&mut self, xs: &mut [f64]) {
         if self.size() > 1 {
             let n = self.size().next_power_of_two() as u32;
-            self.comm_time += self.net.gsum_time(n.max(2));
+            let cost = self.net.gsum_time(n.max(2));
+            self.comm_time += cost;
+            telemetry::charge_comm("gsum", cost);
         }
         self.reductions += 1;
         self.inner.global_sum_vec(xs)
@@ -81,7 +88,9 @@ impl<W: CommWorld> CommWorld for TimedWorld<'_, W> {
     fn global_max(&mut self, x: f64) -> f64 {
         if self.size() > 1 {
             let n = self.size().next_power_of_two() as u32;
-            self.comm_time += self.net.gsum_time(n.max(2));
+            let cost = self.net.gsum_time(n.max(2));
+            self.comm_time += cost;
+            telemetry::charge_comm("gmax", cost);
         }
         self.reductions += 1;
         self.inner.global_max(x)
@@ -90,7 +99,9 @@ impl<W: CommWorld> CommWorld for TimedWorld<'_, W> {
     fn barrier(&mut self) {
         if self.size() > 1 {
             let n = self.size().next_power_of_two() as u32;
-            self.comm_time += self.net.barrier_time(n.max(2));
+            let cost = self.net.barrier_time(n.max(2));
+            self.comm_time += cost;
+            telemetry::charge_comm("barrier", cost);
         }
         self.inner.barrier()
     }
@@ -98,7 +109,9 @@ impl<W: CommWorld> CommWorld for TimedWorld<'_, W> {
     fn gather(&mut self, data: Vec<f64>) -> Option<Vec<Vec<f64>>> {
         // Non-critical path (§4: diagnostics/output); charge one stream.
         let bytes = (data.len() * 8) as u64;
-        self.comm_time += self.net.ptp_time(bytes);
+        let cost = self.net.ptp_time(bytes);
+        self.comm_time += cost;
+        telemetry::charge_comm("gather", cost);
         self.inner.gather(data)
     }
 }

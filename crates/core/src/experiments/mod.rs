@@ -15,6 +15,7 @@
 //! | E11 | §6 — generality tax (MPI vs custom) | [`api_tax`] |
 //! | E12 | §2.2 — routing under adversarial traffic | [`routing`] |
 //! | E13 | §1/§6 — price-performance economics | [`economics`] |
+//! | E14 | §5.3 extended — model-vs-measured phase profiling | [`profiling`] |
 
 pub mod api_tax;
 pub mod century;
@@ -27,6 +28,7 @@ pub mod fig7;
 pub mod fig9;
 pub mod gsum;
 pub mod hpvm;
+pub mod profiling;
 pub mod routing;
 pub mod sec53;
 
@@ -105,6 +107,11 @@ pub fn all() -> Vec<Experiment> {
             paper_artefact: "Sections 1/2/6: price-performance of a personal supercomputer",
             run: economics::run,
         },
+        Experiment {
+            id: "E14",
+            paper_artefact: "Section 5.3 extended: model-vs-measured phase profiling",
+            run: profiling::run,
+        },
     ]
 }
 
@@ -113,11 +120,14 @@ mod tests {
     #[test]
     fn registry_is_complete() {
         let all = super::all();
-        assert_eq!(all.len(), 13);
+        assert_eq!(all.len(), 14);
         let ids: Vec<&str> = all.iter().map(|e| e.id).collect();
         assert_eq!(
             ids,
-            ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"]
+            [
+                "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
+                "E14"
+            ]
         );
     }
 }

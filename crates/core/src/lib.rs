@@ -18,6 +18,7 @@
 pub mod charging;
 pub mod experiments;
 pub mod scenario;
+pub mod tour;
 
 pub use hyades_arctic as arctic;
 pub use hyades_cluster as cluster;
@@ -26,3 +27,4 @@ pub use hyades_des as des;
 pub use hyades_gcm as gcm;
 pub use hyades_perf as perf;
 pub use hyades_startx as startx;
+pub use hyades_telemetry as telemetry;

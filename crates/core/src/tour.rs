@@ -1,0 +1,265 @@
+//! The telemetry tour: one instrumented run through every tier.
+//!
+//! Exercises the whole flight-recorder stack in a single deterministic
+//! harness:
+//!
+//! 1. a 2×2-rank functional GCM run under a [`TimedWorld`] with per-rank
+//!    telemetry recorders — PS/DS phase attribution, charged comm and
+//!    compute spans, and the metric registry;
+//! 2. a DES microbenchmark pass (exchange + global sum on the simulated
+//!    Arctic fabric) with the event-timeline spans from the router, NIU,
+//!    and comms actors, plus the flight recorder ring;
+//! 3. a model-vs-measured phase report lining the run's charged PS/DS
+//!    seconds up against eqs. (4)–(13) of the paper.
+//!
+//! Everything is a pure function of `seed`: two runs with the same seed
+//! produce byte-identical artifacts (the determinism test pins this), and
+//! different seeds perturb both the physics and the microbench shapes.
+
+use hyades_cluster::interconnect::{arctic_paper, ExchangeShape, Interconnect};
+use hyades_comms::exchange::measure_exchange;
+use hyades_comms::gsum::measure_gsum;
+use hyades_comms::{ThreadWorld, TimedWorld};
+use hyades_des::rng::SplitMix64;
+use hyades_gcm::config::ModelConfig;
+use hyades_gcm::decomp::Decomp;
+use hyades_gcm::driver::Model;
+use hyades_perf::model::PerfModel;
+use hyades_perf::params::{DsParams, PsParams};
+use hyades_perf::phases::{self, MeasuredPhases};
+use hyades_startx::HostParams;
+use hyades_telemetry as telemetry;
+use hyades_telemetry::{flight, RankTelemetry, RunTelemetry};
+
+/// Grid/decomposition constants of the tour run.
+const NX: usize = 16;
+const NY: usize = 8;
+const NZ: usize = 4;
+const PX: usize = 2;
+const PY: usize = 2;
+const NRANKS: usize = PX * PY;
+const STEPS: usize = 4;
+
+/// Sustained kernel rates used both to charge compute time and as the
+/// model's `Fps`/`Fds` (Figure 11's values).
+const FPS_MFLOPS: f64 = 50.0;
+const FDS_MFLOPS: f64 = 60.0;
+
+/// Everything the tour produces.
+pub struct TourArtifacts {
+    /// Chrome trace-event JSON (load in chrome://tracing or Perfetto).
+    pub chrome_json: String,
+    /// Deterministic text summary of spans, counters, stats, histograms,
+    /// with the DES flight-recorder dump appended.
+    pub text_summary: String,
+    /// Model-vs-measured phase report with per-term residuals.
+    pub phase_report: String,
+    /// Largest |relative residual| over the four phase terms.
+    pub max_abs_residual: f64,
+    /// Total spans across all ranks (sanity handle for tests).
+    pub span_count: usize,
+}
+
+/// Per-worker results shipped back from the fan-out.
+struct RankRun {
+    telemetry: RankTelemetry,
+    total_cg_iterations: u64,
+    wet_cells: u64,
+    wet_columns: u64,
+    measured_nps: f64,
+    measured_nds: f64,
+}
+
+fn run_rank<W: hyades_comms::CommWorld>(world: &mut W, seed: u64) -> RankRun {
+    let rank = world.rank();
+    telemetry::enable_with_rates(rank, FPS_MFLOPS, FDS_MFLOPS);
+    let d = Decomp::blocks(NX, NY, PX, PY, 3);
+    let cfg = ModelConfig::test_ocean(NX, NY, NZ, d);
+    let mut m = Model::new(cfg, rank);
+    // Seeded perturbation of the initial stratification: makes the run a
+    // genuine function of `seed` (solver trajectories, residuals, and the
+    // exported artifacts all move with it).
+    let mut rng = SplitMix64::new(seed ^ (rank as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    for (i, j, k) in m.state.theta.clone().interior() {
+        m.state.theta.add(i, j, k, (rng.next_f64() - 0.5) * 0.2);
+    }
+    let net = arctic_paper();
+    let mut timed = TimedWorld::new(world, &net);
+    for _ in 0..STEPS {
+        let s = m.step(&mut timed);
+        assert!(s.cg_converged, "tour solver diverged");
+    }
+    let (nps, nds) = m.measured_n_coefficients();
+    RankRun {
+        telemetry: telemetry::disable().expect("telemetry was enabled"),
+        total_cg_iterations: m.total_cg_iterations,
+        wet_cells: m.masks.wet_cells,
+        wet_columns: m.masks.wet_columns(),
+        measured_nps: nps,
+        measured_nds: nds,
+    }
+}
+
+/// The DES microbenchmark leg: exchange + butterfly gsum on the simulated
+/// fabric, recorded as event-timeline spans under a dedicated rank, with
+/// the flight recorder capturing router/NIU/comms breadcrumbs.
+fn run_microbench(seed: u64) -> (RankTelemetry, String) {
+    telemetry::enable_with_rates(NRANKS, FPS_MFLOPS, FDS_MFLOPS);
+    flight::install(4096);
+    let host = HostParams::default();
+    let leg_bytes = 256 + (seed % 7) * 64;
+    let t_exch = measure_exchange(host, 2, 2, leg_bytes);
+    let values: Vec<f64> = (0..8)
+        .map(|i| ((seed >> (i % 8)) & 0xF) as f64 + i as f64)
+        .collect();
+    let g = measure_gsum(host, &values, false);
+    telemetry::observe_duration_us("tour.microbench", "exchange_elapsed_us", t_exch);
+    telemetry::observe_duration_us("tour.microbench", "gsum_elapsed_us", g.elapsed);
+    telemetry::count("tour.microbench", "exchange_leg_bytes", leg_bytes);
+    let dump = match flight::take() {
+        Some(tr) => format!(
+            "[flight recorder] {} events ({} dropped)\n{}",
+            tr.len(),
+            tr.dropped(),
+            tr.dump()
+        ),
+        None => String::from("[flight recorder] not installed\n"),
+    };
+    let tel = telemetry::disable().expect("telemetry was enabled");
+    (tel, dump)
+}
+
+/// Build the analytical model matching the tour configuration, using the
+/// run's measured flop coefficients and the same interconnect cost model
+/// `TimedWorld` charged against.
+fn tour_model(net: &dyn Interconnect, rank0: &RankRun) -> PerfModel {
+    let (tx, ty) = (NX / PX, NY / PY);
+    let elem = 8u64;
+    // One 3-D field exchange: x phase moves width-3 strips to 2 neighbors
+    // (send + receive legs each), then y phase moves halo-widened rows.
+    let xleg3 = (3 * ty * NZ) as u64 * elem;
+    let yleg3 = ((tx + 6) * 3 * NZ) as u64 * elem;
+    let texch_xyz = net.exchange_time(&ExchangeShape::from_legs(vec![
+        xleg3, xleg3, xleg3, xleg3, yleg3, yleg3, yleg3, yleg3,
+    ]));
+    // One 2-D field exchange, width 1.
+    let xleg2 = ty as u64 * elem;
+    let yleg2 = (tx + 2) as u64 * elem;
+    let texch_xy = net.exchange_time(&ExchangeShape::from_legs(vec![
+        xleg2, xleg2, xleg2, xleg2, yleg2, yleg2, yleg2, yleg2,
+    ]));
+    PerfModel {
+        ps: PsParams {
+            nps: rank0.measured_nps,
+            nxyz: rank0.wet_cells,
+            texch_xyz_us: texch_xyz.as_us_f64(),
+            fps_mflops: FPS_MFLOPS,
+        },
+        ds: DsParams {
+            nds: rank0.measured_nds,
+            nxy: rank0.wet_columns,
+            tgsum_us: net.gsum_time(NRANKS as u32).as_us_f64(),
+            texch_xy_us: texch_xy.as_us_f64(),
+            fds_mflops: FDS_MFLOPS,
+        },
+    }
+}
+
+/// Run the full tour for `seed`.
+pub fn run(seed: u64) -> TourArtifacts {
+    // 1. Instrumented GCM fan-out.
+    let net = arctic_paper();
+    let mut runs = ThreadWorld::run(NRANKS, |w| run_rank(w, seed));
+
+    // 2. DES microbench on this thread, as an extra "rank" holding the
+    //    event timeline.
+    let (bench_tel, flight_dump) = run_microbench(seed);
+
+    // 3. Model-vs-measured phase comparison (mean over the GCM ranks;
+    //    every rank ran the same-shape tile, so the mean is the per-rank
+    //    story eqs. (4)–(13) tell).
+    let model = tour_model(&net, &runs[0]);
+    let mut totals = telemetry::PhaseTotals::default();
+    for r in &runs {
+        totals.merge(&r.telemetry.phases);
+    }
+    let n = NRANKS as f64;
+    let measured = MeasuredPhases {
+        ps_compute_s: totals.ps_compute.as_secs_f64() / n,
+        ps_comm_s: totals.ps_comm.as_secs_f64() / n,
+        ds_compute_s: totals.ds_compute.as_secs_f64() / n,
+        ds_comm_s: totals.ds_comm.as_secs_f64() / n,
+    };
+    let ni_total = runs[0].total_cg_iterations;
+    let cmp = phases::compare(&model, STEPS as u64, ni_total, &measured);
+    let max_abs_residual = cmp.max_abs_residual();
+    let phase_report = cmp.render();
+
+    // 4. Merge per-rank telemetry (rank order, then the bench rank) and
+    //    export both formats.
+    let mut ranks: Vec<RankTelemetry> = runs.drain(..).map(|r| r.telemetry).collect();
+    ranks.push(bench_tel);
+    let run_tel = RunTelemetry::from_ranks(ranks);
+    let span_count = run_tel.span_count();
+    let chrome_json = run_tel.chrome_trace_json();
+    let text_summary = format!("{}\n{}", run_tel.text_summary(), flight_dump);
+
+    TourArtifacts {
+        chrome_json,
+        text_summary,
+        phase_report,
+        max_abs_residual,
+        span_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tour_produces_all_artifacts() {
+        let t = run(7);
+        assert!(t.span_count > 0);
+        // Valid-looking Chrome trace with both timelines present.
+        assert!(t.chrome_json.starts_with("{\"traceEvents\":["));
+        assert!(t.chrome_json.contains("\"ph\":\"X\""));
+        assert!(t.chrome_json.contains("gcm charged timeline"));
+        assert!(t.chrome_json.contains("des event timeline"));
+        // The summary covers the instrumented components.
+        for needle in [
+            "[phase totals",
+            "comm",
+            "gcm.cg",
+            "arctic",
+            "[flight recorder]",
+        ] {
+            assert!(t.text_summary.contains(needle), "missing {needle}");
+        }
+        // The phase report names all four terms and its residuals are
+        // finite (the analytical and executable models genuinely agree to
+        // within model error, not by construction).
+        for needle in ["ps.compute", "ps.comm", "ds.compute", "ds.comm"] {
+            assert!(t.phase_report.contains(needle), "missing {needle}");
+        }
+        assert!(
+            t.max_abs_residual.is_finite(),
+            "residuals: {}",
+            t.phase_report
+        );
+        assert!(
+            t.max_abs_residual < 2.0,
+            "model and measurement diverged: {}",
+            t.phase_report
+        );
+    }
+
+    #[test]
+    fn tour_is_deterministic_per_seed() {
+        let a = run(3);
+        let b = run(3);
+        assert_eq!(a.chrome_json, b.chrome_json);
+        assert_eq!(a.text_summary, b.text_summary);
+        assert_eq!(a.phase_report, b.phase_report);
+    }
+}

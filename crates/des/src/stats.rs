@@ -129,7 +129,10 @@ impl Log2Histogram {
     }
 
     /// Smallest upper bound `2^(i+1)` such that at least `q` (0..=1) of the
-    /// samples fall below it. Returns 0 for an empty histogram.
+    /// samples fall below it. Returns 0 for an empty histogram. The top
+    /// bucket's upper bound `2^64` does not fit in a `u64` and saturates
+    /// to `u64::MAX` (inclusive), keeping it distinct from bucket 62's
+    /// bound of `2^63`.
     pub fn quantile_upper_bound(&self, q: f64) -> u64 {
         if self.total == 0 {
             return 0;
@@ -139,10 +142,33 @@ impl Log2Histogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             acc += c;
             if acc >= target {
-                return 1u64 << (i + 1).min(63);
+                return if i >= 63 { u64::MAX } else { 1u64 << (i + 1) };
             }
         }
         u64::MAX
+    }
+
+    /// Median upper bound.
+    pub fn p50(&self) -> u64 {
+        self.quantile_upper_bound(0.50)
+    }
+
+    /// 90th-percentile upper bound.
+    pub fn p90(&self) -> u64 {
+        self.quantile_upper_bound(0.90)
+    }
+
+    /// 99th-percentile upper bound.
+    pub fn p99(&self) -> u64 {
+        self.quantile_upper_bound(0.99)
+    }
+
+    /// Pool another histogram into this one (bucket-wise sum).
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (b, &o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.total += other.total;
     }
 }
 
@@ -267,6 +293,65 @@ mod tests {
         assert_eq!(h.quantile_upper_bound(0.5), 16);
         assert!(h.quantile_upper_bound(1.0) > 1_000_000);
         assert_eq!(Log2Histogram::new().quantile_upper_bound(0.5), 0);
+    }
+
+    #[test]
+    fn quantile_accessors_on_empty_zero_and_one_sample() {
+        // Empty histogram: all quantiles are 0.
+        let h = Log2Histogram::new();
+        assert_eq!((h.p50(), h.p90(), h.p99()), (0, 0, 0));
+        // A single zero lands in bucket 0, upper bound 2.
+        let mut h = Log2Histogram::new();
+        h.record(0);
+        assert_eq!((h.p50(), h.p90(), h.p99()), (2, 2, 2));
+        // One sample: every quantile reports its bucket's bound.
+        let mut h = Log2Histogram::new();
+        h.record(5); // bucket 2 = [4, 8)
+        assert_eq!((h.p50(), h.p90(), h.p99()), (8, 8, 8));
+    }
+
+    #[test]
+    fn top_buckets_have_distinct_bounds() {
+        // Bucket 62 = [2^62, 2^63): bound is exactly 2^63.
+        let mut h62 = Log2Histogram::new();
+        h62.record(1u64 << 62);
+        assert_eq!(h62.p99(), 1u64 << 63);
+        // Bucket 63 = [2^63, u64::MAX]: its 2^64 bound saturates, and
+        // must stay strictly above bucket 62's (the old `(i+1).min(63)`
+        // shift collapsed both to 2^63).
+        let mut h63 = Log2Histogram::new();
+        h63.record(u64::MAX);
+        assert_eq!(h63.p99(), u64::MAX);
+        assert!(h62.p99() < h63.p99());
+        // Top-bucket samples dominate high quantiles of a mixed stream.
+        let mut h = Log2Histogram::new();
+        for _ in 0..9 {
+            h.record(1);
+        }
+        h.record(u64::MAX);
+        assert_eq!(h.p50(), 2);
+        assert_eq!(h.quantile_upper_bound(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_merge_matches_single_stream() {
+        let mut whole = Log2Histogram::new();
+        let mut a = Log2Histogram::new();
+        let mut b = Log2Histogram::new();
+        for v in [0u64, 1, 7, 1024, u64::MAX] {
+            whole.record(v);
+            a.record(v);
+        }
+        for v in [3u64, 9, 1 << 40] {
+            whole.record(v);
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.total(), whole.total());
+        for i in 0..64 {
+            assert_eq!(a.bucket(i), whole.bucket(i), "bucket {i}");
+        }
+        assert_eq!(a.p50(), whole.p50());
     }
 
     #[test]

@@ -27,6 +27,7 @@ use crate::state::{Masks, ModelState};
 use crate::tile::Tile;
 use crate::topography::Topography;
 use hyades_comms::CommWorld;
+use hyades_telemetry as telemetry;
 use std::sync::Arc;
 
 /// Per-step statistics.
@@ -121,6 +122,7 @@ impl Model {
     pub fn step(&mut self, world: &mut dyn CommWorld) -> StepStats {
         let decomp = self.cfg.decomp;
         let flops_before = flops::read();
+        telemetry::set_phase(telemetry::Phase::Ps);
 
         // --- PS ---------------------------------------------------------
         // One exchange of the five model fields, width 3 (§4: "an
@@ -243,6 +245,7 @@ impl Model {
         timestep::divergence_rhs(&self.cfg, &self.tile, &self.geom, &self.masks, &mut self.ws);
 
         // --- DS ---------------------------------------------------------
+        telemetry::set_phase(telemetry::Phase::Ds);
         let cg = self.solver.solve(
             world,
             &self.cfg,
@@ -254,6 +257,9 @@ impl Model {
             &self.ws.rhs,
             &mut self.state.ps,
         );
+        // Post-solve work (velocity correction, adjustments, mixing)
+        // belongs to PS in the paper's two-phase accounting.
+        telemetry::set_phase(telemetry::Phase::Ps);
 
         // Final update.
         timestep::correct_velocities(
@@ -347,6 +353,10 @@ impl Model {
         let flops_after = flops::read();
         let ps_flops = flops_after.0 - flops_before.0;
         let ds_flops = flops_after.1 - flops_before.1;
+        telemetry::charge_flops(telemetry::Phase::Ps, ps_flops);
+        telemetry::charge_flops(telemetry::Phase::Ds, ds_flops);
+        telemetry::count("gcm.driver", "steps", 1);
+        telemetry::set_phase(telemetry::Phase::Outside);
         self.steps_taken += 1;
         self.total_cg_iterations += cg.iterations as u64;
         self.total_ps_flops += ps_flops;

@@ -18,6 +18,7 @@ use crate::solver::elliptic::{EllipticCoeffs, APPLY_FLOPS_PER_CELL};
 use crate::state::Masks;
 use crate::tile::Tile;
 use hyades_comms::CommWorld;
+use hyades_telemetry as telemetry;
 
 /// Flops per wet column per CG iteration besides the operator: two dot
 /// products (4), three axpy-type updates (6), the Jacobi solve (1), and
@@ -211,9 +212,14 @@ impl CgSolver {
         }
         // Publish the halo of the solution for the velocity correction.
         halo::exchange2(world, decomp, tile, &mut [x], 1);
+        let rel_residual = (rr / rr0).sqrt();
+        telemetry::count("gcm.cg", "solves", 1);
+        telemetry::count("gcm.cg", "iterations", iterations as u64);
+        telemetry::observe("gcm.cg", "rel_residual", rel_residual);
+        telemetry::observe_hist("gcm.cg", "iterations_per_solve", iterations as u64);
         CgResult {
             iterations,
-            rel_residual: (rr / rr0).sqrt(),
+            rel_residual,
             converged: rr <= target,
         }
     }

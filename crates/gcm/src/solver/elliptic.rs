@@ -14,6 +14,7 @@ use crate::grid::GRAVITY;
 use crate::kernel::TileGeom;
 use crate::state::Masks;
 use crate::tile::Tile;
+use hyades_telemetry as telemetry;
 
 /// Per-tile operator coefficients (built from globally-known topography,
 /// so no exchange is needed; valid on the full halo extent).
@@ -80,6 +81,7 @@ impl EllipticCoeffs {
     /// `Σ_faces a·(x − x_nbr)`. `x` needs a width-1 halo.
     pub fn apply(&self, tile: &Tile, x: &Field2, out: &mut Field2) {
         let (nx, ny) = (tile.nx as i64, tile.ny as i64);
+        telemetry::count("gcm.elliptic", "operator_applies", 1);
         for j in 0..ny {
             for i in 0..nx {
                 let xc = x.at(i, j);

@@ -5,9 +5,9 @@
 //! |---------------------|-----------------------------------------|------------------------------------------------|
 //! | `instant-wallclock` | everywhere except `crates/bench`        | `std::time::Instant`, `Instant::now`, `SystemTime` |
 //! | `unseeded-rng`      | everywhere                              | `thread_rng`, `from_entropy`, `rand::random`   |
-//! | `hash-iteration`    | `des`, `arctic`, `comms`, `cluster`     | iterating `HashMap`/`HashSet` (keyed lookup ok)|
+//! | `hash-iteration`    | `des`, `arctic`, `comms`, `cluster`, `telemetry` | iterating `HashMap`/`HashSet` (keyed lookup ok)|
 //! | `f32-in-gcm`        | `crates/gcm/src`                        | the `f32` type (the model is 64-bit)           |
-//! | `unwrap-in-lib`     | `des`/`comms`/`arctic` non-test lib code| `.unwrap()` / `.expect(` (baseline burndown)   |
+//! | `unwrap-in-lib`     | `des`/`comms`/`arctic`/`telemetry` non-test lib code | `.unwrap()` / `.expect(` (baseline burndown) |
 //!
 //! Any finding can be suppressed with an inline pragma:
 //! `// lint:allow(rule-name, reason)` on the offending line, or on a
@@ -255,7 +255,10 @@ pub fn analyze(rel_path: &str, source: &str) -> Vec<Finding> {
     };
 
     let crate_name = scope.crate_name.as_deref();
-    let event_ordering_crate = matches!(crate_name, Some("des" | "arctic" | "comms" | "cluster"));
+    let event_ordering_crate = matches!(
+        crate_name,
+        Some("des" | "arctic" | "comms" | "cluster" | "telemetry")
+    );
     let hash_names = if event_ordering_crate {
         hash_container_names(&lines)
     } else {
@@ -349,7 +352,10 @@ pub fn analyze(rel_path: &str, source: &str) -> Vec<Finding> {
 
         // R5: panicking on Err/None in library code of the simulation
         // crates; burned down via the checked-in baseline.
-        if matches!(crate_name, Some("des" | "comms" | "arctic")) && scope.in_src && !in_test[idx] {
+        if matches!(crate_name, Some("des" | "comms" | "arctic" | "telemetry"))
+            && scope.in_src
+            && !in_test[idx]
+        {
             let unwraps = memfind(code, ".unwrap()").len() + memfind(code, ".expect(").len();
             for _ in 0..unwraps {
                 push(
@@ -489,6 +495,20 @@ mod tests {
         assert_eq!(hits[0].line, 1);
         assert!(rules_hit("crates/des/tests/t.rs", src).is_empty());
         assert!(rules_hit("crates/gcm/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn telemetry_crate_in_scope() {
+        let unwrap_src = "fn f() { x.unwrap(); }\n";
+        assert_eq!(
+            rules_hit("crates/telemetry/src/x.rs", unwrap_src),
+            vec![UNWRAP_IN_LIB]
+        );
+        let iter_src = "let mut m = HashMap::new();\nfor v in m.values() {}\n";
+        assert_eq!(
+            rules_hit("crates/telemetry/src/x.rs", iter_src),
+            vec![HASH_ITERATION]
+        );
     }
 
     #[test]

@@ -22,13 +22,15 @@
 //! [`params`] carries Figure 11's measured parameters, [`model`] the
 //! equations, [`pfpp`] the metric and Figure 12's analysis, [`fit`] the
 //! least-squares helper behind the paper's `4.67·log2 N − 0.95` global-sum
-//! fit, [`validate`] the §5.3 prediction-vs-observation comparison, and
-//! [`report`] plain-text table rendering.
+//! fit, [`validate`] the §5.3 prediction-vs-observation comparison,
+//! [`phases`] the per-term model-vs-measured comparison fed by telemetry
+//! from instrumented runs, and [`report`] plain-text table rendering.
 
 pub mod fit;
 pub mod model;
 pub mod params;
 pub mod pfpp;
+pub mod phases;
 pub mod queueing;
 pub mod report;
 pub mod validate;

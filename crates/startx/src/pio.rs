@@ -10,6 +10,7 @@
 //! LogP values (0.4/2.0 µs).
 
 use hyades_des::{SimDuration, SimTime};
+use hyades_telemetry as telemetry;
 
 /// PIO register-access cost parameters.
 #[derive(Clone, Copy, Debug)]
@@ -89,6 +90,8 @@ impl CpuClock {
             self.free_at
         };
         self.free_at = start + cost;
+        telemetry::observe_duration_us("startx.pio", "cpu_occupy_us", cost);
+        telemetry::observe_hist("startx.pio", "cpu_occupy_ps", cost.as_ps());
         self.free_at
     }
 

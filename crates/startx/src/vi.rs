@@ -25,6 +25,8 @@ use hyades_arctic::network::{ArcticNetwork, Delivered, Inject};
 use hyades_arctic::packet::{Packet, Priority};
 use hyades_des::event::Payload;
 use hyades_des::{Actor, ActorId, Ctx, SimDuration, SimTime, Simulator};
+use hyades_telemetry as telemetry;
+use hyades_telemetry::flight;
 
 /// Control-message tags used by the VI transfer protocol.
 pub const TAG_REQ: u16 = 0x701;
@@ -134,6 +136,9 @@ pub struct ViSender {
     next_seq: u32,
     packets_pending: std::collections::VecDeque<(u32, u64)>,
     emitting: bool,
+    /// When the in-flight transfer's `StartTransfer` arrived (telemetry
+    /// span start).
+    started: Option<SimTime>,
     /// Completion time of the last finished transfer (set on TAG_DONE when
     /// `notify_sender`, else when the final packet is emitted).
     pub done_at: Option<SimTime>,
@@ -154,6 +159,7 @@ impl ViSender {
             next_seq: 0,
             packets_pending: std::collections::VecDeque::new(),
             emitting: false,
+            started: None,
             done_at: None,
             transfers_completed: 0,
         }
@@ -163,8 +169,31 @@ impl ViSender {
         // CPU writes header+payload to the NIU: the message enters the
         // network once the mmap writes complete.
         let cost = self.host.pio.send_overhead(8);
+        telemetry::record_span(
+            ctx.self_id().0 as u64,
+            "startx",
+            "pio.send",
+            ctx.now(),
+            cost,
+        );
+        flight::record(ctx.now(), ctx.self_id(), "vi.pio_send", tag as u64);
         let pkt = Packet::new(self.me, dst, Priority::High, tag, vec![word, 0]);
         ctx.send_after(cost, self.tx_port, Inject(pkt));
+    }
+
+    /// Record the end-to-end transfer span once its completion time is
+    /// known (from either the TAG_DONE ack or the final emitted packet).
+    fn finish_span(&mut self, done: SimTime) {
+        if let Some(started) = self.started.take() {
+            telemetry::record_span(
+                u64::from(self.me),
+                "startx",
+                "vi.transfer",
+                started,
+                done.since(started),
+            );
+        }
+        telemetry::count("startx.vi", "transfers_completed", 1);
     }
 
     fn stage_chunks(&mut self, ctx: &mut Ctx<'_>, from_idx: usize) {
@@ -215,7 +244,9 @@ impl Actor for ViSender {
                 self.dst = start.dst;
                 self.chunks = chunk_plan(start.len, self.cfg.chunk_bytes);
                 self.staged = 0;
+                self.started = Some(ctx.now());
                 self.done_at = None;
+                flight::record(ctx.now(), ctx.self_id(), "vi.start", start.len);
                 // Negotiate: request the receiver to pin/prepare its VI
                 // region.
                 self.send_pio(ctx, start.dst, TAG_REQ, start.len as u32);
@@ -230,13 +261,17 @@ impl Actor for ViSender {
                 match pkt.usr_tag {
                     TAG_ACK => {
                         // CPU cost of reading the ack, then start staging.
+                        flight::record(ctx.now(), ctx.self_id(), "vi.ack", 0);
                         let or = self.host.pio.recv_overhead(8);
                         ctx.wake_after(or, SenderEv::ChunkStaged { idx: usize::MAX });
                     }
                     TAG_DONE => {
                         let or = self.host.pio.recv_overhead(8);
-                        self.done_at = Some(ctx.now() + or);
+                        let done = ctx.now() + or;
+                        self.done_at = Some(done);
                         self.transfers_completed += 1;
+                        flight::record(ctx.now(), ctx.self_id(), "vi.done", 0);
+                        self.finish_span(done);
                     }
                     t => panic!("ViSender: unexpected tag {t:#x}"),
                 }
@@ -259,6 +294,8 @@ impl Actor for ViSender {
             SenderEv::EmitPacket { seq, bytes, last } => {
                 let popped = self.packets_pending.pop_front();
                 debug_assert_eq!(popped.map(|p| p.0), Some(seq));
+                telemetry::count("startx.vi", "packets_emitted", 1);
+                telemetry::count("startx.vi", "bytes_emitted", bytes);
                 let pkt = bulk_packet(self.me, self.dst, TAG_DATA, seq, bytes);
                 ctx.send_now(self.tx_port, Inject(pkt));
                 // Pace the stream at the PCI payload rate.
@@ -277,8 +314,10 @@ impl Actor for ViSender {
                 } else {
                     self.emitting = false;
                     if last && !self.cfg.notify_sender {
-                        self.done_at = Some(ctx.now() + gap);
+                        let done = ctx.now() + gap;
+                        self.done_at = Some(done);
                         self.transfers_completed += 1;
+                        self.finish_span(done);
                     }
                 }
             }
@@ -296,6 +335,8 @@ pub struct ViReceiver {
     received: u64,
     src: u16,
     next_seq: u32,
+    /// When the in-flight transfer's TAG_REQ arrived (telemetry span start).
+    started: Option<SimTime>,
     pub out_of_order: u64,
     /// Time the user-level buffer held the complete data.
     pub done_at: Option<SimTime>,
@@ -316,6 +357,7 @@ impl ViReceiver {
             received: 0,
             src: 0,
             next_seq: 0,
+            started: None,
             out_of_order: 0,
             done_at: None,
             transfers_completed: 0,
@@ -335,7 +377,9 @@ impl Actor for ViReceiver {
                         self.received = 0;
                         self.next_seq = 0;
                         self.src = pkt.src;
+                        self.started = Some(ctx.now());
                         self.done_at = None;
+                        flight::record(ctx.now(), ctx.self_id(), "vi.req", self.expected);
                         // Read the request, post the RX descriptors, ack.
                         let cost = self.host.pio.recv_overhead(8)
                             + self.host.dma_kick
@@ -347,9 +391,11 @@ impl Actor for ViReceiver {
                     TAG_DATA => {
                         if pkt.payload[0] != self.next_seq {
                             self.out_of_order += 1;
+                            telemetry::count("startx.vi", "out_of_order", 1);
                         }
                         self.next_seq = pkt.payload[0] + 1;
                         self.received += pkt.payload_bytes().min(self.expected - self.received);
+                        telemetry::count("startx.vi", "bytes_received", pkt.payload_bytes());
                         if self.received >= self.expected {
                             // Copy the final chunk out of the VI region.
                             let tail = self.expected.min(self.cfg.chunk_bytes);
@@ -365,6 +411,17 @@ impl Actor for ViReceiver {
         ev.downcast::<RxCopied>().expect("ViReceiver event");
         self.done_at = Some(ctx.now());
         self.transfers_completed += 1;
+        if let Some(started) = self.started.take() {
+            telemetry::record_span(
+                u64::from(self.me),
+                "startx",
+                "vi.receive",
+                started,
+                ctx.now().since(started),
+            );
+        }
+        telemetry::count("startx.vi", "receives_completed", 1);
+        flight::record(ctx.now(), ctx.self_id(), "vi.rx_copied", self.expected);
         if self.cfg.notify_sender {
             let cost = self.host.pio.send_overhead(8);
             let done = Packet::new(self.me, self.src, Priority::High, TAG_DONE, vec![0, 0]);

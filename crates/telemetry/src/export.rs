@@ -1,0 +1,337 @@
+//! End-of-run aggregation and exporters.
+//!
+//! [`RunTelemetry`] pools per-rank recordings (merged in rank order, so
+//! the result is deterministic) and renders them two ways:
+//!
+//! * [`chrome_trace_json`](RunTelemetry::chrome_trace_json) — Chrome
+//!   trace-event JSON ("X" complete events), loadable in
+//!   `chrome://tracing` or Perfetto. Hand-rolled: the vendored `serde`
+//!   is a marker-trait stub, and the format is four fields per event.
+//!   Timestamps are microseconds derived *exactly* from the integer
+//!   picosecond clock (`ps / 10^6` with six fixed decimals), so the
+//!   bytes are reproducible.
+//! * [`text_summary`](RunTelemetry::text_summary) — a deterministic text
+//!   report: phase totals, span series, counters, statistics, histogram
+//!   quantiles.
+//!
+//! Both outputs are byte-identical across double runs with the same seed
+//! (asserted by `tests/determinism.rs`).
+
+use crate::recorder::{PhaseTotals, RankTelemetry, DES_PID, GCM_PID};
+use crate::registry::Registry;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// A whole run's telemetry: one [`RankTelemetry`] per rank, in rank order.
+#[derive(Debug, Default)]
+pub struct RunTelemetry {
+    pub ranks: Vec<RankTelemetry>,
+}
+
+impl RunTelemetry {
+    pub fn from_ranks(ranks: Vec<RankTelemetry>) -> RunTelemetry {
+        RunTelemetry { ranks }
+    }
+
+    pub fn single(rank: RankTelemetry) -> RunTelemetry {
+        RunTelemetry { ranks: vec![rank] }
+    }
+
+    /// All rank registries pooled (counters summed, stats/histograms
+    /// merged).
+    pub fn merged_registry(&self) -> Registry {
+        let mut out = Registry::new();
+        for r in &self.ranks {
+            out.merge(&r.registry);
+        }
+        out
+    }
+
+    /// Phase totals summed across ranks.
+    pub fn phase_totals(&self) -> PhaseTotals {
+        let mut out = PhaseTotals::default();
+        for r in &self.ranks {
+            out.merge(&r.phases);
+        }
+        out
+    }
+
+    /// Total number of spans across ranks.
+    pub fn span_count(&self) -> usize {
+        self.ranks.iter().map(|r| r.spans.len()).sum()
+    }
+
+    /// Chrome trace-event JSON (see module docs).
+    pub fn chrome_trace_json(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[\n");
+        let mut first = true;
+
+        // Metadata: name the two processes and every track that appears.
+        let mut tracks: BTreeSet<(u32, u64)> = BTreeSet::new();
+        for r in &self.ranks {
+            for s in &r.spans {
+                tracks.insert((s.pid, s.tid));
+            }
+        }
+        let pids: BTreeSet<u32> = tracks.iter().map(|&(p, _)| p).collect();
+        for pid in pids {
+            let pname = match pid {
+                GCM_PID => "gcm charged timeline",
+                DES_PID => "des event timeline",
+                _ => "telemetry",
+            };
+            comma(&mut out, &mut first);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                escape(pname)
+            );
+        }
+        for &(pid, tid) in &tracks {
+            let tname = if pid == GCM_PID {
+                format!("rank {tid}")
+            } else {
+                format!("actor {tid}")
+            };
+            comma(&mut out, &mut first);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                escape(&tname)
+            );
+        }
+
+        // Complete ("X") events, in rank order then recording order.
+        for r in &self.ranks {
+            for s in &r.spans {
+                comma(&mut out, &mut first);
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\
+                     \"dur\":{},\"pid\":{},\"tid\":{}}}",
+                    escape(s.name),
+                    escape(s.cat),
+                    us(s.start.as_ps()),
+                    us(s.dur.as_ps()),
+                    s.pid,
+                    s.tid
+                );
+            }
+        }
+        out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+        out
+    }
+
+    /// Deterministic text report (see module docs).
+    pub fn text_summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "hyades telemetry summary");
+        let _ = writeln!(out, "========================");
+        let _ = writeln!(
+            out,
+            "ranks: {}  spans: {}",
+            self.ranks.len(),
+            self.span_count()
+        );
+
+        let p = self.phase_totals();
+        let _ = writeln!(out, "\n[phase totals, summed over ranks]");
+        for (name, d) in [
+            ("ps.compute", p.ps_compute),
+            ("ps.comm", p.ps_comm),
+            ("ds.compute", p.ds_compute),
+            ("ds.comm", p.ds_comm),
+            ("outside.comm", p.outside_comm),
+        ] {
+            let _ = writeln!(out, "  {name:<14} {:>16.3} us", d.as_us_f64());
+        }
+
+        // Span series pooled over ranks, keyed (cat, name).
+        let mut series: std::collections::BTreeMap<(&str, &str), (u64, u64, u64)> =
+            std::collections::BTreeMap::new();
+        for r in &self.ranks {
+            for s in &r.spans {
+                let e = series.entry((s.cat, s.name)).or_insert((0, 0, 0));
+                e.0 += 1;
+                e.1 += s.dur.as_ps();
+                e.2 = e.2.max(s.dur.as_ps());
+            }
+        }
+        let _ = writeln!(out, "\n[span series]");
+        let _ = writeln!(
+            out,
+            "  {:<28} {:>8} {:>14} {:>12} {:>12}",
+            "cat/name", "count", "total_us", "mean_us", "max_us"
+        );
+        for ((cat, name), (count, total_ps, max_ps)) in &series {
+            let label = format!("{cat}/{name}");
+            let total_us = *total_ps as f64 / 1e6;
+            let _ = writeln!(
+                out,
+                "  {label:<28} {count:>8} {total_us:>14.3} {:>12.3} {:>12.3}",
+                total_us / *count as f64,
+                *max_ps as f64 / 1e6,
+            );
+        }
+
+        let reg = self.merged_registry();
+        let _ = writeln!(out, "\n[counters]");
+        for ((component, metric), v) in reg.iter_counters() {
+            let _ = writeln!(out, "  {:<36} {v:>16}", format!("{component}.{metric}"));
+        }
+        let _ = writeln!(out, "\n[stats]");
+        for ((component, metric), s) in reg.iter_stats() {
+            let _ = writeln!(
+                out,
+                "  {:<36} n={:<8} mean={:<14.3} min={:<14.3} max={:<14.3}",
+                format!("{component}.{metric}"),
+                s.count(),
+                s.mean(),
+                s.min(),
+                s.max()
+            );
+        }
+        let _ = writeln!(out, "\n[histograms]");
+        for ((component, metric), h) in reg.iter_hists() {
+            let _ = writeln!(
+                out,
+                "  {:<36} n={:<8} p50<={:<12} p90<={:<12} p99<={}",
+                format!("{component}.{metric}"),
+                h.total(),
+                h.p50(),
+                h.p90(),
+                h.p99()
+            );
+        }
+        out
+    }
+}
+
+fn comma(out: &mut String, first: &mut bool) {
+    if *first {
+        *first = false;
+    } else {
+        out.push_str(",\n");
+    }
+}
+
+/// Integer picoseconds rendered as a microsecond JSON number, exactly.
+fn us(ps: u64) -> String {
+    format!("{}.{:06}", ps / 1_000_000, ps % 1_000_000)
+}
+
+/// Minimal JSON string escaping (the strings are static labels, but be
+/// safe about quotes, backslashes, and control characters).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{self, Phase};
+    use hyades_des::{SimDuration, SimTime};
+
+    fn sample_run() -> RunTelemetry {
+        recorder::enable_with_rates(0, 50.0, 60.0);
+        recorder::set_phase(Phase::Ps);
+        recorder::charge_flops(Phase::Ps, 5_000_000);
+        recorder::charge_comm("exchange", SimDuration::from_us(10));
+        recorder::set_phase(Phase::Ds);
+        recorder::charge_comm("gsum", SimDuration::from_us_f64(4.5));
+        recorder::record_span(
+            7,
+            "arctic",
+            "router.tx",
+            SimTime::from_us_f64(1.25),
+            SimDuration::from_ns(600),
+        );
+        recorder::count("arctic.router", "packets", 3);
+        recorder::observe_hist("startx.vi", "bytes", 1024);
+        RunTelemetry::single(recorder::disable().unwrap())
+    }
+
+    #[test]
+    fn chrome_json_is_wellformed_and_exact() {
+        let run = sample_run();
+        let json = run.chrome_trace_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.trim_end().ends_with("\"displayTimeUnit\":\"ms\"}"));
+        // Balanced braces/brackets (no string content interferes: labels
+        // are identifiers).
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        // Exact decimal microseconds from integer picoseconds.
+        assert!(json.contains("\"ts\":1.250000"), "{json}");
+        assert!(json.contains("\"dur\":0.600000"), "{json}");
+        // Both process timelines and the named tracks are present.
+        assert!(json.contains("gcm charged timeline"));
+        assert!(json.contains("des event timeline"));
+        assert!(json.contains("\"name\":\"rank 0\""));
+        assert!(json.contains("\"name\":\"actor 7\""));
+        assert!(json.contains("\"name\":\"exchange\""));
+    }
+
+    #[test]
+    fn text_summary_sections_render() {
+        let run = sample_run();
+        let s = run.text_summary();
+        assert!(s.contains("[phase totals"));
+        assert!(s.contains("ps.compute"));
+        assert!(s.contains("[span series]"));
+        assert!(s.contains("comm/exchange"));
+        assert!(s.contains("arctic.router.packets"));
+        assert!(s.contains("startx.vi.bytes"));
+        assert!(s.contains("p99<="));
+    }
+
+    #[test]
+    fn exports_are_deterministic() {
+        let a = sample_run();
+        let b = sample_run();
+        assert_eq!(a.chrome_trace_json(), b.chrome_trace_json());
+        assert_eq!(a.text_summary(), b.text_summary());
+    }
+
+    #[test]
+    fn merged_registry_pools_ranks() {
+        let mut ranks = Vec::new();
+        for rank in 0..2 {
+            recorder::enable(rank);
+            recorder::count("c", "n", 2);
+            ranks.push(recorder::disable().unwrap());
+        }
+        let run = RunTelemetry::from_ranks(ranks);
+        assert_eq!(run.merged_registry().counter("c", "n"), 4);
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("x\ny"), "x\\u000ay");
+    }
+
+    #[test]
+    fn us_renders_exact_picoseconds() {
+        assert_eq!(us(0), "0.000000");
+        assert_eq!(us(1_250_000), "1.250000");
+        assert_eq!(us(600), "0.000600");
+        assert_eq!(us(12_345_678_901), "12345.678901");
+    }
+}

@@ -17,4 +17,7 @@ cargo run -q -p hyades-lint
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> telemetry tour (instrumented run + exporters)"
+cargo run -q --release --example telemetry_tour
+
 echo "All checks passed."

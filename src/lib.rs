@@ -13,3 +13,4 @@ pub use hyades_des as des;
 pub use hyades_gcm as gcm;
 pub use hyades_perf as perf;
 pub use hyades_startx as startx;
+pub use hyades_telemetry as telemetry;

@@ -166,3 +166,32 @@ fn threaded_exchange_and_gsum_are_bit_identical_across_runs() {
     let c = threaded_round(8);
     assert_ne!(a, c, "different seed produced identical results");
 }
+
+#[test]
+fn telemetry_exports_are_bit_identical_across_runs() {
+    // The flight-recorder golden test: a full instrumented tour (GCM
+    // fan-out under TimedWorld, DES microbench, both exporters) must
+    // replay byte-for-byte with the same seed. Telemetry records charged
+    // SimTime, f64 stats, and histogram buckets — any wall-clock leak,
+    // hash-iteration order, or rank-merge shuffle in the recorder stack
+    // shows up as a diff here.
+    let a = hyades::tour::run(0x7E1E_7E1E);
+    let b = hyades::tour::run(0x7E1E_7E1E);
+    assert!(a.span_count > 0, "tour recorded nothing");
+    assert_eq!(
+        a.chrome_json, b.chrome_json,
+        "chrome trace must replay byte-identically"
+    );
+    assert_eq!(
+        a.text_summary, b.text_summary,
+        "text summary must replay byte-identically"
+    );
+    assert_eq!(a.phase_report, b.phase_report);
+
+    // A different seed must move the artifacts, or the comparison above
+    // is vacuous: the seed perturbs both the physics (solver residuals)
+    // and the microbench shapes (exchange leg bytes).
+    let c = hyades::tour::run(0x5EED_0001);
+    assert_ne!(a.chrome_json, c.chrome_json);
+    assert_ne!(a.text_summary, c.text_summary);
+}
