@@ -3,28 +3,70 @@
 //! Arctic's link technology lets software "assume error-free operations";
 //! corrupted packets are a catastrophic-failure case detected via CRC and a
 //! 1-bit status word (§2.2). This module provides deterministic corruption
-//! of in-flight packets so tests can verify the detection path end to end.
+//! (and, for harsher scenarios, outright drops) of in-flight packets so
+//! tests can verify the detection path end to end.
+//!
+//! Every injected fault is *observable*: [`FaultInjector::apply`] leaves a
+//! flight-recorder crumb and bumps the `arctic.fault` counters in the
+//! telemetry registry, so a run manifest shows exactly how many packets
+//! were corrupted or dropped — faults never disappear silently into the
+//! simulation.
 
 use crate::packet::Packet;
 use hyades_des::rng::SplitMix64;
+use hyades_des::{ActorId, SimTime};
+use hyades_telemetry as telemetry;
+use hyades_telemetry::flight;
 
-/// Deterministically corrupts a configurable fraction of packets passed
-/// through [`FaultInjector::maybe_corrupt`].
+/// Deterministically corrupts (and optionally drops) a configurable
+/// fraction of packets passed through it.
 pub struct FaultInjector {
     rng: SplitMix64,
     /// Probability in [0, 1] that a packet gets a single bit flip.
     pub rate: f64,
+    /// Probability in [0, 1] that a packet is dropped outright.
+    pub drop_rate: f64,
     pub injected: u64,
+    pub dropped: u64,
+}
+
+/// Fault configuration carried by
+/// [`ArcticConfig`](crate::network::ArcticConfig): each injection port
+/// derives its own deterministic [`FaultInjector`] from this profile.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultProfile {
+    pub seed: u64,
+    /// Per-packet single-bit-flip probability.
+    pub corrupt_rate: f64,
+    /// Per-packet drop probability (checked before corruption).
+    pub drop_rate: f64,
 }
 
 impl FaultInjector {
     pub fn new(seed: u64, rate: f64) -> Self {
+        Self::with_drop_rate(seed, rate, 0.0)
+    }
+
+    pub fn with_drop_rate(seed: u64, rate: f64, drop_rate: f64) -> Self {
         assert!((0.0..=1.0).contains(&rate), "rate must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&drop_rate),
+            "drop_rate must be a probability"
+        );
         FaultInjector {
             rng: SplitMix64::new(seed),
             rate,
+            drop_rate,
             injected: 0,
+            dropped: 0,
         }
+    }
+
+    pub fn from_profile(p: &FaultProfile, stream: u64) -> Self {
+        // Mix the stream index so per-port injectors draw independent
+        // sequences from one profile seed.
+        let mut mix = SplitMix64::new(p.seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        Self::with_drop_rate(mix.next_u64(), p.corrupt_rate, p.drop_rate)
     }
 
     /// Flip one random payload bit with probability `rate`. Returns true if
@@ -37,6 +79,24 @@ impl FaultInjector {
         let bit = self.rng.next_below(32) as u32;
         pkt.payload[word] ^= 1 << bit;
         self.injected += 1;
+        true
+    }
+
+    /// Apply the full fault model to a packet about to enter the fabric.
+    /// Returns `false` if the packet is dropped (the caller must not
+    /// forward it). Both outcomes leave a flight-recorder crumb and a
+    /// registry counter so the faults are visible in run manifests.
+    pub fn apply(&mut self, pkt: &mut Packet, at: SimTime, actor: ActorId) -> bool {
+        if self.drop_rate > 0.0 && self.rng.next_f64() < self.drop_rate {
+            self.dropped += 1;
+            flight::record(at, actor, "fault.drop", pkt.usr_tag as u64);
+            telemetry::count("arctic.fault", "dropped", 1);
+            return false;
+        }
+        if self.maybe_corrupt(pkt) {
+            flight::record(at, actor, "fault.corrupt", pkt.usr_tag as u64);
+            telemetry::count("arctic.fault", "corrupted", 1);
+        }
         true
     }
 }
@@ -85,5 +145,50 @@ mod tests {
     #[should_panic(expected = "probability")]
     fn invalid_rate_rejected() {
         FaultInjector::new(0, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_drop_rate_rejected() {
+        FaultInjector::with_drop_rate(0, 0.0, -0.1);
+    }
+
+    #[test]
+    fn apply_drops_at_unit_drop_rate_and_is_observable() {
+        flight::install(16);
+        let mut f = FaultInjector::with_drop_rate(7, 0.0, 1.0);
+        let mut pkt = Packet::new(0, 1, Priority::Low, 42, vec![1, 2]);
+        assert!(!f.apply(&mut pkt, SimTime::ZERO, ActorId(3)));
+        assert_eq!(f.dropped, 1);
+        let tr = flight::take().unwrap();
+        let labels: Vec<&str> = tr.iter().map(|r| r.label).collect();
+        assert_eq!(labels, ["fault.drop"]);
+    }
+
+    #[test]
+    fn apply_corrupts_and_leaves_crumb() {
+        flight::install(16);
+        let mut f = FaultInjector::with_drop_rate(8, 1.0, 0.0);
+        let mut pkt = Packet::new(0, 1, Priority::Low, 9, vec![1, 2]);
+        assert!(f.apply(&mut pkt, SimTime::ZERO, ActorId(0)));
+        assert!(!pkt.verify());
+        assert_eq!(f.injected, 1);
+        let tr = flight::take().unwrap();
+        assert_eq!(tr.iter().next().unwrap().label, "fault.corrupt");
+    }
+
+    #[test]
+    fn profile_streams_are_independent_but_deterministic() {
+        let p = FaultProfile {
+            seed: 11,
+            corrupt_rate: 0.5,
+            drop_rate: 0.1,
+        };
+        let mut a0 = FaultInjector::from_profile(&p, 0);
+        let mut b0 = FaultInjector::from_profile(&p, 0);
+        let mut a1 = FaultInjector::from_profile(&p, 1);
+        let draw0 = a0.rng.next_u64();
+        assert_eq!(draw0, b0.rng.next_u64(), "same stream, same draws");
+        assert_ne!(draw0, a1.rng.next_u64(), "different streams diverge");
     }
 }

@@ -1,5 +1,6 @@
 //! The assembled fabric: routers + injection ports + delivery plumbing.
 
+use crate::fault::{FaultInjector, FaultProfile};
 use crate::packet::{Packet, UpRoute};
 use crate::router::{
     down_port_index, up_port_index, PortTarget, RouterActor, RouterEv, RouterTiming,
@@ -10,6 +11,7 @@ use hyades_des::rng::SplitMix64;
 use hyades_des::{Actor, ActorId, Ctx, SimDuration, SimTime, Simulator};
 use hyades_telemetry as telemetry;
 use hyades_telemetry::flight;
+use hyades_telemetry::sampler::{self, SampleTick};
 use std::sync::Arc;
 
 /// Fabric configuration. Defaults are the paper's hardware constants.
@@ -19,6 +21,10 @@ pub struct ArcticConfig {
     pub uproute: UpRoute,
     /// Seed for random up-route selection (only used in `UpRoute::Random`).
     pub seed: u64,
+    /// Optional fault injection applied at the injection ports; every
+    /// injected fault is visible in the flight recorder and the
+    /// `arctic.fault` registry counters.
+    pub fault: Option<FaultProfile>,
 }
 
 impl Default for ArcticConfig {
@@ -27,6 +33,7 @@ impl Default for ArcticConfig {
             timing: RouterTiming::default(),
             uproute: UpRoute::SourceSpread,
             seed: 0xA7C71C,
+            fault: None,
         }
     }
 }
@@ -56,6 +63,10 @@ pub struct TxPort {
     free_at: SimTime,
     high: std::collections::VecDeque<Packet>,
     low: std::collections::VecDeque<Packet>,
+    fault: Option<FaultInjector>,
+    /// Link-busy accounting for the sampler (mirrors the router ports).
+    busy_ps: u64,
+    sampled_busy_ps: u64,
     pub packets_injected: u64,
     pub bytes_injected: u64,
 }
@@ -77,11 +88,23 @@ impl TxPort {
             ctx.send_after(self.free_at - now, ctx.self_id(), TxKick);
             return;
         }
-        let Some(pkt) = self.high.pop_front().or_else(|| self.low.pop_front()) else {
+        let Some(mut pkt) = self.high.pop_front().or_else(|| self.low.pop_front()) else {
             return;
         };
+        if let Some(f) = self.fault.as_mut() {
+            if !f.apply(&mut pkt, now, ctx.self_id()) {
+                // Dropped before the link was occupied: try the next
+                // queued packet immediately.
+                self.pump(ctx);
+                return;
+            }
+        }
+        if let Some(tr) = pkt.trace.as_deref_mut() {
+            tr.injected_at = now;
+        }
         let ser = SimDuration::for_bytes_at(pkt.wire_bytes(), self.timing.link_mbyte_per_sec);
         self.free_at = now + ser;
+        self.busy_ps += ser.as_ps();
         self.packets_injected += 1;
         self.bytes_injected += pkt.wire_bytes();
         telemetry::record_span(ctx.self_id().0 as u64, "arctic", "niu.inject", now, ser);
@@ -94,6 +117,26 @@ impl TxPort {
         if !self.high.is_empty() || !self.low.is_empty() {
             ctx.send_after(ser, ctx.self_id(), TxKick);
         }
+    }
+
+    /// Answer a [`SampleTick`]: report this injection link's state.
+    fn sample(&mut self, ctx: &mut Ctx<'_>) {
+        if !sampler::installed() {
+            return;
+        }
+        let now = ctx.now();
+        let entity = format!("ep{}", self.endpoint);
+        sampler::record(
+            "arctic.niu",
+            &entity,
+            "occ_high",
+            now,
+            self.high.len() as f64,
+        );
+        sampler::record("arctic.niu", &entity, "occ_low", now, self.low.len() as f64);
+        let busy = self.busy_ps - self.sampled_busy_ps;
+        self.sampled_busy_ps = self.busy_ps;
+        sampler::record("arctic.niu", &entity, "busy_us", now, busy as f64 / 1e6);
     }
 }
 
@@ -111,10 +154,13 @@ impl Actor for TxPort {
                 }
                 self.pump(ctx);
             }
-            Err(other) => {
-                other.downcast::<TxKick>().expect("TxPort unexpected event");
-                self.pump(ctx);
-            }
+            Err(other) => match other.downcast::<TxKick>() {
+                Ok(_) => self.pump(ctx),
+                Err(other) => match other.downcast::<SampleTick>() {
+                    Ok(_) => self.sample(ctx),
+                    Err(_) => panic!("TxPort unexpected event"),
+                },
+            },
         }
     }
 }
@@ -181,6 +227,12 @@ impl ArcticNetwork {
                 free_at: SimTime::ZERO,
                 high: std::collections::VecDeque::new(),
                 low: std::collections::VecDeque::new(),
+                fault: cfg
+                    .fault
+                    .as_ref()
+                    .map(|p| FaultInjector::from_profile(p, e as u64)),
+                busy_ps: 0,
+                sampled_busy_ps: 0,
                 packets_injected: 0,
                 bytes_injected: 0,
             });
@@ -223,6 +275,35 @@ impl ArcticNetwork {
     pub fn inject_at(&self, sim: &mut Simulator, at: SimTime, pkt: Packet) {
         let port = self.tx_port(pkt.src);
         sim.schedule(at, port, Inject(pkt));
+    }
+
+    /// Router actor ids, level-major (`idx = level * routers_per_level +
+    /// word`) — the observatory walks these to collect per-port state.
+    pub fn router_actor_ids(&self) -> &[ActorId] {
+        &self.router_ids
+    }
+
+    /// Every actor the fabric observatory samples: all routers plus all
+    /// injection ports, in deterministic id order.
+    pub fn sampler_targets(&self) -> Vec<ActorId> {
+        let mut t = self.router_ids.clone();
+        t.extend_from_slice(&self.tx_ports);
+        t
+    }
+
+    /// Fault-injection totals across all injection ports:
+    /// (packets corrupted, packets dropped).
+    pub fn fault_counts(&self, sim: &Simulator) -> (u64, u64) {
+        let mut corrupted = 0;
+        let mut dropped = 0;
+        for &id in &self.tx_ports {
+            let p = sim.actor::<TxPort>(id);
+            if let Some(f) = p.fault.as_ref() {
+                corrupted += f.injected;
+                dropped += f.dropped;
+            }
+        }
+        (corrupted, dropped)
     }
 
     /// Sum of CRC failures observed across all router stages.

@@ -1,0 +1,113 @@
+//! Per-packet path tracing: explaining a latency hop by hop.
+//!
+//! A packet built with [`Packet::with_trace`](crate::packet::Packet::with_trace)
+//! carries an optional [`PathTrace`]. The injection port stamps the time
+//! the packet won the NIU link; every router stage appends a [`HopRecord`]
+//! when the packet enters an output queue and fills in the dequeue time
+//! when the packet is granted the link. At delivery the trace reads as a
+//! complete itinerary — which routers, which ports, and where the time
+//! went (fall-through vs. queueing) — so any latency outlier can be
+//! decomposed without re-running the simulation.
+//!
+//! Tracing is strictly opt-in: an untraced packet carries `None` (one
+//! pointer-sized field), and the fabric's hot path only touches the trace
+//! behind an `Option` check. The trace is deliberately *excluded* from
+//! the CRC: like the up-route scratch bits, it is observer state, not
+//! wire content.
+
+use crate::packet::Priority;
+use crate::topology::RouterAddr;
+use hyades_des::SimTime;
+use std::fmt::Write as _;
+
+/// One router stage in a packet's journey.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HopRecord {
+    /// The router visited.
+    pub router: RouterAddr,
+    /// Output port index granted (0,1 down; 2,3 up).
+    pub port: u8,
+    /// Priority class the packet queued in at this stage.
+    pub priority: Priority,
+    /// When the packet entered the output queue (head arrival).
+    pub enq: SimTime,
+    /// When the packet was granted the output link.
+    pub deq: SimTime,
+}
+
+impl HopRecord {
+    /// Time spent queued at this stage (granted minus arrived).
+    pub fn wait(&self) -> u64 {
+        self.deq.as_ps().saturating_sub(self.enq.as_ps())
+    }
+}
+
+/// The accumulated itinerary of one traced packet.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PathTrace {
+    /// When the injection port granted the packet the NIU link.
+    pub injected_at: SimTime,
+    /// Router stages in traversal order.
+    pub hops: Vec<HopRecord>,
+}
+
+impl PathTrace {
+    /// The route as `(router, output port)` pairs — comparable against
+    /// [`FatTree::route_path`](crate::topology::FatTree::route_path).
+    pub fn route(&self) -> Vec<(RouterAddr, u8)> {
+        self.hops.iter().map(|h| (h.router, h.port)).collect()
+    }
+
+    /// Total time spent queued across all stages, in picoseconds.
+    pub fn total_wait_ps(&self) -> u64 {
+        self.hops.iter().map(HopRecord::wait).sum()
+    }
+
+    /// Human-readable itinerary for diagnostics and failure dumps.
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "injected at {:.3} us", self.injected_at.as_us_f64());
+        for h in &self.hops {
+            let _ = writeln!(
+                out,
+                "  l{}.w{} -> port {} ({}): enq {:.3} us, deq {:.3} us, wait {:.3} us",
+                h.router.level,
+                h.router.word,
+                h.port,
+                match h.priority {
+                    Priority::High => "high",
+                    Priority::Low => "low",
+                },
+                h.enq.as_us_f64(),
+                h.deq.as_us_f64(),
+                h.wait() as f64 / 1e6,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wait_saturates_and_sums() {
+        let hop = |enq_us: f64, deq_us: f64| HopRecord {
+            router: RouterAddr { level: 0, word: 0 },
+            port: 2,
+            priority: Priority::Low,
+            enq: SimTime::from_us_f64(enq_us),
+            deq: SimTime::from_us_f64(deq_us),
+        };
+        let tr = PathTrace {
+            injected_at: SimTime::ZERO,
+            hops: vec![hop(1.0, 1.5), hop(2.0, 2.0)],
+        };
+        assert_eq!(tr.total_wait_ps(), 500_000);
+        assert_eq!(tr.route().len(), 2);
+        let d = tr.describe();
+        assert!(d.contains("l0.w0 -> port 2"));
+        assert!(d.contains("wait 0.500 us"));
+    }
+}

@@ -20,12 +20,14 @@
 //! Arctic's per-path FIFO guarantee.
 
 use crate::packet::{Packet, Priority};
+use crate::path::HopRecord;
 use crate::topology::{FatTree, RouterAddr};
 use hyades_des::event::Payload;
 use hyades_des::{Actor, ActorId, Ctx, SimDuration, SimTime};
 use hyades_telemetry as telemetry;
 use hyades_telemetry::flight;
-use std::collections::VecDeque;
+use hyades_telemetry::sampler::{self, SampleTick};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 /// Number of ports on an Arctic router (2 down + 2 up).
@@ -63,12 +65,27 @@ pub enum PortTarget {
 struct OutputPort {
     target: PortTarget,
     free_at: SimTime,
-    high: VecDeque<Packet>,
-    low: VecDeque<Packet>,
+    /// Queued packets with the time their head became eligible for the
+    /// link (arrival + fall-through): the baseline for stall accounting.
+    high: VecDeque<(SimTime, Packet)>,
+    low: VecDeque<(SimTime, Packet)>,
     /// Traffic accounting for tests and diagnostics.
     packets: u64,
     bytes: u64,
     max_queue: usize,
+    /// Link-busy time accumulated over the run (serialization charged at
+    /// grant), and the value last reported to the sampler.
+    busy_ps: u64,
+    sampled_busy_ps: u64,
+    /// Flow-control stall accounting: time packet heads spent waiting
+    /// for this output link *beyond* the fall-through, i.e. blocked by
+    /// link occupancy — the wormhole analogue of credit stalls.
+    stall_ps: u64,
+    sampled_stall_ps: u64,
+    stalls: u64,
+    /// Per-flow grant counts, kept only while the sampler observatory is
+    /// installed (it costs a map insert per packet).
+    flows: BTreeMap<(u16, u16), u64>,
 }
 
 impl OutputPort {
@@ -81,6 +98,12 @@ impl OutputPort {
             packets: 0,
             bytes: 0,
             max_queue: 0,
+            busy_ps: 0,
+            sampled_busy_ps: 0,
+            stall_ps: 0,
+            sampled_stall_ps: 0,
+            stalls: 0,
+            flows: BTreeMap::new(),
         }
     }
 
@@ -149,6 +172,37 @@ impl RouterActor {
         (p.packets, p.bytes, p.max_queue)
     }
 
+    /// Is this output port wired to anything?
+    pub fn port_is_wired(&self, port: usize) -> bool {
+        !matches!(self.ports[port].target, PortTarget::None)
+    }
+
+    /// Stall counters per port: (stall events, total stall picoseconds).
+    pub fn port_stalls(&self, port: usize) -> (u64, u64) {
+        let p = &self.ports[port];
+        (p.stalls, p.stall_ps)
+    }
+
+    /// Total link-busy picoseconds per port.
+    pub fn port_busy_ps(&self, port: usize) -> u64 {
+        self.ports[port].busy_ps
+    }
+
+    /// Per-flow grant counts for a port, in (src, dst) order. Populated
+    /// only while the sampler observatory is installed.
+    pub fn port_flows(&self, port: usize) -> Vec<((u16, u16), u64)> {
+        self.ports[port]
+            .flows
+            .iter()
+            .map(|(&k, &v)| (k, v))
+            .collect()
+    }
+
+    /// The sampler entity label for one of this router's output links.
+    pub fn link_entity(addr: RouterAddr, port: usize) -> String {
+        format!("l{}.w{}.p{}", addr.level, addr.word, port)
+    }
+
     fn route(&self, pkt: &Packet) -> usize {
         if pkt.up_remaining > 0 {
             let p = ((pkt.uproute_bits >> self.addr.level) & 1) as u8;
@@ -183,15 +237,24 @@ impl RouterActor {
         if pkt.up_remaining > 0 {
             pkt.up_remaining -= 1;
         }
-        let q = &mut self.ports[port];
-        match pkt.priority {
-            Priority::High => q.high.push_back(pkt),
-            Priority::Low => q.low.push_back(pkt),
+        if let Some(tr) = pkt.trace.as_deref_mut() {
+            tr.hops.push(HopRecord {
+                router: self.addr,
+                port: port as u8,
+                priority: pkt.priority,
+                enq: ctx.now(),
+                deq: SimTime::ZERO,
+            });
         }
-        q.max_queue = q.max_queue.max(q.queued());
         // The head has now fallen through the crossbar; the link grant can
         // happen no earlier than `fall_through` from arrival.
         let ready = ctx.now() + self.timing.fall_through;
+        let q = &mut self.ports[port];
+        match pkt.priority {
+            Priority::High => q.high.push_back((ready, pkt)),
+            Priority::Low => q.low.push_back((ready, pkt)),
+        }
+        q.max_queue = q.max_queue.max(q.queued());
         let at = ready.max(q.free_at);
         ctx.send_after(at - ctx.now(), ctx.self_id(), RouterEv::TryTx { port });
     }
@@ -203,17 +266,33 @@ impl RouterActor {
             return;
         }
         // High priority is never blocked behind queued low priority.
-        let pkt = match q.high.pop_front() {
+        let (ready, mut pkt) = match q.high.pop_front() {
             Some(p) => p,
             None => match q.low.pop_front() {
                 Some(p) => p,
                 None => return,
             },
         };
+        // Time the head waited for the link beyond its fall-through —
+        // the flow-control stall this grant resolves.
+        let waited = now.as_ps().saturating_sub(ready.as_ps());
+        if waited > 0 {
+            q.stalls += 1;
+            q.stall_ps += waited;
+        }
         let ser = SimDuration::for_bytes_at(pkt.wire_bytes(), self.timing.link_mbyte_per_sec);
         q.free_at = now + ser;
         q.packets += 1;
         q.bytes += pkt.wire_bytes();
+        q.busy_ps += ser.as_ps();
+        if sampler::installed() {
+            *q.flows.entry((pkt.src, pkt.dst)).or_insert(0) += 1;
+        }
+        if let Some(tr) = pkt.trace.as_deref_mut() {
+            if let Some(h) = tr.hops.last_mut() {
+                h.deq = now;
+            }
+        }
         telemetry::record_span(ctx.self_id().0 as u64, "arctic", "router.tx", now, ser);
         telemetry::observe_hist("arctic.router", "tx_queue_depth", q.queued() as u64);
         flight::record(now, ctx.self_id(), "router.tx", pkt.usr_tag as u64);
@@ -242,6 +321,34 @@ impl RouterActor {
             ctx.send_after(free - now, ctx.self_id(), RouterEv::TryTx { port });
         }
     }
+
+    /// Answer a [`SampleTick`]: report each wired output link's state to
+    /// the thread-local sampler. `busy_us` / `stall_us` are deltas since
+    /// the previous tick (serialization is charged at grant time, so a
+    /// packet spanning a tick boundary is attributed to the window that
+    /// granted it).
+    fn sample(&mut self, ctx: &mut Ctx<'_>) {
+        if !sampler::installed() {
+            return;
+        }
+        let now = ctx.now();
+        let addr = self.addr;
+        for (i, q) in self.ports.iter_mut().enumerate() {
+            if matches!(q.target, PortTarget::None) {
+                continue;
+            }
+            let entity = RouterActor::link_entity(addr, i);
+            sampler::record("arctic.link", &entity, "occ_high", now, q.high.len() as f64);
+            sampler::record("arctic.link", &entity, "occ_low", now, q.low.len() as f64);
+            sampler::record("arctic.link", &entity, "occ", now, q.queued() as f64);
+            let busy = q.busy_ps - q.sampled_busy_ps;
+            q.sampled_busy_ps = q.busy_ps;
+            sampler::record("arctic.link", &entity, "busy_us", now, busy as f64 / 1e6);
+            let stall = q.stall_ps - q.sampled_stall_ps;
+            q.sampled_stall_ps = q.stall_ps;
+            sampler::record("arctic.link", &entity, "stall_us", now, stall as f64 / 1e6);
+        }
+    }
 }
 
 impl Actor for RouterActor {
@@ -251,7 +358,10 @@ impl Actor for RouterActor {
                 RouterEv::Arrive(pkt) => self.enqueue(pkt, ctx),
                 RouterEv::TryTx { port } => self.try_tx(port, ctx),
             },
-            Err(other) => panic!("router received unexpected event: {other:?}"),
+            Err(other) => match other.downcast::<SampleTick>() {
+                Ok(_) => self.sample(ctx),
+                Err(other) => panic!("router received unexpected event: {other:?}"),
+            },
         }
     }
 }

@@ -8,6 +8,7 @@
 //! configurable offered load.
 
 use crate::network::{ArcticConfig, ArcticNetwork, Delivered, Inject};
+use crate::observatory::{FabricReport, Observatory, ObservatoryConfig};
 use crate::packet::{u64_from_words, words_from_u64, Packet, Priority, UpRoute};
 use hyades_des::event::Payload;
 use hyades_des::rng::SplitMix64;
@@ -146,6 +147,54 @@ pub fn run_traffic(
     measure_us: f64,
     seed: u64,
 ) -> TrafficResult {
+    run_traffic_impl(
+        n,
+        pattern,
+        uproute,
+        offered_fraction,
+        measure_us,
+        seed,
+        None,
+    )
+    .0
+}
+
+/// [`run_traffic`] with the fabric observatory attached: samples every
+/// link at `obs.interval` and returns the [`FabricReport`] alongside the
+/// traffic result. Deterministic for a given seed.
+pub fn run_traffic_observed(
+    n: u16,
+    pattern: Pattern,
+    uproute: UpRoute,
+    offered_fraction: f64,
+    measure_us: f64,
+    seed: u64,
+    obs: ObservatoryConfig,
+) -> (TrafficResult, FabricReport) {
+    let (result, report) = run_traffic_impl(
+        n,
+        pattern,
+        uproute,
+        offered_fraction,
+        measure_us,
+        seed,
+        Some(obs),
+    );
+    match report {
+        Some(r) => (result, r),
+        None => unreachable!("observatory config was provided"),
+    }
+}
+
+fn run_traffic_impl(
+    n: u16,
+    pattern: Pattern,
+    uproute: UpRoute,
+    offered_fraction: f64,
+    measure_us: f64,
+    seed: u64,
+    obs: Option<ObservatoryConfig>,
+) -> (TrafficResult, Option<FabricReport>) {
     assert!((0.0..=1.0).contains(&offered_fraction));
     let mut sim = Simulator::new();
     let warmup = SimTime::from_us_f64(measure_us);
@@ -166,6 +215,7 @@ pub fn run_traffic(
         ..ArcticConfig::default()
     };
     let net = ArcticNetwork::build(&mut sim, &sinks, cfg);
+    let observatory = obs.map(|o| Observatory::attach(&mut sim, &net, o));
     // Per-endpoint payload capacity: 88-byte payload in a 96-byte packet
     // on a 150 MB/s link → 137.5 MB/s of payload; the offered gap follows.
     let payload_rate = 150.0 * 88.0 / 96.0 * offered_fraction;
@@ -197,13 +247,15 @@ pub fn run_traffic(
         latency.merge(&s.latency);
     }
     let measure_s = measure_us * 1e-6;
-    TrafficResult {
+    let result = TrafficResult {
         pattern,
         offered_fraction,
         delivered_mbyte_per_sec: bytes as f64 / measure_s / 1e6,
         latency,
         packets_delivered: packets,
-    }
+    };
+    let report = observatory.map(|o| o.collect(&sim, &net));
+    (result, report)
 }
 
 #[cfg(test)]
@@ -333,6 +385,32 @@ mod tests {
         let offered = 16.0 * 0.5 * 137.5;
         assert!(r.delivered_mbyte_per_sec > 0.85 * offered);
         assert!(r.latency.mean() < 10.0);
+    }
+
+    #[test]
+    fn observed_bit_reverse_congestion_names_hotspots() {
+        // The deterministic-routing adversary again, this time with the
+        // observatory watching: the funnel links must be flagged.
+        let (r, rep) = run_traffic_observed(
+            16,
+            Pattern::BitReverse,
+            UpRoute::SourceSpread,
+            0.8,
+            MEASURE_US,
+            3,
+            ObservatoryConfig::new(5.0, 2.0 * MEASURE_US),
+        );
+        assert!(r.packets_delivered > 0);
+        assert!(rep.ticks >= (2.0 * MEASURE_US / 5.0) as u64 - 1);
+        assert!(
+            !rep.hotspots.is_empty(),
+            "congested bit-reverse must flag at least one hotspot"
+        );
+        assert!(rep.hotspots[0].flows.iter().any(|f| f.packets > 0));
+        // A sampled, congested link shows nonzero utilization and stalls.
+        let worst = &rep.hotspots[0];
+        assert!(worst.util_mean > 0.5, "worst link util {}", worst.util_mean);
+        assert!(worst.stall_us > 0.0);
     }
 
     #[test]

@@ -14,12 +14,16 @@
 //!   acceptance bar.
 //! * `full_step_telemetry_on` — the same step with a live recorder, to
 //!   show what enabling the flight recorder actually costs.
+//! * `disabled_sampler_4k` — per-call price of the fabric-observatory
+//!   sampler hook (`sampler::record`) with no sampler installed; the
+//!   same ≤ 2 % disabled-path bar applies to the PR 3 hooks.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use hyades_bench::setup::tile_model;
 use hyades_comms::SerialWorld;
 use hyades_des::{SimDuration, SimTime};
 use hyades_telemetry as telemetry;
+use hyades_telemetry::sampler;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("telemetry_overhead");
@@ -47,6 +51,29 @@ fn bench(c: &mut Criterion) {
                         SimDuration::from_ns(1),
                     );
                     telemetry::charge_comm("bench", SimDuration::from_ns(black_box(i)));
+                }
+            });
+        });
+    }
+
+    // Per-call price of the fabric-observatory sampler hook with no
+    // sampler installed — the state every router/NIU call site is in
+    // unless an Observatory is attached.
+    {
+        assert!(
+            !sampler::installed() && sampler::take().is_none(),
+            "sampler must start uninstalled"
+        );
+        const CALLS: u64 = 1000;
+        g.throughput(Throughput::Elements(4 * CALLS));
+        g.bench_function("disabled_sampler_4k", |b| {
+            b.iter(|| {
+                for i in 0..CALLS {
+                    let v = black_box(i as f64);
+                    sampler::record("bench", black_box("l0.w0.p0"), "occ", SimTime::ZERO, v);
+                    sampler::record("bench", black_box("l0.w0.p0"), "occ_high", SimTime::ZERO, v);
+                    sampler::record("bench", black_box("l0.w0.p0"), "busy_us", SimTime::ZERO, v);
+                    sampler::record("bench", black_box("ep0"), "occ", SimTime::ZERO, v);
                 }
             });
         });

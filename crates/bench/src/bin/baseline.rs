@@ -1,0 +1,254 @@
+//! The perf-baseline harness: one deterministic, instrumented pass over
+//! the E14-style experiments plus the fabric observatory, emitting
+//! `BENCH_pr3.json` — the first point of the regression trajectory every
+//! later PR is compared against.
+//!
+//! ```text
+//! scripts/bench.sh            # full run
+//! scripts/bench.sh --smoke    # CI-sized run (same checks, shorter windows)
+//! ```
+//!
+//! The harness fails (non-zero exit) if any of its embedded acceptance
+//! checks fail:
+//!
+//! * the deliberately congested workload (bit-reverse at 0.8 offered
+//!   load, deterministic up-routes) must flag at least one hotspot;
+//! * the Prometheus exposition and the JSON manifest must be
+//!   byte-identical across a same-seed double run;
+//! * the telemetry tour's model-vs-measured phase residual must stay
+//!   within the tour's own sanity bar (|residual| < 200 %): the analytic
+//!   model and the executable simulation must not diverge wholesale.
+//!
+//! Wall-clock numbers in the output are environment-dependent by nature;
+//! everything else in `BENCH_pr3.json` is deterministic.
+
+use hyades::tour;
+use hyades_arctic::observatory::ObservatoryConfig;
+use hyades_arctic::packet::UpRoute;
+use hyades_arctic::workload::{run_traffic_observed, Pattern};
+use hyades_cluster::ethernet_sim::{
+    EtherFrame, EtherSink, EthernetSim, FAST_ETHERNET_MBYTE_PER_SEC,
+};
+use hyades_des::{SimDuration, SimTime, Simulator};
+use hyades_telemetry::sampler;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+const SEED: u64 = 0x0B5_E7A;
+
+struct Args {
+    smoke: bool,
+    out: PathBuf,
+    artifact_dir: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        out: PathBuf::from("BENCH_pr3.json"),
+        artifact_dir: PathBuf::from("target/observatory"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--full" => args.smoke = false,
+            "--out" => {
+                args.out = PathBuf::from(it.next().expect("--out needs a path"));
+            }
+            "--artifacts" => {
+                args.artifact_dir = PathBuf::from(it.next().expect("--artifacts needs a path"));
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let mode = if args.smoke { "smoke" } else { "full" };
+    let measure_us = if args.smoke { 120.0 } else { 400.0 };
+    let wall = Instant::now();
+    let mut failures: Vec<String> = Vec::new();
+
+    // 1. Telemetry tour: model-vs-measured phase residuals (E14).
+    let wall_tour = Instant::now();
+    let t = tour::run(SEED);
+    let tour_ms = wall_tour.elapsed().as_secs_f64() * 1e3;
+    if t.max_abs_residual >= 2.0 {
+        failures.push(format!(
+            "tour residual {:.1}% exceeds the 200% sanity bar",
+            t.max_abs_residual * 100.0
+        ));
+    }
+
+    // 2. Fabric observatory on the deliberately congested workload, run
+    //    twice with the same seed: the exports must match byte-for-byte.
+    let obs = ObservatoryConfig::new(5.0, 2.0 * measure_us);
+    let observed = || {
+        run_traffic_observed(
+            16,
+            Pattern::BitReverse,
+            UpRoute::SourceSpread,
+            0.8,
+            measure_us,
+            SEED,
+            obs,
+        )
+    };
+    let wall_fabric = Instant::now();
+    let (traffic, report) = observed();
+    let fabric_ms = wall_fabric.elapsed().as_secs_f64() * 1e3;
+    let prom = report.prometheus();
+    let manifest = report.json_manifest("bitreverse-0.8-sourcespread", SEED);
+    let (_, report2) = observed();
+    let prom_identical = prom == report2.prometheus();
+    let manifest_identical = manifest == report2.json_manifest("bitreverse-0.8-sourcespread", SEED);
+    if report.hotspots.is_empty() {
+        failures.push("congested bit-reverse run detected no hotspot".into());
+    }
+    if !prom_identical {
+        failures.push("prometheus exposition differs across same-seed double run".into());
+    }
+    if !manifest_identical {
+        failures.push("json manifest differs across same-seed double run".into());
+    }
+
+    // 3. Ethernet contrast: the same sampler on a hammered switch port.
+    let wall_ether = Instant::now();
+    let mut sim = Simulator::new();
+    let eps: Vec<_> = (0..16)
+        .map(|_| sim.add_actor(EtherSink::default()))
+        .collect();
+    let enet = EthernetSim::build(&mut sim, &eps, FAST_ETHERNET_MBYTE_PER_SEC);
+    enet.observe(
+        &mut sim,
+        SimDuration::from_us(50),
+        SimTime::from_us_f64(20_000.0),
+    );
+    for s in 1..16u16 {
+        for i in 0..10 {
+            enet.inject_at(
+                &mut sim,
+                SimTime::from_us_f64(i as f64 * 3.0),
+                EtherFrame {
+                    src: s,
+                    dst: 0,
+                    payload_bytes: 1000,
+                    injected_at: SimTime::ZERO,
+                },
+            );
+        }
+    }
+    sim.run();
+    let ether_samples = sampler::take().expect("ethernet run was observed");
+    let ether_prom = EthernetSim::prometheus(&ether_samples);
+    let ether_occ_p99 = ether_samples
+        .get("ether.link", "p0", "occ")
+        .map(|s| s.p99())
+        .unwrap_or(0.0);
+    let ether_ms = wall_ether.elapsed().as_secs_f64() * 1e3;
+
+    // Artifacts: the raw exports next to the summary.
+    fs::create_dir_all(&args.artifact_dir).expect("create artifact dir");
+    fs::write(args.artifact_dir.join("fabric.prom"), &prom).expect("write fabric.prom");
+    fs::write(args.artifact_dir.join("fabric_manifest.json"), &manifest)
+        .expect("write fabric_manifest.json");
+    fs::write(args.artifact_dir.join("ethernet.prom"), &ether_prom).expect("write ethernet.prom");
+
+    // The summary JSON.
+    let worst = report.hotspots.first();
+    let mut j = String::new();
+    let _ = write!(
+        j,
+        "{{\n  \"bench\": \"pr3-baseline\",\n  \"mode\": \"{mode}\",\n  \"seed\": {SEED},\n"
+    );
+    let _ = write!(
+        j,
+        "  \"wall_ms\": {{\"total\": {:.1}, \"tour\": {tour_ms:.1}, \"fabric\": {fabric_ms:.1}, \"ethernet\": {ether_ms:.1}}},\n",
+        wall.elapsed().as_secs_f64() * 1e3
+    );
+    let _ = write!(
+        j,
+        "  \"tour\": {{\"max_abs_residual\": {:.6}, \"span_count\": {}}},\n",
+        t.max_abs_residual, t.span_count
+    );
+    let _ = write!(
+        j,
+        "  \"fabric\": {{\"pattern\": \"bit_reverse\", \"uproute\": \"source_spread\", \
+         \"offered_fraction\": 0.8,\n    \"simulated_us\": {:.1}, \"delivered_mbyte_per_sec\": {:.3}, \
+         \"latency_mean_us\": {:.3}, \"latency_max_us\": {:.3},\n    \"packets_delivered\": {}, \
+         \"links_sampled\": {}, \"sample_ticks\": {}, \"hotspots\": {},\n",
+        2.0 * measure_us,
+        traffic.delivered_mbyte_per_sec,
+        traffic.latency.mean(),
+        traffic.latency.max(),
+        traffic.packets_delivered,
+        report.links.len(),
+        report.ticks,
+        report.hotspots.len(),
+    );
+    match worst {
+        Some(h) => {
+            let _ = write!(
+                j,
+                "    \"worst_hotspot\": {{\"link\": \"{}\", \"occ_p99\": {:.3}, \"util_mean\": {:.3}, \"stall_us\": {:.1}}}}},\n",
+                h.entity, h.occ_p99, h.util_mean, h.stall_us
+            );
+        }
+        None => {
+            j.push_str("    \"worst_hotspot\": null},\n");
+        }
+    }
+    let _ = write!(
+        j,
+        "  \"ethernet\": {{\"rate_mbyte_per_sec\": {FAST_ETHERNET_MBYTE_PER_SEC:.1}, \
+         \"hammered_port_occ_p99\": {ether_occ_p99:.3}}},\n"
+    );
+    let _ = write!(
+        j,
+        "  \"determinism\": {{\"prometheus_identical\": {prom_identical}, \"manifest_identical\": {manifest_identical}}},\n"
+    );
+    let _ = write!(
+        j,
+        "  \"failures\": [{}]\n}}\n",
+        failures
+            .iter()
+            .map(|f| format!("\"{}\"", f.replace('"', "'")))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    fs::write(&args.out, &j).expect("write bench summary");
+
+    println!("perf baseline ({mode}) -> {}", args.out.display());
+    println!(
+        "  fabric: {} links sampled, {} ticks, {} hotspot(s); worst {}",
+        report.links.len(),
+        report.ticks,
+        report.hotspots.len(),
+        worst.map(|h| h.entity.as_str()).unwrap_or("-"),
+    );
+    println!(
+        "  exports: prometheus {} B, manifest {} B, byte-identical double run: {}",
+        prom.len(),
+        manifest.len(),
+        prom_identical && manifest_identical
+    );
+    println!(
+        "  tour residual {:.2}%, ethernet hammered-port occ p99 {:.1}",
+        t.max_abs_residual * 100.0,
+        ether_occ_p99
+    );
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -16,10 +16,15 @@
 //!   models: the paper measured them on real hardware we cannot obtain, so
 //!   the primitive costs are taken from the paper's own table and the
 //!   derived quantities (Pfpp, crossovers) are recomputed from them.
+//! * [`ethernet_sim`] — a packet-level store-and-forward Ethernet switch
+//!   carrying the same `telemetry::sampler` hooks as the Arctic fabric,
+//!   so the Arctic-vs-Ethernet contrast is observable per-port rather
+//!   than only asserted from the paper's tables.
 //! * [`machines`] — the vector supercomputers of Figure 10 (Cray Y-MP,
 //!   Cray C90, NEC SX-4) as sustained-rate comparator models.
 
 pub mod ethernet;
+pub mod ethernet_sim;
 pub mod hyades;
 pub mod interconnect;
 pub mod machines;

@@ -16,6 +16,7 @@
 //! | E12 | §2.2 — routing under adversarial traffic | [`routing`] |
 //! | E13 | §1/§6 — price-performance economics | [`economics`] |
 //! | E14 | §5.3 extended — model-vs-measured phase profiling | [`profiling`] |
+//! | E15 | §2.2/§6 — fabric observatory: per-link telemetry under congestion | [`observatory`] |
 
 pub mod api_tax;
 pub mod century;
@@ -28,6 +29,7 @@ pub mod fig7;
 pub mod fig9;
 pub mod gsum;
 pub mod hpvm;
+pub mod observatory;
 pub mod profiling;
 pub mod routing;
 pub mod sec53;
@@ -112,6 +114,12 @@ pub fn all() -> Vec<Experiment> {
             paper_artefact: "Section 5.3 extended: model-vs-measured phase profiling",
             run: profiling::run,
         },
+        Experiment {
+            id: "E15",
+            paper_artefact:
+                "Sections 2.2/6: fabric observatory, per-link telemetry under congestion",
+            run: observatory::run,
+        },
     ]
 }
 
@@ -120,13 +128,13 @@ mod tests {
     #[test]
     fn registry_is_complete() {
         let all = super::all();
-        assert_eq!(all.len(), 14);
+        assert_eq!(all.len(), 15);
         let ids: Vec<&str> = all.iter().map(|e| e.id).collect();
         assert_eq!(
             ids,
             [
                 "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
-                "E14"
+                "E14", "E15"
             ]
         );
     }

@@ -7,7 +7,7 @@
 //! | `unseeded-rng`      | everywhere                              | `thread_rng`, `from_entropy`, `rand::random`   |
 //! | `hash-iteration`    | `des`, `arctic`, `comms`, `cluster`, `telemetry` | iterating `HashMap`/`HashSet` (keyed lookup ok)|
 //! | `f32-in-gcm`        | `crates/gcm/src`                        | the `f32` type (the model is 64-bit)           |
-//! | `unwrap-in-lib`     | `des`/`comms`/`arctic`/`telemetry` non-test lib code | `.unwrap()` / `.expect(` (baseline burndown) |
+//! | `unwrap-in-lib`     | `des`/`comms`/`arctic`/`telemetry`/`cluster` non-test lib code | `.unwrap()` / `.expect(` (baseline burndown) |
 //!
 //! Any finding can be suppressed with an inline pragma:
 //! `// lint:allow(rule-name, reason)` on the offending line, or on a
@@ -352,8 +352,10 @@ pub fn analyze(rel_path: &str, source: &str) -> Vec<Finding> {
 
         // R5: panicking on Err/None in library code of the simulation
         // crates; burned down via the checked-in baseline.
-        if matches!(crate_name, Some("des" | "comms" | "arctic" | "telemetry"))
-            && scope.in_src
+        if matches!(
+            crate_name,
+            Some("des" | "comms" | "arctic" | "telemetry" | "cluster")
+        ) && scope.in_src
             && !in_test[idx]
         {
             let unwraps = memfind(code, ".unwrap()").len() + memfind(code, ".expect(").len();
@@ -495,6 +497,18 @@ mod tests {
         assert_eq!(hits[0].line, 1);
         assert!(rules_hit("crates/des/tests/t.rs", src).is_empty());
         assert!(rules_hit("crates/gcm/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cluster_crate_in_unwrap_scope() {
+        // PR 3 extends the burndown scope to `cluster` alongside the
+        // sampler-carrying `ethernet_sim`; its lib code must stay clean.
+        let unwrap_src = "fn f() { x.unwrap(); }\n";
+        assert_eq!(
+            rules_hit("crates/cluster/src/ethernet_sim.rs", unwrap_src),
+            vec![UNWRAP_IN_LIB]
+        );
+        assert!(rules_hit("crates/cluster/tests/t.rs", unwrap_src).is_empty());
     }
 
     #[test]

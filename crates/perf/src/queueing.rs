@@ -52,6 +52,40 @@ impl SharedQueue {
     }
 }
 
+/// Mean number *waiting in queue* at an M/M/1 link at utilization ρ:
+/// `Lq = ρ²/(1−ρ)`. The Poisson-arrival, exponential-service reference
+/// point for a network link.
+pub fn mm1_mean_queue(rho: f64) -> f64 {
+    assert!((0.0..1.0).contains(&rho), "need 0 <= rho < 1");
+    rho * rho / (1.0 - rho)
+}
+
+/// Mean number waiting in queue at an M/D/1 link: `Lq = ρ²/(2(1−ρ))`,
+/// half the M/M/1 figure because deterministic service has cv = 0
+/// (P–K with cv² = 0).
+///
+/// This is the right analytical comparator for the Arctic fabric under
+/// the synthetic workloads: `workload::run_traffic` injects *fixed-size*
+/// 96-byte packets, so link service time is deterministic. Note the
+/// remaining systematic bias when cross-checking against the fabric
+/// observatory's *sampled* occupancy (see `tests/observatory.rs`):
+///
+/// * Arrivals at an interior fabric link are not Poisson — each source
+///   is a paced stream with ±25 % jitter, smoother than Poisson
+///   (cₐ² < 1), which *lowers* true occupancy below M/D/1;
+/// * the sampler reads the queue at fixed ticks (time-average), while
+///   Lq is also a time-average — no bias there — but the 0.15 µs
+///   fall-through holds each packet out of service briefly, which
+///   *raises* measured occupancy slightly at high load.
+///
+/// Empirically the sampled mean occupancy lands between `md1_mean_queue`
+/// and `mm1_mean_queue` at moderate load; the cross-check test pins that
+/// bracket rather than pretending either model is exact.
+pub fn md1_mean_queue(rho: f64) -> f64 {
+    assert!((0.0..1.0).contains(&rho), "need 0 <= rho < 1");
+    rho * rho / (2.0 * (1.0 - rho))
+}
+
 /// Turn-around for a campaign of `n_jobs` *sequential* jobs (each depends
 /// on the last — the shape of exploratory science): the queue wait is paid
 /// per submission on the shared machine and never on the dedicated one.
@@ -111,5 +145,23 @@ mod tests {
     #[should_panic(expected = "rho")]
     fn saturation_rejected() {
         SharedQueue::new(1.0, 1.0, 1.0);
+    }
+
+    #[test]
+    fn link_occupancy_models_agree_with_pk() {
+        // M/D/1 is exactly half of M/M/1 (cv² = 0 vs 1), and both vanish
+        // as rho -> 0 and diverge as rho -> 1.
+        for rho in [0.1, 0.5, 0.8, 0.95] {
+            assert!((md1_mean_queue(rho) - mm1_mean_queue(rho) / 2.0).abs() < 1e-12);
+        }
+        assert!(mm1_mean_queue(0.0) == 0.0);
+        assert!(mm1_mean_queue(0.99) > 90.0);
+        assert!(md1_mean_queue(0.6) > md1_mean_queue(0.3));
+    }
+
+    #[test]
+    #[should_panic(expected = "rho")]
+    fn link_occupancy_rejects_saturation() {
+        mm1_mean_queue(1.0);
     }
 }

@@ -1,0 +1,174 @@
+//! Prometheus text-exposition rendering.
+//!
+//! A tiny, deterministic writer for the Prometheus text format
+//! (`# TYPE` headers, `name{label="value"} 1.000000` samples). There is
+//! no HTTP endpoint here — simulations run to completion, so exporters
+//! write the whole exposition once at the end of a run. Everything is
+//! rendered with fixed six-decimal formatting from caller-supplied
+//! values in caller-determined (sorted) order, so two same-seed runs
+//! produce byte-identical expositions (asserted by
+//! `tests/determinism.rs`).
+
+use crate::registry::Registry;
+use std::fmt::Write as _;
+
+/// Render an `f64` the way every exporter in this crate does: fixed six
+/// decimals, no exponent. Deterministic for any finite value.
+pub fn fixed(v: f64) -> String {
+    format!("{v:.6}")
+}
+
+/// Incremental builder for one exposition document.
+#[derive(Debug, Default)]
+pub struct PromText {
+    out: String,
+}
+
+impl PromText {
+    pub fn new() -> PromText {
+        PromText::default()
+    }
+
+    /// Emit a `# TYPE` header. Call once per metric family, before its
+    /// samples.
+    pub fn type_line(&mut self, name: &str, kind: &str) {
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    /// Emit one sample line. Labels are rendered in the order given —
+    /// callers sort them (or use a fixed order) for determinism.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                let _ = write!(self.out, "{k}=\"{}\"", escape_label(v));
+            }
+            self.out.push('}');
+        }
+        let _ = writeln!(self.out, " {}", fixed(value));
+    }
+
+    /// The finished exposition.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+fn escape_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a [`Registry`] as an exposition: counters as `counter`
+/// families, online stats as mean/min/max gauges, histograms as
+/// quantile-bound gauges. Iteration order is the registry's `BTreeMap`
+/// order, so the output is deterministic.
+pub fn render_registry(prefix: &str, reg: &Registry) -> String {
+    let mut p = PromText::new();
+
+    let counters: Vec<_> = reg.iter_counters().collect();
+    if !counters.is_empty() {
+        let name = format!("{prefix}_events_total");
+        p.type_line(&name, "counter");
+        for ((component, metric), v) in counters {
+            p.sample(
+                &name,
+                &[("component", component), ("metric", metric)],
+                v as f64,
+            );
+        }
+    }
+
+    let stats: Vec<_> = reg.iter_stats().collect();
+    if !stats.is_empty() {
+        let name = format!("{prefix}_stat");
+        p.type_line(&name, "gauge");
+        for ((component, metric), s) in stats {
+            let labels = |agg| [("component", component), ("metric", metric), ("agg", agg)];
+            p.sample(&name, &labels("count"), s.count() as f64);
+            p.sample(&name, &labels("mean"), s.mean());
+            p.sample(&name, &labels("min"), s.min());
+            p.sample(&name, &labels("max"), s.max());
+        }
+    }
+
+    let hists: Vec<_> = reg.iter_hists().collect();
+    if !hists.is_empty() {
+        let name = format!("{prefix}_hist_bound");
+        p.type_line(&name, "gauge");
+        for ((component, metric), h) in hists {
+            let labels = |q| [("component", component), ("metric", metric), ("q", q)];
+            p.sample(&name, &labels("0.5"), h.p50() as f64);
+            p.sample(&name, &labels("0.9"), h.p90() as f64);
+            p.sample(&name, &labels("0.99"), h.p99() as f64);
+        }
+    }
+
+    p.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_lines_render_exactly() {
+        let mut p = PromText::new();
+        p.type_line("hyades_link_util", "gauge");
+        p.sample(
+            "hyades_link_util",
+            &[("link", "l0.w1.p2"), ("vc", "high")],
+            0.5,
+        );
+        p.sample("hyades_link_util", &[], 2.0);
+        assert_eq!(
+            p.finish(),
+            "# TYPE hyades_link_util gauge\n\
+             hyades_link_util{link=\"l0.w1.p2\",vc=\"high\"} 0.500000\n\
+             hyades_link_util 2.000000\n"
+        );
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn fixed_is_six_decimals() {
+        assert_eq!(fixed(0.0), "0.000000");
+        assert_eq!(fixed(1.0 / 3.0), "0.333333");
+        assert_eq!(fixed(1234.5), "1234.500000");
+    }
+
+    #[test]
+    fn registry_rendering_is_deterministic() {
+        let mut reg = Registry::new();
+        reg.add_count("arctic.fault", "corrupted", 2);
+        reg.add_count("arctic.fault", "dropped", 1);
+        reg.observe("net", "latency_us", 12.5);
+        reg.observe_hist("net", "bytes", 96);
+        let a = render_registry("hyades", &reg);
+        let b = render_registry("hyades", &reg);
+        assert_eq!(a, b);
+        assert!(a.contains("# TYPE hyades_events_total counter"));
+        assert!(a.contains(
+            "hyades_events_total{component=\"arctic.fault\",metric=\"corrupted\"} 2.000000"
+        ));
+        assert!(a.contains("agg=\"mean\"} 12.500000"));
+        assert!(a.contains("q=\"0.99\"}"));
+    }
+}

@@ -20,4 +20,7 @@ cargo test -q
 echo "==> telemetry tour (instrumented run + exporters)"
 cargo run -q --release --example telemetry_tour
 
+echo "==> perf baseline (smoke): fabric observatory + export determinism"
+scripts/bench.sh --smoke
+
 echo "All checks passed."

@@ -195,3 +195,49 @@ fn telemetry_exports_are_bit_identical_across_runs() {
     assert_ne!(a.chrome_json, c.chrome_json);
     assert_ne!(a.text_summary, c.text_summary);
 }
+
+/// One observed congested run, fully exported: (Prometheus exposition,
+/// JSON manifest).
+fn observatory_exports(seed: u64) -> (String, String) {
+    use hyades::arctic::observatory::ObservatoryConfig;
+    use hyades::arctic::workload::run_traffic_observed;
+
+    let (_, report) = run_traffic_observed(
+        16,
+        Pattern::BitReverse,
+        UpRoute::SourceSpread,
+        0.8,
+        200.0,
+        seed,
+        ObservatoryConfig::new(5.0, 400.0),
+    );
+    assert!(
+        !report.hotspots.is_empty(),
+        "congested run showed no hotspot"
+    );
+    (
+        report.prometheus(),
+        report.json_manifest("determinism", seed),
+    )
+}
+
+#[test]
+fn observatory_exports_are_bit_identical_across_runs() {
+    // The fabric-observatory golden test: per-link sampled occupancy,
+    // stall accounting, hotspot flow attribution, and both exporters'
+    // fixed-decimal rendering must replay byte-for-byte. The sampler
+    // stores f64 series and the hotspot detector sorts by p99 — any
+    // total_cmp slip, map-order leak, or float-format drift diffs here.
+    let (prom_a, man_a) = observatory_exports(0xFAB_0B5);
+    let (prom_b, man_b) = observatory_exports(0xFAB_0B5);
+    assert_eq!(
+        prom_a, prom_b,
+        "prometheus export must replay byte-identically"
+    );
+    assert_eq!(man_a, man_b, "json manifest must replay byte-identically");
+
+    // A different seed must move the samples, or the equality is vacuous.
+    let (prom_c, man_c) = observatory_exports(0xFAB_0B6);
+    assert_ne!(prom_a, prom_c);
+    assert_ne!(man_a, man_c);
+}
