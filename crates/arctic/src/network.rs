@@ -346,7 +346,9 @@ pub struct SinkEndpoint {
 
 impl Actor for SinkEndpoint {
     fn on_event(&mut self, ev: Payload, ctx: &mut Ctx<'_>) {
-        let d = ev.downcast::<Delivered>().expect("sink expects Delivered");
+        let Ok(d) = ev.downcast::<Delivered>() else {
+            panic!("sink expects Delivered events");
+        };
         if d.pkt.corrupted {
             self.corrupted += 1;
         }

@@ -93,7 +93,9 @@ struct Fire;
 
 impl Actor for Source {
     fn on_event(&mut self, ev: Payload, ctx: &mut Ctx<'_>) {
-        ev.downcast::<Fire>().expect("source expects Fire");
+        let Ok(_) = ev.downcast::<Fire>() else {
+            panic!("source expects Fire events");
+        };
         if ctx.now() >= self.stop_at {
             return;
         }
@@ -123,7 +125,9 @@ struct Sink {
 
 impl Actor for Sink {
     fn on_event(&mut self, ev: Payload, ctx: &mut Ctx<'_>) {
-        let d = ev.downcast::<Delivered>().expect("sink expects Delivered");
+        let Ok(d) = ev.downcast::<Delivered>() else {
+            panic!("sink expects Delivered events");
+        };
         assert!(!d.pkt.corrupted);
         if ctx.now() < self.warmup_until || ctx.now() >= self.window_end {
             // Outside the measurement window (including the backlog that

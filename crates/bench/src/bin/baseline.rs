@@ -1,7 +1,7 @@
 //! The perf-baseline harness: one deterministic, instrumented pass over
-//! the E14-style experiments plus the fabric observatory, emitting
-//! `BENCH_pr3.json` — the first point of the regression trajectory every
-//! later PR is compared against.
+//! the E14-style experiments plus the fabric observatory and the full
+//! static-analysis tree walk, emitting `BENCH_pr4.json` — one point of
+//! the regression trajectory every later PR is compared against.
 //!
 //! ```text
 //! scripts/bench.sh            # full run
@@ -17,10 +17,12 @@
 //!   byte-identical across a same-seed double run;
 //! * the telemetry tour's model-vs-measured phase residual must stay
 //!   within the tour's own sanity bar (|residual| < 200 %): the analytic
-//!   model and the executable simulation must not diverge wholesale.
+//!   model and the executable simulation must not diverge wholesale;
+//! * the full-tree hyades-lint pass (timed as `lint_full_tree_ms`) must
+//!   come back clean.
 //!
 //! Wall-clock numbers in the output are environment-dependent by nature;
-//! everything else in `BENCH_pr3.json` is deterministic.
+//! everything else in `BENCH_pr4.json` is deterministic.
 
 use hyades::tour;
 use hyades_arctic::observatory::ObservatoryConfig;
@@ -47,7 +49,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut args = Args {
         smoke: false,
-        out: PathBuf::from("BENCH_pr3.json"),
+        out: PathBuf::from("BENCH_pr4.json"),
         artifact_dir: PathBuf::from("target/observatory"),
     };
     let mut it = std::env::args().skip(1);
@@ -155,6 +157,19 @@ fn main() {
         .unwrap_or(0.0);
     let ether_ms = wall_ether.elapsed().as_secs_f64() * 1e3;
 
+    // 4. Full-tree static analysis: time one cold pass of every rule over
+    //    every workspace source (the per-PR `lint_full_tree_ms` figure).
+    let wall_lint = Instant::now();
+    let lint = hyades_lint::lint_workspace(&hyades_lint::workspace_root())
+        .expect("lint pass over the workspace sources");
+    let lint_ms = wall_lint.elapsed().as_secs_f64() * 1e3;
+    if !lint.is_clean() {
+        failures.push(format!(
+            "hyades-lint found {} unsuppressed violation(s)",
+            lint.violations.len()
+        ));
+    }
+
     // Artifacts: the raw exports next to the summary.
     fs::create_dir_all(&args.artifact_dir).expect("create artifact dir");
     fs::write(args.artifact_dir.join("fabric.prom"), &prom).expect("write fabric.prom");
@@ -167,12 +182,18 @@ fn main() {
     let mut j = String::new();
     let _ = write!(
         j,
-        "{{\n  \"bench\": \"pr3-baseline\",\n  \"mode\": \"{mode}\",\n  \"seed\": {SEED},\n"
+        "{{\n  \"bench\": \"pr4-baseline\",\n  \"mode\": \"{mode}\",\n  \"seed\": {SEED},\n"
     );
     let _ = write!(
         j,
-        "  \"wall_ms\": {{\"total\": {:.1}, \"tour\": {tour_ms:.1}, \"fabric\": {fabric_ms:.1}, \"ethernet\": {ether_ms:.1}}},\n",
+        "  \"wall_ms\": {{\"total\": {:.1}, \"tour\": {tour_ms:.1}, \"fabric\": {fabric_ms:.1}, \"ethernet\": {ether_ms:.1}, \"lint_full_tree_ms\": {lint_ms:.1}}},\n",
         wall.elapsed().as_secs_f64() * 1e3
+    );
+    let _ = write!(
+        j,
+        "  \"lint\": {{\"files_scanned\": {}, \"violations\": {}}},\n",
+        lint.files_scanned,
+        lint.violations.len()
     );
     let _ = write!(
         j,
@@ -244,6 +265,11 @@ fn main() {
         "  tour residual {:.2}%, ethernet hammered-port occ p99 {:.1}",
         t.max_abs_residual * 100.0,
         ether_occ_p99
+    );
+    println!(
+        "  lint: {} files in {lint_ms:.0} ms, {} violation(s)",
+        lint.files_scanned,
+        lint.violations.len()
     );
     if !failures.is_empty() {
         for f in &failures {

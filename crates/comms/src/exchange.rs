@@ -112,10 +112,15 @@ pub fn torus_schedule(px: u16, py: u16, bytes: u64) -> Vec<Schedule> {
 enum LegPhase {
     /// Waiting to begin the round (or for the partner's REQ).
     Start,
-    /// Sender: REQ sent, waiting for ACK.
-    WaitAck,
+    /// Sender: REQ sent, waiting for ACK. Carries the leg parameters so
+    /// later phases never have to re-derive the plan from the schedule.
+    WaitAck { partner: u16, bytes: u64 },
     /// Sender: streaming packets (`left` packets remain).
-    Streaming { queue: Vec<u64>, seq: u32 },
+    Streaming {
+        queue: Vec<u64>,
+        seq: u32,
+        partner: u16,
+    },
     /// Sender: all packets emitted, waiting for DONE.
     WaitDone,
     /// Receiver: ACK sent, accumulating DATA.
@@ -207,7 +212,10 @@ impl ExchangeNode {
         };
         if self.i_send_now(&plan) {
             // Sender leg: negotiate.
-            self.phase = LegPhase::WaitAck;
+            self.phase = LegPhase::WaitAck {
+                partner: plan.partner,
+                bytes: plan.bytes,
+            };
             self.send_ctrl(
                 ctx,
                 plan.partner,
@@ -275,13 +283,17 @@ impl ExchangeNode {
         flight::record(now, ctx.self_id(), "exchange.finished", u64::from(self.me));
     }
 
-    fn start_stream(&mut self, ctx: &mut Ctx<'_>, bytes: u64) {
+    fn start_stream(&mut self, ctx: &mut Ctx<'_>, partner: u16, bytes: u64) {
         // Stage the first chunk (halo gather into the VI region), kick the
         // DMA, then emit paced packets. Later staging copies overlap the
         // stream (copy bandwidth exceeds the PCI payload rate).
         let first = bytes.min(self.chunk);
         let queue = segment(bytes);
-        self.phase = LegPhase::Streaming { queue, seq: 0 };
+        self.phase = LegPhase::Streaming {
+            queue,
+            seq: 0,
+            partner,
+        };
         let lead = self.host.memcpy_time(first) + self.host.dma_kick;
         ctx.wake_after(lead, SelfEv::Emit);
     }
@@ -316,7 +328,10 @@ impl Actor for ExchangeNode {
             }
             Err(e) => e,
         };
-        match *ev.downcast::<SelfEv>().expect("ExchangeNode event") {
+        let Ok(ev) = ev.downcast::<SelfEv>() else {
+            panic!("node {}: unexpected event type", self.me);
+        };
+        match *ev {
             SelfEv::Proceed => self.on_proceed(ctx),
             SelfEv::Emit => self.on_emit(ctx),
             SelfEv::RxDone => {
@@ -363,7 +378,7 @@ impl ExchangeNode {
             }
             TAG_ACK_BASE => {
                 debug_assert_eq!(round, self.round);
-                debug_assert!(matches!(self.phase, LegPhase::WaitAck));
+                debug_assert!(matches!(self.phase, LegPhase::WaitAck { .. }));
                 let cost = self.ctrl_cost_rx();
                 ctx.wake_after(cost, SelfEv::Proceed);
             }
@@ -397,10 +412,10 @@ impl ExchangeNode {
                     ctx.send_after(kick + os, self.tx_port, Inject(pkt));
                 }
             }
-            LegPhase::WaitAck => {
+            LegPhase::WaitAck { partner, bytes } => {
                 // ACK processed: start streaming.
-                let bytes = self.plan().expect("active plan").bytes;
-                self.start_stream(ctx, bytes);
+                let (partner, bytes) = (*partner, *bytes);
+                self.start_stream(ctx, partner, bytes);
             }
             LegPhase::WaitDone => {
                 // DONE processed: this half-round is complete.
@@ -411,16 +426,17 @@ impl ExchangeNode {
     }
 
     fn on_emit(&mut self, ctx: &mut Ctx<'_>) {
-        let LegPhase::Streaming { queue, seq } = &mut self.phase else {
+        let LegPhase::Streaming {
+            queue,
+            seq,
+            partner,
+        } = &mut self.phase
+        else {
             panic!("node {}: Emit outside streaming", self.me);
         };
         let idx = *seq as usize;
         let bytes = queue[idx];
-        let partner = self.schedule[self.round]
-            .as_ref()
-            .expect("active plan")
-            .partner;
-        let pkt = bulk_packet(self.me, partner, TAG_DATA, *seq, bytes);
+        let pkt = bulk_packet(self.me, *partner, TAG_DATA, *seq, bytes);
         *seq += 1;
         let more = (*seq as usize) < queue.len();
         ctx.send_now(self.tx_port, Inject(pkt));

@@ -20,6 +20,9 @@
 //! * [`world`] — the `CommWorld` abstraction the GCM runs against, with a
 //!   serial backend and a real multi-threaded backend (crossbeam channels +
 //!   shared-memory reductions).
+//! * [`schedule`] — the exchange/gsum schedules reified as static
+//!   send/recv dependency graphs, proven deadlock-free and tag-unique by
+//!   `hyades-lint`'s `lint::schedule` analyzer.
 //! * [`mpistart`] — the general-purpose MPI layer comparison (§6): the
 //!   same algorithms through a portable library's per-message costs,
 //!   quantifying the "generality tax" the custom primitives avoid.
@@ -33,6 +36,7 @@ pub mod gsum;
 pub mod measured;
 pub mod mixmode;
 pub mod mpistart;
+pub mod schedule;
 pub mod timed;
 pub mod world;
 

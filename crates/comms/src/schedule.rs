@@ -1,0 +1,267 @@
+//! Static communication schedules as explicit dependency graphs.
+//!
+//! The exchange (§4.1) and global-sum butterfly (§4.2) are *hand-scheduled*
+//! protocols: their correctness (no deadlock, no tag aliasing on a
+//! channel) is a property of the schedule itself, not of any particular
+//! run. This module reifies a schedule as a [`CommGraph`] — every message
+//! with its directed channel and tag, plus each node's program order over
+//! its send/recv operations — so the analyzer in `hyades-lint`
+//! (`lint::schedule`) can *prove* the properties statically: tag
+//! uniqueness per channel, and deadlock-freedom via cycle detection over
+//! the wait-for graph.
+//!
+//! Operation semantics mirror the runtime backends: sends are
+//! non-blocking posts (unbounded channels / VI doorbells), receives block
+//! on their keyed channel. A schedule is deadlock-free iff the graph with
+//! program-order edges plus send→recv match edges is acyclic.
+
+/// One message of the schedule: a directed channel (`src` → `dst`) and
+/// the tag it travels under.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Msg {
+    pub src: u16,
+    pub dst: u16,
+    pub tag: u16,
+    /// Sequenced inside a control envelope (e.g. the DATA stream between
+    /// ACK and DONE): the shared tag is exempt from per-channel tag
+    /// uniqueness because the envelope guarantees only one such stream is
+    /// in flight on the channel at a time.
+    pub enveloped: bool,
+    /// Human-readable name, used to render wait-for cycles.
+    pub label: String,
+}
+
+/// Which side of a message an operation is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    Send,
+    Recv,
+}
+
+/// One operation in a node's program: the `Dir` side of message `msg`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Op {
+    pub msg: usize,
+    pub dir: Dir,
+}
+
+/// A complete static schedule: messages plus each node's ordered program
+/// of send/recv operations.
+#[derive(Debug, Clone, Default)]
+pub struct CommGraph {
+    pub n_nodes: u16,
+    pub msgs: Vec<Msg>,
+    /// `program[node]` = that node's operations, in execution order.
+    pub program: Vec<Vec<Op>>,
+}
+
+impl CommGraph {
+    pub fn new(n_nodes: u16) -> Self {
+        CommGraph {
+            n_nodes,
+            msgs: Vec::new(),
+            program: vec![Vec::new(); n_nodes as usize],
+        }
+    }
+
+    /// Declare a message without scheduling its operations (callers then
+    /// place `send`/`recv` explicitly to express interleavings).
+    pub fn msg(&mut self, src: u16, dst: u16, tag: u16, label: impl Into<String>) -> usize {
+        self.msg_full(src, dst, tag, false, label)
+    }
+
+    fn msg_full(
+        &mut self,
+        src: u16,
+        dst: u16,
+        tag: u16,
+        enveloped: bool,
+        label: impl Into<String>,
+    ) -> usize {
+        assert!(src < self.n_nodes && dst < self.n_nodes && src != dst);
+        self.msgs.push(Msg {
+            src,
+            dst,
+            tag,
+            enveloped,
+            label: label.into(),
+        });
+        self.msgs.len() - 1
+    }
+
+    /// Append the send side of `msg` to its source's program.
+    pub fn send(&mut self, m: usize) {
+        let src = self.msgs[m].src;
+        self.program[src as usize].push(Op {
+            msg: m,
+            dir: Dir::Send,
+        });
+    }
+
+    /// Append the recv side of `msg` to its destination's program.
+    pub fn recv(&mut self, m: usize) {
+        let dst = self.msgs[m].dst;
+        self.program[dst as usize].push(Op {
+            msg: m,
+            dir: Dir::Recv,
+        });
+    }
+
+    /// Declare a message and schedule both sides at the current end of
+    /// each endpoint's program (the common half-duplex case).
+    pub fn transfer(&mut self, src: u16, dst: u16, tag: u16, label: impl Into<String>) -> usize {
+        let m = self.msg(src, dst, tag, label);
+        self.send(m);
+        self.recv(m);
+        m
+    }
+
+    /// `transfer`, but tagged as sequenced within a control envelope.
+    pub fn transfer_enveloped(
+        &mut self,
+        src: u16,
+        dst: u16,
+        tag: u16,
+        label: impl Into<String>,
+    ) -> usize {
+        let m = self.msg_full(src, dst, tag, true, label);
+        self.send(m);
+        self.recv(m);
+        m
+    }
+
+    /// Concatenate `other` after this graph: same nodes, every node's
+    /// program from `other` runs after its program here (the primitives
+    /// execute back to back on each rank).
+    pub fn append(&mut self, other: &CommGraph) {
+        assert_eq!(self.n_nodes, other.n_nodes, "appending mismatched graphs");
+        let offset = self.msgs.len();
+        self.msgs.extend(other.msgs.iter().cloned());
+        for (mine, theirs) in self.program.iter_mut().zip(&other.program) {
+            mine.extend(theirs.iter().map(|op| Op {
+                msg: op.msg + offset,
+                dir: op.dir,
+            }));
+        }
+    }
+}
+
+/// Tag bases of the exchange control protocol (mirrors `exchange.rs`).
+const TAG_REQ_BASE: u16 = 0x100;
+const TAG_ACK_BASE: u16 = 0x200;
+const TAG_DONE_BASE: u16 = 0x300;
+const TAG_DATA: u16 = 0x0FF;
+
+/// The full §4.1 exchange schedule for a periodic `px × py` tile grid:
+/// per round each paired node runs two sequential half-legs, each a
+/// REQ → ACK → DATA-stream → DONE envelope (the DATA stream is modeled
+/// as one enveloped message).
+pub fn exchange_graph(px: u16, py: u16) -> CommGraph {
+    let schedules = crate::exchange::torus_schedule(px, py, 1);
+    let mut g = CommGraph::new(px * py);
+    let rounds = schedules[0].len();
+    for round in 0..rounds {
+        for me in 0..px * py {
+            let Some(plan) = schedules[me as usize][round] else {
+                continue;
+            };
+            // Each pair appears twice per round; emit it once, from the
+            // first-sender's side, in protocol order. `transfer` placement
+            // reproduces each endpoint's own operation order because the
+            // envelope is half-duplex (exactly one message in flight).
+            if !plan.sends_first {
+                continue;
+            }
+            let (s, r) = (me, plan.partner);
+            for (half, from, to) in [(1u8, s, r), (2u8, r, s)] {
+                let tag = |base: u16| base + round as u16;
+                let name = |kind: &str| format!("exch.r{round}.h{half}.{kind}.{from}->{to}");
+                g.transfer(from, to, tag(TAG_REQ_BASE), name("req"));
+                g.transfer(
+                    to,
+                    from,
+                    tag(TAG_ACK_BASE),
+                    format!("exch.r{round}.h{half}.ack.{to}->{from}"),
+                );
+                g.transfer_enveloped(from, to, TAG_DATA, name("data"));
+                g.transfer(
+                    to,
+                    from,
+                    tag(TAG_DONE_BASE),
+                    format!("exch.r{round}.h{half}.done.{to}->{from}"),
+                );
+            }
+        }
+    }
+    g
+}
+
+/// The §4.2 global-sum butterfly for `n` nodes (`n` a power of two):
+/// `log2 n` rounds, partner `me ^ (1 << round)`, both partners post
+/// their send before blocking on the matching receive.
+pub fn gsum_graph(n: u16) -> CommGraph {
+    assert!(n.is_power_of_two(), "butterfly needs a power-of-two size");
+    let mut g = CommGraph::new(n);
+    let rounds = n.trailing_zeros() as u16;
+    for round in 0..rounds {
+        for me in 0..n {
+            let p = me ^ (1 << round);
+            if me > p {
+                continue;
+            }
+            let fwd = g.msg(me, p, round, format!("gsum.r{round}.{me}->{p}"));
+            let back = g.msg(p, me, round, format!("gsum.r{round}.{p}->{me}"));
+            // Send-then-recv on both sides: the posts never block, so the
+            // cross-wise receives always complete.
+            g.send(fwd);
+            g.recv(back);
+            g.send(back);
+            g.recv(fwd);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exchange_graph_shape() {
+        // 4x4 torus: 4 rounds, 8 pairs per round, 8 messages per pair
+        // round (2 half-legs x REQ/ACK/DATA/DONE).
+        let g = exchange_graph(4, 4);
+        assert_eq!(g.n_nodes, 16);
+        assert_eq!(g.msgs.len(), 4 * 8 * 8);
+        // Every node is in one pair per round; the pair's 8 messages each
+        // contribute one op (send or recv) to each endpoint: 8 ops/round.
+        for prog in &g.program {
+            assert_eq!(prog.len(), 4 * 8);
+        }
+    }
+
+    #[test]
+    fn gsum_graph_shape() {
+        let g = gsum_graph(16);
+        assert_eq!(g.msgs.len(), 4 * 16); // log2(16) rounds x n msgs
+        for prog in &g.program {
+            assert_eq!(prog.len(), 4 * 2); // send + recv per round
+        }
+    }
+
+    #[test]
+    fn append_concatenates_programs() {
+        let mut g = exchange_graph(2, 2);
+        let before_msgs = g.msgs.len();
+        let before_ops = g.program[0].len();
+        g.append(&gsum_graph(4));
+        assert_eq!(g.msgs.len(), before_msgs + gsum_graph(4).msgs.len());
+        assert!(g.program[0].len() > before_ops);
+        // Offsets stay in bounds.
+        for prog in &g.program {
+            for op in prog {
+                assert!(op.msg < g.msgs.len());
+            }
+        }
+    }
+}

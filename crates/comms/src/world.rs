@@ -16,6 +16,7 @@
 //! provide *functional* parallelism.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use hyades_telemetry::commlog::{self, CommEvent};
 use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
 
@@ -115,13 +116,16 @@ impl RendezvousCore {
     }
 
     /// Deposit this rank's contribution; the last arriver combines all
-    /// contributions in rank order with `combine` and publishes the result.
+    /// contributions in rank order with `combine` and publishes the
+    /// result. Also returns the reduction's generation number (the
+    /// all-ranks join point, recorded in the comm log for the
+    /// happens-before checker).
     fn reduce(
         &self,
         rank: usize,
         contribution: Vec<f64>,
         combine: fn(&mut [f64], &[f64]),
-    ) -> Vec<f64> {
+    ) -> (Vec<f64>, u64) {
         let mut st = self.m.lock();
         let my_gen = st.generation;
         debug_assert!(st.slots[rank].is_none(), "rank {rank} reduced twice");
@@ -145,7 +149,7 @@ impl RendezvousCore {
                 self.cv.wait(&mut st);
             }
         }
-        st.result.clone()
+        (st.result.clone(), my_gen)
     }
 }
 
@@ -226,6 +230,10 @@ impl CommWorld for ThreadWorld {
             if nbr == self.rank {
                 selfs.push((nbr, data));
             } else {
+                commlog::record(CommEvent::Send {
+                    to: nbr,
+                    words: data.len(),
+                });
                 self.tx[nbr].send(data).expect("peer world dropped");
                 awaiting.push(nbr);
             }
@@ -233,40 +241,57 @@ impl CommWorld for ThreadWorld {
         let mut incoming = selfs;
         for nbr in awaiting {
             let data = self.rx[nbr].recv().expect("peer world dropped");
+            commlog::record(CommEvent::Recv {
+                from: nbr,
+                words: data.len(),
+            });
             incoming.push((nbr, data));
         }
         incoming
     }
 
     fn global_sum_vec(&mut self, xs: &mut [f64]) {
-        let res = self.red.reduce(self.rank, xs.to_vec(), |a, b| {
+        let (res, generation) = self.red.reduce(self.rank, xs.to_vec(), |a, b| {
             for (ai, bi) in a.iter_mut().zip(b) {
                 *ai += bi;
             }
         });
+        commlog::record(CommEvent::Reduce { generation });
         xs.copy_from_slice(&res);
     }
 
     fn global_max(&mut self, x: f64) -> f64 {
-        self.red.reduce(self.rank, vec![x], |a, b| {
+        let (res, generation) = self.red.reduce(self.rank, vec![x], |a, b| {
             for (ai, bi) in a.iter_mut().zip(b) {
                 *ai = ai.max(*bi);
             }
-        })[0]
+        });
+        commlog::record(CommEvent::Reduce { generation });
+        res[0]
     }
 
     fn barrier(&mut self) {
-        self.red.reduce(self.rank, Vec::new(), |_a, _b| {});
+        let (_, generation) = self.red.reduce(self.rank, Vec::new(), |_a, _b| {});
+        commlog::record(CommEvent::Reduce { generation });
     }
 
     fn gather(&mut self, data: Vec<f64>) -> Option<Vec<Vec<f64>>> {
         if self.rank == 0 {
             let mut out = vec![data];
             for src in 1..self.size {
-                out.push(self.rx[src].recv().expect("peer world dropped"));
+                let v = self.rx[src].recv().expect("peer world dropped");
+                commlog::record(CommEvent::Recv {
+                    from: src,
+                    words: v.len(),
+                });
+                out.push(v);
             }
             Some(out)
         } else {
+            commlog::record(CommEvent::Send {
+                to: 0,
+                words: data.len(),
+            });
             self.tx[0].send(data).expect("peer world dropped");
             None
         }

@@ -17,6 +17,7 @@
 //! | E13 | §1/§6 — price-performance economics | [`economics`] |
 //! | E14 | §5.3 extended — model-vs-measured phase profiling | [`profiling`] |
 //! | E15 | §2.2/§6 — fabric observatory: per-link telemetry under congestion | [`observatory`] |
+//! | E16 | §4 — schedule proof + happens-before audit | [`schedcheck`] |
 
 pub mod api_tax;
 pub mod century;
@@ -32,6 +33,7 @@ pub mod hpvm;
 pub mod observatory;
 pub mod profiling;
 pub mod routing;
+pub mod schedcheck;
 pub mod sec53;
 
 /// A registered experiment.
@@ -120,6 +122,11 @@ pub fn all() -> Vec<Experiment> {
                 "Sections 2.2/6: fabric observatory, per-link telemetry under congestion",
             run: observatory::run,
         },
+        Experiment {
+            id: "E16",
+            paper_artefact: "Section 4: communication schedule proof and happens-before audit",
+            run: schedcheck::run,
+        },
     ]
 }
 
@@ -128,13 +135,13 @@ mod tests {
     #[test]
     fn registry_is_complete() {
         let all = super::all();
-        assert_eq!(all.len(), 15);
+        assert_eq!(all.len(), 16);
         let ids: Vec<&str> = all.iter().map(|e| e.id).collect();
         assert_eq!(
             ids,
             [
                 "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
-                "E14", "E15"
+                "E14", "E15", "E16"
             ]
         );
     }

@@ -82,16 +82,16 @@ impl Trace {
     /// Human-readable dump.
     pub fn dump(&self) -> String {
         let mut out = String::new();
+        // Writing into a String is infallible, so the results are ignored.
         if self.dropped > 0 {
-            writeln!(out, "... {} earlier records dropped ...", self.dropped).unwrap();
+            let _ = writeln!(out, "... {} earlier records dropped ...", self.dropped);
         }
         for r in &self.buf {
-            writeln!(
+            let _ = writeln!(
                 out,
                 "{}  actor {:>4}  {:<24} {}",
                 r.at, r.actor.0, r.label, r.detail
-            )
-            .unwrap();
+            );
         }
         out
     }

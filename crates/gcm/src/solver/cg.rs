@@ -392,7 +392,10 @@ mod tests {
         });
         // Solutions agree up to a constant (the nullspace); compare
         // differences from each solution's own mean.
-        let mut par = std::collections::HashMap::new();
+        // BTreeMap: the mean below sums the values, and float addition
+        // over hash-iteration order would not be reproducible
+        // (hyades-lint float-reduce-unordered).
+        let mut par = std::collections::BTreeMap::new();
         for chunk in results {
             for (g, v) in chunk {
                 par.insert(g, v);

@@ -7,6 +7,14 @@
 
 use crate::grid::Grid;
 
+/// Fixed-point denominator for the bottom-cell thickness fraction:
+/// `hfrac` stores `round(fraction * HFRAC_ONE)`, so 1.0 and 0.5 are
+/// exact and the worst quantization error is 2^-16 of a cell — while
+/// keeping the mask at half the footprint of an f64 (the reason the
+/// field was f32 before; u16 halves it again and keeps the GCM free of
+/// reduced-precision floats).
+const HFRAC_ONE: u16 = 1 << 15;
+
 /// Global topography: wet levels per column, with an optional fractional
 /// thickness for the bottom cell ("partial/shaved cells", Adcroft, Hill &
 /// Marshall 1997 — the paper's §3.2: "the finite volume scheme allows
@@ -18,9 +26,9 @@ pub struct Topography {
     nx: usize,
     ny: usize,
     kmax: Vec<u16>,
-    /// Thickness fraction of the deepest wet cell (1.0 = full cell).
-    // lint:allow(f32-in-gcm, static mask metadata, never enters a reduction; halves the mask footprint)
-    hfrac: Vec<f32>,
+    /// Thickness fraction of the deepest wet cell, in fixed-point units
+    /// of [`HFRAC_ONE`] (`HFRAC_ONE` = full cell).
+    hfrac: Vec<u16>,
 }
 
 impl Topography {
@@ -31,7 +39,7 @@ impl Topography {
             nx: grid.nx,
             ny: grid.ny,
             kmax: vec![grid.nz as u16; grid.nx * grid.ny],
-            hfrac: vec![1.0; grid.nx * grid.ny],
+            hfrac: vec![HFRAC_ONE; grid.nx * grid.ny],
         }
     }
 
@@ -67,7 +75,7 @@ impl Topography {
                 }
             }
         }
-        let hfrac = vec![1.0; nx * ny];
+        let hfrac = vec![HFRAC_ONE; nx * ny];
         Topography {
             nx,
             ny,
@@ -88,7 +96,7 @@ impl Topography {
     ) -> Topography {
         let (nx, ny) = (grid.nx, grid.ny);
         let mut kmax = vec![0u16; nx * ny];
-        let mut hfrac = vec![1.0f32; nx * ny];
+        let mut hfrac = vec![HFRAC_ONE; nx * ny];
         for j in 0..ny {
             for i in 0..nx {
                 let target = depth_of(i, j).max(0.0);
@@ -102,11 +110,10 @@ impl Topography {
                 if k < grid.nz && remaining >= hfac_min * grid.dz[k] {
                     // Shave the bottom cell to the leftover depth.
                     kmax[idx] = (k + 1) as u16;
-                    // lint:allow(f32-in-gcm, storing into the f32 mask above; quantization is intentional)
-                    hfrac[idx] = (remaining / grid.dz[k]) as f32;
+                    hfrac[idx] = ((remaining / grid.dz[k]) * HFRAC_ONE as f64).round() as u16;
                 } else {
                     kmax[idx] = k as u16;
-                    hfrac[idx] = 1.0;
+                    hfrac[idx] = HFRAC_ONE;
                 }
             }
         }
@@ -159,7 +166,7 @@ impl Topography {
             if j < 0 || j >= self.ny as i64 {
                 return 0.0;
             }
-            self.hfrac[j as usize * self.nx + ii] as f64
+            self.hfrac[j as usize * self.nx + ii] as f64 / HFRAC_ONE as f64
         } else {
             1.0
         }

@@ -1,0 +1,357 @@
+//! Vector-clock happens-before checker over recorded `ThreadWorld` runs.
+//!
+//! Input: one `Vec<CommEvent>` per rank, recorded by
+//! `hyades_telemetry::commlog` during a real threaded run (keyed channel
+//! sends/recvs plus shared-memory reductions). [`check`] deterministically
+//! replays the logs — ranks in index order, sends non-blocking, receives
+//! blocking on their keyed FIFO channel, reductions as all-ranks joins
+//! keyed by generation — while maintaining a vector clock per rank:
+//!
+//! * executing any event increments the rank's own component;
+//! * a receive joins (component-wise max) the matched send's clock;
+//! * a reduction joins every rank's clock (it is a full barrier).
+//!
+//! The checker then verifies, independently of the channel mechanics,
+//! that every matched send/recv pair carries a strict happens-before
+//! edge (`send_clock < recv_clock`). With keyed FIFO channels this must
+//! hold for every pair; a nonzero unordered count means the matching
+//! degenerated to arrival order somewhere (a wildcard receive — the race
+//! class MPI_ANY_SOURCE introduces), which is exactly what the
+//! determinism argument cannot tolerate. Structural failures — a receive
+//! with no posted send (deadlock), messages left in a channel, payload
+//! size mismatches, ranks disagreeing on the reduction sequence — are
+//! hard errors.
+//!
+//! The replay order is fixed, so [`HbReport::render`] is byte-identical
+//! across same-input runs (enforced in `tests/determinism.rs`).
+
+use hyades_telemetry::commlog::CommEvent;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+/// Successful check: counts plus any unordered pairs (expected none).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HbReport {
+    pub ranks: usize,
+    pub events: usize,
+    /// Matched send/recv pairs.
+    pub messages: usize,
+    pub reductions: usize,
+    /// Matched pairs with no strict happens-before edge, rendered as
+    /// `src->dst msg#k`. Zero on every keyed-channel run.
+    pub unordered: Vec<String>,
+}
+
+impl HbReport {
+    /// Deterministic text rendering (joins the determinism gate).
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "hb: {} ranks, {} events, {} messages, {} reductions, {} unordered pair(s)\n",
+            self.ranks,
+            self.events,
+            self.messages,
+            self.reductions,
+            self.unordered.len()
+        );
+        for u in &self.unordered {
+            s.push_str(&format!("unordered: {u}\n"));
+        }
+        s
+    }
+}
+
+/// Why the replay failed: each variant is a real ordering bug in the
+/// run that produced the logs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HbError {
+    /// No rank can make progress; per-rank state at the stall.
+    Stuck { state: Vec<String> },
+    /// A channel still held messages when every rank finished.
+    Leftover {
+        src: usize,
+        dst: usize,
+        pending: usize,
+    },
+    /// A receive consumed a message of the wrong size.
+    PayloadMismatch {
+        src: usize,
+        dst: usize,
+        sent: usize,
+        got: usize,
+    },
+    /// Ranks disagree on the reduction sequence.
+    ReduceMismatch { detail: String },
+}
+
+impl fmt::Display for HbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HbError::Stuck { state } => {
+                write!(f, "replay stuck (deadlock): {}", state.join("; "))
+            }
+            HbError::Leftover { src, dst, pending } => write!(
+                f,
+                "{pending} message(s) left undelivered on channel {src}->{dst}"
+            ),
+            HbError::PayloadMismatch {
+                src,
+                dst,
+                sent,
+                got,
+            } => write!(
+                f,
+                "payload mismatch on {src}->{dst}: sent {sent} words, receive expected {got}"
+            ),
+            HbError::ReduceMismatch { detail } => write!(f, "reduction mismatch: {detail}"),
+        }
+    }
+}
+
+type Clock = Vec<u64>;
+
+fn join(into: &mut Clock, other: &Clock) {
+    for (a, b) in into.iter_mut().zip(other) {
+        *a = (*a).max(*b);
+    }
+}
+
+/// `a` strictly happens-before `b`: component-wise ≤ and not equal.
+fn strictly_before(a: &Clock, b: &Clock) -> bool {
+    a.iter().zip(b).all(|(x, y)| x <= y) && a != b
+}
+
+/// Replay per-rank event logs and prove every matched send/recv pair is
+/// ordered. See the module docs for semantics.
+pub fn check(progs: &[Vec<CommEvent>]) -> Result<HbReport, HbError> {
+    let n = progs.len();
+    let mut cursor = vec![0usize; n];
+    let mut vc: Vec<Clock> = vec![vec![0; n]; n];
+    // (src, dst) -> FIFO of (send clock, words, message ordinal on the
+    // channel).
+    let mut channels: BTreeMap<(usize, usize), VecDeque<(Clock, usize, usize)>> = BTreeMap::new();
+    let mut sent_on: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+    let mut messages = 0usize;
+    let mut reductions = 0usize;
+    let mut unordered = Vec::new();
+
+    loop {
+        let mut progressed = false;
+        for r in 0..n {
+            while let Some(ev) = progs[r].get(cursor[r]) {
+                match *ev {
+                    CommEvent::Send { to, words } => {
+                        assert!(to < n && to != r, "rank {r} sends to {to}");
+                        vc[r][r] += 1;
+                        let ordinal = sent_on.entry((r, to)).or_insert(0);
+                        channels.entry((r, to)).or_default().push_back((
+                            vc[r].clone(),
+                            words,
+                            *ordinal,
+                        ));
+                        *ordinal += 1;
+                    }
+                    CommEvent::Recv { from, words } => {
+                        let Some((send_clock, sent, ordinal)) =
+                            channels.get_mut(&(from, r)).and_then(|q| q.pop_front())
+                        else {
+                            break; // blocked: nothing posted yet
+                        };
+                        if sent != words {
+                            return Err(HbError::PayloadMismatch {
+                                src: from,
+                                dst: r,
+                                sent,
+                                got: words,
+                            });
+                        }
+                        join(&mut vc[r], &send_clock);
+                        vc[r][r] += 1;
+                        if !strictly_before(&send_clock, &vc[r]) {
+                            unordered.push(format!("{from}->{r} msg#{ordinal}"));
+                        }
+                        messages += 1;
+                    }
+                    CommEvent::Reduce { .. } => break, // needs everyone
+                }
+                cursor[r] += 1;
+                progressed = true;
+            }
+        }
+
+        // All-ranks reduction join: enabled only when every rank's next
+        // event is a Reduce with the same generation.
+        let at_reduce: Vec<Option<u64>> = (0..n)
+            .map(|r| match progs[r].get(cursor[r]) {
+                Some(CommEvent::Reduce { generation }) => Some(*generation),
+                _ => None,
+            })
+            .collect();
+        if at_reduce.iter().all(|g| g.is_some()) {
+            let gens: Vec<u64> = at_reduce.iter().map(|g| g.unwrap()).collect();
+            if gens.iter().any(|&g| g != gens[0]) {
+                return Err(HbError::ReduceMismatch {
+                    detail: format!("ranks joined different generations {gens:?}"),
+                });
+            }
+            let merged = {
+                let mut m = vec![0u64; n];
+                for clock in &vc {
+                    join(&mut m, clock);
+                }
+                m
+            };
+            for (r, clock) in vc.iter_mut().enumerate() {
+                *clock = merged.clone();
+                clock[r] += 1;
+                cursor[r] += 1;
+            }
+            reductions += 1;
+            progressed = true;
+        } else if at_reduce.iter().any(|g| g.is_some())
+            && (0..n).all(|r| cursor[r] >= progs[r].len() || at_reduce[r].is_some())
+        {
+            // Some ranks wait at a reduction the rest will never join.
+            return Err(HbError::ReduceMismatch {
+                detail: format!("ranks at a reduction while others finished: {at_reduce:?}"),
+            });
+        }
+
+        if !progressed {
+            break;
+        }
+    }
+
+    if (0..n).any(|r| cursor[r] < progs[r].len()) {
+        let state: Vec<String> = (0..n)
+            .map(|r| match progs[r].get(cursor[r]) {
+                Some(ev) => format!("rank{r}@{}: waiting on {ev:?}", cursor[r]),
+                None => format!("rank{r}: done"),
+            })
+            .collect();
+        return Err(HbError::Stuck { state });
+    }
+    for ((src, dst), q) in &channels {
+        if !q.is_empty() {
+            return Err(HbError::Leftover {
+                src: *src,
+                dst: *dst,
+                pending: q.len(),
+            });
+        }
+    }
+
+    Ok(HbReport {
+        ranks: n,
+        events: progs.iter().map(Vec::len).sum(),
+        messages,
+        reductions,
+        unordered,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use CommEvent::{Recv, Reduce, Send};
+
+    #[test]
+    fn butterfly_pair_is_ordered() {
+        let progs = vec![
+            vec![Send { to: 1, words: 4 }, Recv { from: 1, words: 4 }],
+            vec![Send { to: 0, words: 4 }, Recv { from: 0, words: 4 }],
+        ];
+        let rep = check(&progs).expect("clean butterfly");
+        assert_eq!(rep.messages, 2);
+        assert!(rep.unordered.is_empty(), "{:?}", rep.unordered);
+    }
+
+    #[test]
+    fn recv_without_send_is_stuck() {
+        let progs = vec![
+            vec![Recv { from: 1, words: 1 }],
+            vec![Recv { from: 0, words: 1 }],
+        ];
+        match check(&progs) {
+            Err(HbError::Stuck { state }) => {
+                assert_eq!(state.len(), 2);
+                assert!(state[0].contains("rank0"), "{state:?}");
+            }
+            other => panic!("expected stuck, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn leftover_message_is_an_error() {
+        let progs = vec![vec![Send { to: 1, words: 2 }], vec![]];
+        assert!(matches!(
+            check(&progs),
+            Err(HbError::Leftover {
+                src: 0,
+                dst: 1,
+                pending: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn payload_mismatch_is_an_error() {
+        let progs = vec![
+            vec![Send { to: 1, words: 3 }],
+            vec![Recv { from: 0, words: 4 }],
+        ];
+        assert!(matches!(
+            check(&progs),
+            Err(HbError::PayloadMismatch {
+                sent: 3,
+                got: 4,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn reductions_join_all_ranks() {
+        let progs = vec![
+            vec![Reduce { generation: 0 }, Send { to: 1, words: 1 }],
+            vec![Reduce { generation: 0 }, Recv { from: 0, words: 1 }],
+        ];
+        let rep = check(&progs).expect("reduce then message");
+        assert_eq!(rep.reductions, 1);
+        assert_eq!(rep.messages, 1);
+        assert!(rep.unordered.is_empty());
+    }
+
+    #[test]
+    fn mismatched_generations_rejected() {
+        let progs = vec![
+            vec![Reduce { generation: 0 }],
+            vec![Reduce { generation: 1 }],
+        ];
+        assert!(matches!(check(&progs), Err(HbError::ReduceMismatch { .. })));
+    }
+
+    #[test]
+    fn missing_reducer_rejected() {
+        let progs = vec![vec![Reduce { generation: 0 }], vec![]];
+        assert!(matches!(check(&progs), Err(HbError::ReduceMismatch { .. })));
+    }
+
+    #[test]
+    fn clock_comparison_is_strict() {
+        assert!(strictly_before(&vec![1, 0], &vec![1, 1]));
+        assert!(!strictly_before(&vec![1, 1], &vec![1, 1]));
+        assert!(!strictly_before(&vec![2, 0], &vec![1, 1]), "concurrent");
+    }
+
+    #[test]
+    fn report_renders_deterministically() {
+        let progs = vec![
+            vec![Send { to: 1, words: 4 }, Reduce { generation: 0 }],
+            vec![Recv { from: 0, words: 4 }, Reduce { generation: 0 }],
+        ];
+        let a = check(&progs).unwrap().render();
+        let b = check(&progs).unwrap().render();
+        assert_eq!(a, b);
+        assert!(a.starts_with("hb: 2 ranks"));
+    }
+}

@@ -1,8 +1,13 @@
-//! `cargo run -p hyades-lint [-- --write-baseline]`
+//! `cargo run -p hyades-lint [-- --write-baseline | --fix-baseline | --json]`
 //!
-//! Lints the workspace sources and exits nonzero on violations. With
-//! `--write-baseline`, regenerates `crates/lint/baseline.txt` from the
-//! current tree instead (used to ratchet the unwrap-in-lib burndown).
+//! Lints the workspace sources and exits nonzero on violations.
+//!
+//! * `--json` — emit the report as one stable-sorted JSON object
+//!   (consumed by `scripts/check.sh` for machine-readable CI diffs);
+//! * `--write-baseline` — regenerate `crates/lint/baseline.txt` from the
+//!   current tree (ratchets the unwrap-in-lib and pragma budgets);
+//! * `--fix-baseline` — strip `unused-pragma` suppressions from the
+//!   sources, then regenerate the baseline.
 
 use std::process::ExitCode;
 
@@ -10,6 +15,30 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let root = hyades_lint::workspace_root();
 
+    const KNOWN: &[&str] = &["--write-baseline", "--fix-baseline", "--json"];
+    if let Some(unknown) = args.iter().find(|a| !KNOWN.contains(&a.as_str())) {
+        eprintln!(
+            "hyades-lint: unknown argument `{unknown}` (accepted: {})",
+            KNOWN.join(", ")
+        );
+        return ExitCode::FAILURE;
+    }
+
+    if args.iter().any(|a| a == "--fix-baseline") {
+        match hyades_lint::fix_baseline(&root) {
+            Ok((files, n)) => {
+                println!(
+                    "stripped stale pragmas from {files} file(s); wrote {} with {n} entries",
+                    hyades_lint::baseline_file()
+                );
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("hyades-lint: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     if args.iter().any(|a| a == "--write-baseline") {
         match hyades_lint::write_baseline(&root) {
             Ok(n) => {
@@ -22,16 +51,19 @@ fn main() -> ExitCode {
             }
         }
     }
-    if let Some(unknown) = args.iter().find(|a| *a != "--write-baseline") {
-        eprintln!("hyades-lint: unknown argument `{unknown}` (only --write-baseline is accepted)");
-        return ExitCode::FAILURE;
-    }
 
+    let json = args.iter().any(|a| a == "--json");
     match hyades_lint::lint_workspace(&root) {
         Ok(report) => {
-            print!("{}", report.render());
+            if json {
+                print!("{}", report.render_json());
+            } else {
+                print!("{}", report.render());
+            }
             if report.is_clean() {
-                println!("hyades-lint: {} files clean", report.files_scanned);
+                if !json {
+                    println!("hyades-lint: {} files clean", report.files_scanned);
+                }
                 ExitCode::SUCCESS
             } else {
                 eprintln!(

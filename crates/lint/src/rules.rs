@@ -1,20 +1,27 @@
 //! The rule engine: repo-specific determinism and numerical-correctness
-//! invariants, run over scrubbed source lines.
+//! invariants, run over the token stream of [`crate::lexer`] via the
+//! pass API of [`crate::passes`].
 //!
-//! | rule                | scope                                   | forbids                                        |
-//! |---------------------|-----------------------------------------|------------------------------------------------|
-//! | `instant-wallclock` | everywhere except `crates/bench`        | `std::time::Instant`, `Instant::now`, `SystemTime` |
-//! | `unseeded-rng`      | everywhere                              | `thread_rng`, `from_entropy`, `rand::random`   |
-//! | `hash-iteration`    | `des`, `arctic`, `comms`, `cluster`, `telemetry` | iterating `HashMap`/`HashSet` (keyed lookup ok)|
-//! | `f32-in-gcm`        | `crates/gcm/src`                        | the `f32` type (the model is 64-bit)           |
-//! | `unwrap-in-lib`     | `des`/`comms`/`arctic`/`telemetry`/`cluster` non-test lib code | `.unwrap()` / `.expect(` (baseline burndown) |
+//! | rule                    | scope                                   | forbids                                        |
+//! |-------------------------|-----------------------------------------|------------------------------------------------|
+//! | `instant-wallclock`     | everywhere except `crates/bench`        | `std::time::Instant`, `Instant::now`, `SystemTime` |
+//! | `unseeded-rng`          | everywhere                              | `thread_rng`, `from_entropy`, `rand::random`   |
+//! | `hash-iteration`        | `des`, `arctic`, `comms`, `cluster`, `telemetry` | iterating `HashMap`/`HashSet` (keyed lookup ok)|
+//! | `f32-in-gcm`            | `crates/gcm/src`                        | the `f32` type (the model is 64-bit)           |
+//! | `unwrap-in-lib`         | `des`/`comms`/`arctic`/`telemetry`/`cluster` non-test lib code | `.unwrap()` / `.expect(` (baseline burndown) |
+//! | `float-reduce-unordered`| everywhere (tests too)                  | `.sum()`/`.product()`/`.fold()` over hash or `par_` iterators |
+//! | `partial-cmp-unwrap`    | lib code, non-test                      | `partial_cmp(..).unwrap()` — use `total_cmp`   |
+//! | `float-sort-unstable`   | `gcm`, `perf`                           | `sort_unstable_by*` with a float comparator    |
+//! | `schedule-no-tiebreak`  | event-ordering crates, lib code         | `BinaryHeap::push` keys without a `seq` tie-break |
 //!
 //! Any finding can be suppressed with an inline pragma:
 //! `// lint:allow(rule-name, reason)` on the offending line, or on a
-//! comment-only line directly above it. The reason is mandatory.
+//! comment-only line directly above it. The reason is mandatory, and a
+//! pragma that suppresses nothing is itself flagged (`unused-pragma`) so
+//! the suppression set ratchets down (`--fix-baseline` strips them).
 
-use crate::source::{find_tokens, scrub, ScrubbedLine};
-use std::collections::BTreeSet;
+use crate::lexer::TokKind;
+use crate::passes::FileCtx;
 use std::fmt;
 
 pub const INSTANT_WALLCLOCK: &str = "instant-wallclock";
@@ -22,14 +29,27 @@ pub const UNSEEDED_RNG: &str = "unseeded-rng";
 pub const HASH_ITERATION: &str = "hash-iteration";
 pub const F32_IN_GCM: &str = "f32-in-gcm";
 pub const UNWRAP_IN_LIB: &str = "unwrap-in-lib";
+pub const FLOAT_REDUCE_UNORDERED: &str = "float-reduce-unordered";
+pub const PARTIAL_CMP_UNWRAP: &str = "partial-cmp-unwrap";
+pub const FLOAT_SORT_UNSTABLE: &str = "float-sort-unstable";
+pub const SCHEDULE_NO_TIEBREAK: &str = "schedule-no-tiebreak";
 pub const BAD_PRAGMA: &str = "bad-pragma";
+pub const UNUSED_PRAGMA: &str = "unused-pragma";
+/// Pseudo-rule under which the per-file pragma budget is tracked in
+/// `baseline.txt` (see `lint_workspace`). Not suppressible.
+pub const PRAGMA_ALLOW: &str = "pragma-allow";
 
+/// The suppressible rules — the namespace `lint:allow` pragmas draw from.
 pub const ALL_RULES: &[&str] = &[
     INSTANT_WALLCLOCK,
     UNSEEDED_RNG,
     HASH_ITERATION,
     F32_IN_GCM,
     UNWRAP_IN_LIB,
+    FLOAT_REDUCE_UNORDERED,
+    PARTIAL_CMP_UNWRAP,
+    FLOAT_SORT_UNSTABLE,
+    SCHEDULE_NO_TIEBREAK,
 ];
 
 /// One diagnostic. Renders as `file:line: rule: message`.
@@ -52,379 +72,500 @@ impl fmt::Display for Finding {
     }
 }
 
-/// Where a file sits in the workspace, derived from its relative path.
-struct FileScope {
-    /// `Some("des")` for `crates/des/...`.
-    crate_name: Option<String>,
-    /// Under a `src/` directory (library code), as opposed to
-    /// `tests/`, `benches/`, or the workspace `examples/`.
-    in_src: bool,
+/// One `lint:allow` pragma and what became of it, for the pragma budget
+/// and `--fix-baseline`.
+#[derive(Debug, Clone)]
+pub struct PragmaInfo {
+    /// 1-based line the pragma sits on.
+    pub line: usize,
+    pub rule: String,
+    /// Known rule with a reason (counts toward the pragma budget).
+    pub valid: bool,
+    /// Suppressed at least one finding.
+    pub used: bool,
 }
 
-fn classify(rel_path: &str) -> FileScope {
-    let parts: Vec<&str> = rel_path.split('/').collect();
-    let crate_name = if parts.len() >= 2 && parts[0] == "crates" {
-        Some(parts[1].to_string())
-    } else {
-        None
-    };
-    let in_src = match crate_name {
-        Some(_) => parts.get(2) == Some(&"src"),
-        None => parts.first() == Some(&"src"),
-    };
-    FileScope { crate_name, in_src }
+/// Full per-file result: findings after pragma application plus the
+/// pragma audit trail.
+pub struct FileAnalysis {
+    pub findings: Vec<Finding>,
+    pub pragmas: Vec<PragmaInfo>,
 }
 
-/// A parsed `lint:allow(rule, reason)` pragma.
-struct Pragma {
-    rule: String,
-    has_reason: bool,
-    /// Pragma sits on a comment-only line, so it covers the next line.
-    own_line: bool,
+/// A raw (pre-pragma) diagnostic.
+struct Raw {
+    line: usize,
+    rule: &'static str,
+    message: String,
 }
 
-fn parse_pragmas(lines: &[ScrubbedLine]) -> Vec<Vec<Pragma>> {
-    lines
-        .iter()
-        .map(|l| {
-            let mut out = Vec::new();
-            // Doc comments (`///`, `//!`, `/**`, `/*!`) describe the
-            // pragma syntax without invoking it; only plain comments
-            // carry live pragmas.
-            if matches!(l.comment.chars().next(), Some('/' | '!' | '*')) {
-                return out;
+type Pass = fn(&FileCtx<'_>, &mut Vec<Raw>);
+
+const PASSES: &[Pass] = &[
+    pass_wallclock,
+    pass_rng,
+    pass_hash_iteration,
+    pass_f32_in_gcm,
+    pass_unwrap_in_lib,
+    pass_float_reduce,
+    pass_partial_cmp_unwrap,
+    pass_float_sort_unstable,
+    pass_schedule_tiebreak,
+];
+
+fn event_ordering_crate(ctx: &FileCtx<'_>) -> bool {
+    matches!(
+        ctx.scope.crate_name.as_deref(),
+        Some("des" | "arctic" | "comms" | "cluster" | "telemetry")
+    )
+}
+
+/// R1: wall-clock time outside the benchmark crate breaks replayability
+/// of anything it touches.
+fn pass_wallclock(ctx: &FileCtx<'_>, out: &mut Vec<Raw>) {
+    if ctx.scope.crate_name.as_deref() == Some("bench") {
+        return;
+    }
+    let mut last_line = 0usize;
+    for i in 0..ctx.code.len() {
+        let t = &ctx.code[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let hit = match t.text {
+            "SystemTime" => Some("SystemTime"),
+            "Instant" if i >= 2 && ctx.is(i - 1, "::") && ctx.is_ident(i - 2, "time") => {
+                Some("time::Instant")
             }
-            let mut rest = l.comment.as_str();
-            while let Some(pos) = rest.find("lint:allow(") {
-                let body = &rest[pos + "lint:allow(".len()..];
-                let close = body.find(')').unwrap_or(body.len());
-                let inner = &body[..close];
-                let (rule, reason) = match inner.split_once(',') {
-                    Some((r, why)) => (r.trim(), !why.trim().is_empty()),
-                    None => (inner.trim(), false),
-                };
-                out.push(Pragma {
-                    rule: rule.to_string(),
-                    has_reason: reason,
-                    own_line: l.code.trim().is_empty(),
+            "Instant" if ctx.is(i + 1, "::") && ctx.is_ident(i + 2, "now") => Some("Instant::now"),
+            _ => None,
+        };
+        if let Some(tok) = hit {
+            let line = ctx.line(i);
+            if line != last_line {
+                out.push(Raw {
+                    line,
+                    rule: INSTANT_WALLCLOCK,
+                    message: format!(
+                        "wall-clock `{tok}` outside crates/bench; simulated time only"
+                    ),
                 });
-                rest = &body[close..];
-            }
-            out
-        })
-        .collect()
-}
-
-/// Per-line flag: inside a `#[cfg(test)]`-gated item (tracked by brace
-/// depth on scrubbed code, so braces in strings/comments don't count).
-fn cfg_test_lines(lines: &[ScrubbedLine]) -> Vec<bool> {
-    let mut flags = vec![false; lines.len()];
-    let mut depth: i64 = 0;
-    let mut region_starts: Vec<i64> = Vec::new();
-    let mut pending = false;
-    for (idx, l) in lines.iter().enumerate() {
-        if region_starts.is_empty() && l.code.contains("#[cfg(test)]") {
-            pending = true;
-        }
-        flags[idx] = !region_starts.is_empty() || pending;
-        for c in l.code.chars() {
-            match c {
-                '{' => {
-                    if pending {
-                        region_starts.push(depth);
-                        pending = false;
-                    }
-                    depth += 1;
-                }
-                '}' => {
-                    depth -= 1;
-                    if region_starts.last() == Some(&depth) {
-                        region_starts.pop();
-                    }
-                }
-                ';' if pending && depth == 0 => {
-                    // `#[cfg(test)] mod x;` — out-of-line module; the
-                    // gated code lives in another file we don't see.
-                    pending = false;
-                }
-                _ => {}
-            }
-        }
-        if !region_starts.is_empty() {
-            flags[idx] = true;
-        }
-    }
-    flags
-}
-
-/// Trailing identifier of `s` (e.g. receiver of a method call), skipping
-/// a `self.` qualifier: `self.early` → `early`.
-fn trailing_ident(s: &str) -> Option<&str> {
-    let bytes = s.as_bytes();
-    let mut end = bytes.len();
-    while end > 0 && (bytes[end - 1].is_ascii_alphanumeric() || bytes[end - 1] == b'_') {
-        end -= 1;
-    }
-    if end == bytes.len() {
-        return None;
-    }
-    Some(&s[end..])
-}
-
-/// Leading identifier of `s`: `early_reqs.remove(..)` → `early_reqs`.
-fn leading_ident(s: &str) -> &str {
-    let end = s
-        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
-        .unwrap_or(s.len());
-    &s[..end]
-}
-
-/// Names bound to `HashMap`/`HashSet` in this file (field declarations,
-/// typed bindings, and `= HashMap::new()` initializers).
-fn hash_container_names(lines: &[ScrubbedLine]) -> BTreeSet<String> {
-    let mut names = BTreeSet::new();
-    for l in lines {
-        for container in ["HashMap", "HashSet"] {
-            for pos in find_tokens(&l.code, container) {
-                let before = l.code[..pos].trim_end();
-                // `name: HashMap<..>` or `name: std::collections::HashMap<..>`
-                let before_path = before
-                    .strip_suffix("std::collections::")
-                    .or_else(|| before.strip_suffix("collections::"))
-                    .unwrap_or(before)
-                    .trim_end();
-                if let Some(prefix) = before_path.strip_suffix(':') {
-                    // Exclude `::` paths — only type ascription.
-                    if !prefix.ends_with(':') {
-                        if let Some(name) = trailing_ident(prefix.trim_end()) {
-                            if !name.is_empty() {
-                                names.insert(name.to_string());
-                            }
-                        }
-                    }
-                }
-                // `let [mut] name = [std::collections::]HashMap::new()`
-                if before_path.ends_with('=') {
-                    if let Some(let_pos) = l.code[..pos].rfind("let ") {
-                        let after_let = l.code[let_pos + 4..].trim_start();
-                        let after_mut = after_let.strip_prefix("mut ").unwrap_or(after_let);
-                        let name = leading_ident(after_mut.trim_start());
-                        if !name.is_empty() {
-                            names.insert(name.to_string());
-                        }
-                    }
-                }
+                last_line = line;
             }
         }
     }
-    names
+}
+
+/// R2: unseeded randomness is nondeterminism by construction.
+fn pass_rng(ctx: &FileCtx<'_>, out: &mut Vec<Raw>) {
+    for i in 0..ctx.code.len() {
+        let t = &ctx.code[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let hit = match t.text {
+            "thread_rng" => Some("thread_rng"),
+            "from_entropy" => Some("from_entropy"),
+            "random" if i >= 2 && ctx.is(i - 1, "::") && ctx.is_ident(i - 2, "rand") => {
+                Some("rand::random")
+            }
+            _ => None,
+        };
+        if let Some(tok) = hit {
+            out.push(Raw {
+                line: ctx.line(i),
+                rule: UNSEEDED_RNG,
+                message: format!(
+                    "unseeded RNG `{tok}`; use hyades_des::rng::SplitMix64 with an explicit seed"
+                ),
+            });
+        }
+    }
 }
 
 /// Methods on a hash container whose results depend on hash-iteration
 /// order. Keyed access (`get`, `insert`, `remove`, `contains_key`,
 /// indexing) is fine.
 const ITERATION_METHODS: &[&str] = &[
-    ".iter()",
-    ".iter_mut()",
-    ".keys()",
-    ".values()",
-    ".values_mut()",
-    ".drain(",
-    ".into_iter()",
-    ".retain(",
-    ".into_keys()",
-    ".into_values()",
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "retain",
+    "into_keys",
+    "into_values",
 ];
 
-/// Run every rule over one file. `rel_path` is workspace-relative with
-/// `/` separators.
-pub fn analyze(rel_path: &str, source: &str) -> Vec<Finding> {
-    let scope = classify(rel_path);
-    let lines = scrub(source);
-    let pragmas = parse_pragmas(&lines);
-    let in_test = cfg_test_lines(&lines);
-
-    let mut raw: Vec<Finding> = Vec::new();
-    let mut push = |line: usize, rule: &'static str, message: String| {
-        raw.push(Finding {
-            rel_path: rel_path.to_string(),
-            line: line + 1,
-            rule,
-            message,
-        });
-    };
-
-    let crate_name = scope.crate_name.as_deref();
-    let event_ordering_crate = matches!(
-        crate_name,
-        Some("des" | "arctic" | "comms" | "cluster" | "telemetry")
-    );
-    let hash_names = if event_ordering_crate {
-        hash_container_names(&lines)
-    } else {
-        BTreeSet::new()
-    };
-
-    for (idx, l) in lines.iter().enumerate() {
-        let code = &l.code;
-
-        // R1: wall-clock time outside the benchmark crate breaks
-        // replayability of anything it touches.
-        if crate_name != Some("bench") {
-            for tok in [
-                "std::time::Instant",
-                "time::Instant",
-                "Instant::now",
-                "SystemTime",
-            ] {
-                if !find_tokens(code, tok).is_empty() {
-                    push(
-                        idx,
-                        INSTANT_WALLCLOCK,
-                        format!("wall-clock `{tok}` outside crates/bench; simulated time only"),
-                    );
-                    break;
-                }
-            }
-        }
-
-        // R2: unseeded randomness is nondeterminism by construction.
-        for tok in ["thread_rng", "from_entropy", "rand::random"] {
-            if !find_tokens(code, tok).is_empty() {
-                push(
-                    idx,
-                    UNSEEDED_RNG,
-                    format!("unseeded RNG `{tok}`; use hyades_des::rng::SplitMix64 with an explicit seed"),
-                );
-            }
-        }
-
-        // R3: hash-iteration order can leak into event ordering.
-        if event_ordering_crate {
-            let mut hit = false;
-            for m in ITERATION_METHODS {
-                for pos in memfind(code, m) {
-                    if let Some(recv) = trailing_ident(&code[..pos]) {
-                        if hash_names.contains(recv) {
-                            push(
-                                idx,
-                                HASH_ITERATION,
-                                format!(
-                                    "iterating hash container `{recv}` (`{m}`); order is nondeterministic — use BTreeMap/BTreeSet or keyed access"
-                                ),
-                            );
-                            hit = true;
-                        }
-                    }
-                }
-            }
-            // `for x in [&[mut ]]name` over a hash container.
-            if !hit {
-                if let Some(in_pos) = code.find(" in ") {
-                    if code[..in_pos].trim_start().starts_with("for ") {
-                        let expr = code[in_pos + 4..].trim_start();
-                        let expr = expr.strip_prefix('&').unwrap_or(expr);
-                        let expr = expr.strip_prefix("mut ").unwrap_or(expr).trim_start();
-                        let expr = expr.strip_prefix("self.").unwrap_or(expr);
-                        let name = leading_ident(expr);
-                        let after = &expr[name.len()..];
-                        if hash_names.contains(name) && !after.starts_with('.') {
-                            push(
-                                idx,
-                                HASH_ITERATION,
-                                format!("`for … in {name}` iterates a hash container; order is nondeterministic"),
-                            );
-                        }
-                    }
-                }
-            }
-        }
-
-        // R4: the GCM is a 64-bit model (paper §5); f32 anywhere in its
-        // kernels/solvers silently halves the precision of a reduction.
-        if crate_name == Some("gcm") && scope.in_src && !find_tokens(code, "f32").is_empty() {
-            push(
-                idx,
-                F32_IN_GCM,
-                "`f32` in the GCM; the model is 64-bit end to end".to_string(),
-            );
-        }
-
-        // R5: panicking on Err/None in library code of the simulation
-        // crates; burned down via the checked-in baseline.
-        if matches!(
-            crate_name,
-            Some("des" | "comms" | "arctic" | "telemetry" | "cluster")
-        ) && scope.in_src
-            && !in_test[idx]
+/// R3: hash-iteration order can leak into event ordering.
+fn pass_hash_iteration(ctx: &FileCtx<'_>, out: &mut Vec<Raw>) {
+    if !event_ordering_crate(ctx) {
+        return;
+    }
+    let names = ctx.bound_names(&["HashMap", "HashSet"]);
+    if names.is_empty() {
+        return;
+    }
+    for i in 0..ctx.code.len() {
+        let t = &ctx.code[i];
+        // `recv.iter()` and friends.
+        if t.kind == TokKind::Ident
+            && ITERATION_METHODS.contains(&t.text)
+            && i >= 2
+            && ctx.is(i - 1, ".")
+            && ctx.is(i + 1, "(")
+            && ctx.kind(i - 2) == Some(TokKind::Ident)
+            && names.contains(ctx.text(i - 2))
         {
-            let unwraps = memfind(code, ".unwrap()").len() + memfind(code, ".expect(").len();
-            for _ in 0..unwraps {
-                push(
-                    idx,
-                    UNWRAP_IN_LIB,
-                    "`.unwrap()`/`.expect(` in non-test library code; return an error or annotate with lint:allow".to_string(),
-                );
+            out.push(Raw {
+                line: ctx.line(i),
+                rule: HASH_ITERATION,
+                message: format!(
+                    "iterating hash container `{}` (`.{}()`); order is nondeterministic — use BTreeMap/BTreeSet or keyed access",
+                    ctx.text(i - 2),
+                    t.text
+                ),
+            });
+        }
+        // `for x in [&[mut ]][self.]name` over a hash container.
+        if t.is_ident("for") {
+            if let Some((name_idx, name)) = for_in_subject(ctx, i) {
+                if names.contains(name) && !ctx.is(name_idx + 1, ".") {
+                    out.push(Raw {
+                        line: ctx.line(name_idx),
+                        rule: HASH_ITERATION,
+                        message: format!(
+                            "`for … in {name}` iterates a hash container; order is nondeterministic"
+                        ),
+                    });
+                }
             }
         }
+    }
+}
+
+/// For a `for` token at `i`, the identifier heading the iterated
+/// expression (after `in`, past `&`/`mut`/`self.`).
+fn for_in_subject<'a>(ctx: &FileCtx<'a>, i: usize) -> Option<(usize, &'a str)> {
+    let mut depth = 0i64;
+    let mut j = i + 1;
+    loop {
+        match ctx.code.get(j)?.text {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "in" if depth == 0 => break,
+            "{" | ";" => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    let mut k = j + 1;
+    if ctx.is(k, "&") {
+        k += 1;
+    }
+    if ctx.is(k, "mut") {
+        k += 1;
+    }
+    if ctx.is_ident(k, "self") && ctx.is(k + 1, ".") {
+        k += 2;
+    }
+    (ctx.kind(k) == Some(TokKind::Ident)).then(|| (k, ctx.code[k].text))
+}
+
+/// R4: the GCM is a 64-bit model (paper §5); f32 anywhere in its
+/// kernels/solvers silently halves the precision of a reduction.
+fn pass_f32_in_gcm(ctx: &FileCtx<'_>, out: &mut Vec<Raw>) {
+    if ctx.scope.crate_name.as_deref() != Some("gcm") || !ctx.scope.in_src {
+        return;
+    }
+    for i in 0..ctx.code.len() {
+        let t = &ctx.code[i];
+        let hit = t.is_ident("f32")
+            || (matches!(t.kind, TokKind::Float | TokKind::Int) && t.text.ends_with("f32"));
+        if hit {
+            out.push(Raw {
+                line: ctx.line(i),
+                rule: F32_IN_GCM,
+                message: "`f32` in the GCM; the model is 64-bit end to end".to_string(),
+            });
+        }
+    }
+}
+
+/// R5: panicking on Err/None in library code of the simulation crates;
+/// burned down via the checked-in baseline.
+fn pass_unwrap_in_lib(ctx: &FileCtx<'_>, out: &mut Vec<Raw>) {
+    if !event_ordering_crate(ctx) || !ctx.scope.in_src {
+        return;
+    }
+    for i in 0..ctx.code.len() {
+        let t = &ctx.code[i];
+        if (t.is_ident("unwrap") || t.is_ident("expect"))
+            && i >= 1
+            && ctx.is(i - 1, ".")
+            && ctx.is(i + 1, "(")
+            && !ctx.in_test[i]
+        {
+            out.push(Raw {
+                line: ctx.line(i),
+                rule: UNWRAP_IN_LIB,
+                message: "`.unwrap()`/`.expect(` in non-test library code; return an error or annotate with lint:allow".to_string(),
+            });
+        }
+    }
+}
+
+/// Rayon-style parallel-iterator constructors: reduction order over
+/// these is scheduling-dependent.
+const PAR_METHODS: &[&str] = &["par_iter", "par_iter_mut", "into_par_iter", "par_bridge"];
+
+const INT_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// R6: float reductions over unordered iterators. `sum::<f64>()` over a
+/// `HashMap` gives a different bit pattern per run (addition does not
+/// commute with reordering); same for `par_`-style iterators where the
+/// reduction tree is scheduling-dependent. Integer turbofish reductions
+/// are exact and exempt. Applies to tests too — the determinism gates
+/// compare test output bit-for-bit.
+fn pass_float_reduce(ctx: &FileCtx<'_>, out: &mut Vec<Raw>) {
+    let names = ctx.bound_names(&["HashMap", "HashSet"]);
+    for i in 0..ctx.code.len() {
+        let t = &ctx.code[i];
+        if t.kind != TokKind::Ident || !matches!(t.text, "sum" | "product" | "fold") {
+            continue;
+        }
+        if i == 0 || !ctx.is(i - 1, ".") {
+            continue;
+        }
+        let after = ctx.skip_turbofish(i + 1);
+        if !ctx.is(after, "(") {
+            continue;
+        }
+        if after > i + 1 {
+            // Turbofish present: exact (integer) accumulators commute.
+            let ty: Vec<&str> = (i + 2..after - 1).map(|k| ctx.text(k)).collect();
+            let integral = ty.iter().any(|s| INT_TYPES.contains(s));
+            let floaty = ty.iter().any(|s| matches!(*s, "f32" | "f64"));
+            if integral && !floaty {
+                continue;
+            }
+        }
+        let (base, methods) = ctx.chain_back(i - 1);
+        let hash_base = base.is_some_and(|b| names.contains(b));
+        let par_method = methods.iter().find(|m| PAR_METHODS.contains(m));
+        let culprit = if hash_base {
+            base.map(|b| format!("hash container `{b}`"))
+        } else {
+            par_method.map(|m| format!("parallel iterator `.{m}()`"))
+        };
+        if let Some(what) = culprit {
+            out.push(Raw {
+                line: ctx.line(i),
+                rule: FLOAT_REDUCE_UNORDERED,
+                message: format!(
+                    "float `.{}()` over {what}; reduction order is nondeterministic — iterate a BTree/sorted order",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// R7: `partial_cmp(..).unwrap()` in library code panics on NaN and
+/// invites ad-hoc comparator rewrites; `f64::total_cmp` is total and
+/// deterministic.
+fn pass_partial_cmp_unwrap(ctx: &FileCtx<'_>, out: &mut Vec<Raw>) {
+    if !ctx.scope.in_src {
+        return;
+    }
+    for i in 0..ctx.code.len() {
+        if !ctx.code[i].is_ident("partial_cmp") || i == 0 || !ctx.is(i - 1, ".") {
+            continue;
+        }
+        if ctx.in_test[i] {
+            continue;
+        }
+        let Some(close) = (ctx.is(i + 1, "("))
+            .then(|| ctx.bracket_partner(i + 1))
+            .flatten()
+        else {
+            continue;
+        };
+        if ctx.is(close + 1, ".") && ctx.is_ident(close + 2, "unwrap") && ctx.is(close + 3, "(") {
+            out.push(Raw {
+                line: ctx.line(i),
+                rule: PARTIAL_CMP_UNWRAP,
+                message: "`partial_cmp(..).unwrap()` in library code; use `f64::total_cmp` (total over NaN, deterministic)".to_string(),
+            });
+        }
+    }
+}
+
+/// R8: unstable sorts keyed on floats in the numerical crates: tie
+/// order is implementation-defined, and a refactor away from a panic on
+/// NaN. The observatory/telemetry sorters use stable sorts + `total_cmp`.
+fn pass_float_sort_unstable(ctx: &FileCtx<'_>, out: &mut Vec<Raw>) {
+    if !matches!(ctx.scope.crate_name.as_deref(), Some("gcm" | "perf")) {
+        return;
+    }
+    for i in 0..ctx.code.len() {
+        let t = &ctx.code[i];
+        if t.kind != TokKind::Ident
+            || !matches!(t.text, "sort_unstable_by" | "sort_unstable_by_key")
+            || i == 0
+            || !ctx.is(i - 1, ".")
+            || !ctx.is(i + 1, "(")
+        {
+            continue;
+        }
+        let Some(close) = ctx.bracket_partner(i + 1) else {
+            continue;
+        };
+        let floaty = (i + 2..close)
+            .any(|k| matches!(ctx.text(k), "partial_cmp" | "total_cmp" | "f64" | "f32"));
+        if floaty {
+            out.push(Raw {
+                line: ctx.line(i),
+                rule: FLOAT_SORT_UNSTABLE,
+                message: format!(
+                    "`.{}()` with a float comparator; tie order is implementation-defined — use a stable sort with `total_cmp`",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// R9: every DES schedule key must carry the insertion-sequence
+/// tie-break — `(time, seq)` — or equal-time events pop in arbitrary
+/// order (the exact bug class `EventQueue` exists to prevent).
+fn pass_schedule_tiebreak(ctx: &FileCtx<'_>, out: &mut Vec<Raw>) {
+    if !event_ordering_crate(ctx) || !ctx.scope.in_src {
+        return;
+    }
+    let heaps = ctx.bound_names(&["BinaryHeap"]);
+    if heaps.is_empty() {
+        return;
+    }
+    for i in 0..ctx.code.len() {
+        if !ctx.code[i].is_ident("push")
+            || i < 2
+            || !ctx.is(i - 1, ".")
+            || ctx.kind(i - 2) != Some(TokKind::Ident)
+            || !heaps.contains(ctx.text(i - 2))
+            || !ctx.is(i + 1, "(")
+        {
+            continue;
+        }
+        let Some(close) = ctx.bracket_partner(i + 1) else {
+            continue;
+        };
+        let has_tiebreak = (i + 2..close).any(|k| {
+            matches!(ctx.text(k), "seq" | "tiebreak") && ctx.kind(k) == Some(TokKind::Ident)
+        });
+        if !has_tiebreak {
+            out.push(Raw {
+                line: ctx.line(i),
+                rule: SCHEDULE_NO_TIEBREAK,
+                message: format!(
+                    "`{}.push(..)` key has no `seq`/`tiebreak` component; equal-time events would pop in nondeterministic order",
+                    ctx.text(i - 2)
+                ),
+            });
+        }
+    }
+}
+
+/// Run every rule over one file, apply pragmas, and report the pragma
+/// audit trail. `rel_path` is workspace-relative with `/` separators.
+pub fn analyze_file(rel_path: &str, source: &str) -> FileAnalysis {
+    let ctx = FileCtx::new(rel_path, source);
+    let mut raw: Vec<Raw> = Vec::new();
+    for pass in PASSES {
+        pass(&ctx, &mut raw);
     }
 
     // Pragma application: same-line always; a comment-only pragma line
     // also covers the next line. Unknown rules / missing reasons are
-    // themselves findings.
-    let mut out = Vec::new();
-    for f in raw {
-        let idx = f.line - 1;
+    // themselves findings, and so are pragmas that suppress nothing.
+    let mut used = vec![false; ctx.pragmas.len()];
+    let mut out: Vec<Finding> = Vec::new();
+    for r in raw {
         let mut allowed = false;
-        for (pline, own_line_required) in [(idx, false), (idx.wrapping_sub(1), true)] {
-            if let Some(ps) = pragmas.get(pline) {
-                for p in ps {
-                    if p.rule == f.rule && p.has_reason && (!own_line_required || p.own_line) {
-                        allowed = true;
-                    }
-                }
+        for (pidx, p) in ctx.pragmas.iter().enumerate() {
+            if p.rule != r.rule || !p.has_reason {
+                continue;
+            }
+            let same_line = p.line == r.line;
+            let line_above = p.own_line && p.line + 1 == r.line;
+            if same_line || line_above {
+                allowed = true;
+                used[pidx] = true;
             }
         }
         if !allowed {
-            out.push(f);
+            out.push(Finding {
+                rel_path: rel_path.to_string(),
+                line: r.line,
+                rule: r.rule,
+                message: r.message,
+            });
         }
     }
-    for (idx, ps) in pragmas.iter().enumerate() {
-        for p in ps {
-            if !ALL_RULES.contains(&p.rule.as_str()) {
-                out.push(Finding {
-                    rel_path: rel_path.to_string(),
-                    line: idx + 1,
-                    rule: BAD_PRAGMA,
-                    message: format!("pragma allows unknown rule `{}`", p.rule),
-                });
-            } else if !p.has_reason {
-                out.push(Finding {
-                    rel_path: rel_path.to_string(),
-                    line: idx + 1,
-                    rule: BAD_PRAGMA,
-                    message: format!(
-                        "lint:allow({}) needs a reason: lint:allow({}, why)",
-                        p.rule, p.rule
-                    ),
-                });
-            }
+
+    let mut pragmas = Vec::with_capacity(ctx.pragmas.len());
+    for (pidx, p) in ctx.pragmas.iter().enumerate() {
+        let known = ALL_RULES.contains(&p.rule.as_str());
+        let valid = known && p.has_reason;
+        if !known {
+            out.push(Finding {
+                rel_path: rel_path.to_string(),
+                line: p.line,
+                rule: BAD_PRAGMA,
+                message: format!("pragma allows unknown rule `{}`", p.rule),
+            });
+        } else if !p.has_reason {
+            out.push(Finding {
+                rel_path: rel_path.to_string(),
+                line: p.line,
+                rule: BAD_PRAGMA,
+                message: format!(
+                    "lint:allow({}) needs a reason: lint:allow({}, why)",
+                    p.rule, p.rule
+                ),
+            });
+        } else if !used[pidx] {
+            out.push(Finding {
+                rel_path: rel_path.to_string(),
+                line: p.line,
+                rule: UNUSED_PRAGMA,
+                message: format!(
+                    "lint:allow({}) suppresses nothing; remove it (cargo run -p hyades-lint -- --fix-baseline)",
+                    p.rule
+                ),
+            });
         }
+        pragmas.push(PragmaInfo {
+            line: p.line,
+            rule: p.rule.clone(),
+            valid,
+            used: used[pidx],
+        });
     }
     out.sort();
-    out
+    FileAnalysis {
+        findings: out,
+        pragmas,
+    }
 }
 
-/// Plain substring occurrences (no token boundary: used for method-call
-/// patterns that carry their own punctuation).
-fn memfind(hay: &str, needle: &str) -> Vec<usize> {
-    let mut out = Vec::new();
-    let mut from = 0;
-    while let Some(rel) = hay[from..].find(needle) {
-        out.push(from + rel);
-        from += rel + needle.len();
-    }
-    out
+/// Findings only — the stable entry point most callers use.
+pub fn analyze(rel_path: &str, source: &str) -> Vec<Finding> {
+    analyze_file(rel_path, source).findings
 }
 
 #[cfg(test)]
@@ -452,6 +593,14 @@ mod tests {
         let src = "let t0 = std::time::Instant::now();\n";
         assert!(rules_hit("crates/des/src/x.rs", src).contains(&INSTANT_WALLCLOCK));
         assert!(!rules_hit("crates/bench/benches/b.rs", src).contains(&INSTANT_WALLCLOCK));
+    }
+
+    #[test]
+    fn bare_instant_type_not_flagged() {
+        // An unqualified `Instant` ident (e.g. a local type) is not the
+        // std one; only `time::Instant` paths and `Instant::now` fire.
+        let src = "fn f(x: Instant) {}\n";
+        assert!(rules_hit("crates/des/src/x.rs", src).is_empty());
     }
 
     #[test]
@@ -486,6 +635,12 @@ mod tests {
         );
         assert!(rules_hit("crates/perf/src/x.rs", src).is_empty());
         assert!(rules_hit("crates/gcm/tests/t.rs", src).is_empty());
+    }
+
+    #[test]
+    fn f32_literal_suffix_flagged_in_gcm() {
+        let src = "let x = 1.0f32;\n";
+        assert_eq!(rules_hit("crates/gcm/src/k.rs", src), vec![F32_IN_GCM]);
     }
 
     #[test]
@@ -532,6 +687,86 @@ mod tests {
     }
 
     #[test]
+    fn float_sum_over_hashmap_flagged_everywhere() {
+        let src = "let mut par = HashMap::new();\nlet m: f64 = par.values().sum::<f64>() / par.len() as f64;\n";
+        // Including outside the event-ordering crates, and in tests.
+        assert_eq!(
+            rules_hit("crates/gcm/src/solver/cg.rs", src),
+            vec![FLOAT_REDUCE_UNORDERED]
+        );
+        assert_eq!(
+            rules_hit("crates/gcm/tests/t.rs", src),
+            vec![FLOAT_REDUCE_UNORDERED]
+        );
+    }
+
+    #[test]
+    fn integer_sum_over_hashmap_not_flagged() {
+        // Integer addition commutes: counting via `sum::<usize>()` is
+        // order-insensitive.
+        let src = "let mut m = HashMap::new();\nlet n: usize = m.values().sum::<usize>();\n";
+        assert!(rules_hit("crates/gcm/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn sum_over_vec_not_flagged() {
+        let src = "let v: Vec<f64> = vec![];\nlet s: f64 = v.iter().sum::<f64>();\n";
+        assert!(rules_hit("crates/gcm/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn fold_over_par_iter_flagged() {
+        let src = "let s = xs.par_iter().fold(0.0, |a, b| a + b);\n";
+        assert_eq!(
+            rules_hit("crates/gcm/src/x.rs", src),
+            vec![FLOAT_REDUCE_UNORDERED]
+        );
+    }
+
+    #[test]
+    fn partial_cmp_unwrap_in_lib_flagged() {
+        let src = "fn f(a: f64, b: f64) { xs.sort_by(|x, y| x.partial_cmp(y).unwrap()); }\n";
+        assert_eq!(
+            rules_hit("crates/perf/src/x.rs", src),
+            vec![PARTIAL_CMP_UNWRAP]
+        );
+        // Tests and non-src files are exempt (assertion helpers).
+        assert!(rules_hit("crates/perf/tests/t.rs", src).is_empty());
+        let test_src = format!("#[cfg(test)]\nmod t {{\n{src}}}\n");
+        assert!(rules_hit("crates/perf/src/x.rs", &test_src).is_empty());
+    }
+
+    #[test]
+    fn float_sort_unstable_scoped_to_numerical_crates() {
+        let src = "xs.sort_unstable_by(|a, b| a.total_cmp(b));\n";
+        assert_eq!(
+            rules_hit("crates/gcm/src/x.rs", src),
+            vec![FLOAT_SORT_UNSTABLE]
+        );
+        assert_eq!(
+            rules_hit("crates/perf/src/x.rs", src),
+            vec![FLOAT_SORT_UNSTABLE]
+        );
+        assert!(rules_hit("crates/arctic/src/x.rs", src).is_empty());
+        // Non-float comparator is fine.
+        let by_id = "xs.sort_unstable_by(|a, b| a.id.cmp(&b.id));\n";
+        assert!(rules_hit("crates/gcm/src/x.rs", by_id).is_empty());
+    }
+
+    #[test]
+    fn heap_push_without_tiebreak_flagged() {
+        let bad = "struct Q { heap: BinaryHeap<E> }\nfn f(q: &mut Q, at: u64) { q.heap.push(E { time: at }); }\n";
+        assert_eq!(
+            rules_hit("crates/des/src/x.rs", bad),
+            vec![SCHEDULE_NO_TIEBREAK]
+        );
+        let good = "struct Q { heap: BinaryHeap<E> }\nfn f(q: &mut Q, at: u64, seq: u64) { q.heap.push(E { time: at, seq }); }\n";
+        assert!(rules_hit("crates/des/src/x.rs", good).is_empty());
+        // Out of the event-ordering crates: no opinion.
+        assert!(rules_hit("crates/gcm/src/x.rs", bad).is_empty());
+    }
+
+    #[test]
     fn pragma_suppresses_with_reason() {
         let same = "let t = Instant::now(); // lint:allow(instant-wallclock, demo timer)\n";
         assert!(rules_hit("crates/des/src/x.rs", same).is_empty());
@@ -562,6 +797,32 @@ mod tests {
     fn pragma_unknown_rule_rejected() {
         let src = "// lint:allow(no-such-rule, why)\nlet x = 1;\n";
         assert_eq!(rules_hit("crates/des/src/x.rs", src), vec![BAD_PRAGMA]);
+    }
+
+    #[test]
+    fn unused_pragma_flagged_and_audited() {
+        let src = "// lint:allow(unseeded-rng, stale suppression)\nlet x = 1;\n";
+        let fa = analyze_file("crates/des/src/x.rs", src);
+        let rules: Vec<&str> = fa.findings.iter().map(|f| f.rule).collect();
+        assert_eq!(rules, vec![UNUSED_PRAGMA]);
+        assert_eq!(fa.findings[0].line, 1);
+        assert_eq!(fa.pragmas.len(), 1);
+        assert!(fa.pragmas[0].valid);
+        assert!(!fa.pragmas[0].used);
+    }
+
+    #[test]
+    fn used_pragma_not_flagged_unused() {
+        let src = "let r = thread_rng(); // lint:allow(unseeded-rng, fixture)\n";
+        let fa = analyze_file("crates/des/src/x.rs", src);
+        assert!(fa.findings.is_empty(), "{:?}", fa.findings);
+        assert!(fa.pragmas[0].used);
+    }
+
+    #[test]
+    fn new_rules_are_suppressible() {
+        let src = "let mut m = HashMap::new();\nlet s: f64 = m.values().sum::<f64>(); // lint:allow(float-reduce-unordered, demo of the hazard)\n";
+        assert!(rules_hit("crates/gcm/src/x.rs", src).is_empty());
     }
 
     #[test]

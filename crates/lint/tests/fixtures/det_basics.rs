@@ -1,0 +1,16 @@
+//@path crates/comms/src/golden/det_basics.rs
+// instant-wallclock, hash-iteration, and unwrap-in-lib in one
+// event-ordering-crate library file.
+
+fn demo() -> u64 {
+    let t0 = std::time::Instant::now();
+    let mut pending = HashMap::new();
+    pending.insert(1u16, 2u64);
+    let mut total = 0;
+    for v in pending.values() {
+        total += v;
+    }
+    let head = pending.get(&1).unwrap();
+    drop(t0);
+    total + head
+}

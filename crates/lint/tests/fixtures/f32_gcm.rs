@@ -1,0 +1,8 @@
+//@path crates/gcm/src/golden/f32_gcm.rs
+// f32-in-gcm: the model is 64-bit end to end.
+
+fn shrink(x: f64) -> f64 {
+    let lossy = x as f32;
+    let scale = 0.5f32;
+    f64::from(lossy) * f64::from(scale)
+}

@@ -1,0 +1,12 @@
+//@path crates/gcm/src/golden/float_reduce.rs
+// float-reduce-unordered: float reductions over unordered iterators.
+
+fn demo(xs: &[f64]) -> f64 {
+    let mut cells = HashMap::new();
+    cells.insert(0u32, 1.5f64);
+    let bad: f64 = cells.values().sum::<f64>();
+    let exact: u64 = cells.keys().map(|k| *k as u64).sum::<u64>();
+    let par = xs.par_iter().fold(0.0, |a, b| a + b);
+    let ok: f64 = xs.iter().sum::<f64>();
+    bad + par + ok + exact as f64
+}

@@ -1,0 +1,8 @@
+//@path crates/gcm/src/golden/float_sort.rs
+// float-sort-unstable: unstable sorts keyed on floats.
+
+fn rank(xs: &mut [(u32, f64)]) {
+    xs.sort_unstable_by(|a, b| a.1.total_cmp(&b.1));
+    xs.sort_by(|a, b| a.1.total_cmp(&b.1));
+    xs.sort_unstable_by_key(|x| x.0);
+}

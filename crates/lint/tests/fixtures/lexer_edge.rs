@@ -1,0 +1,18 @@
+//@path crates/des/src/golden/lexer_edge.rs
+// Lexer edge cases: rule triggers inside string literals, raw strings,
+// char literals, and nested block comments must all be ignored.
+
+fn quoted() -> &'static str {
+    let _c = 'I';
+    let _s = "thread_rng() and Instant::now() in a string";
+    let _r = r#"SystemTime inside a raw "string" with quotes"#;
+    /* block comment with thread_rng()
+       /* nested: Instant::now() */
+       still commented: from_entropy()
+    */
+    "done"
+}
+
+fn control() {
+    let _r = thread_rng();
+}

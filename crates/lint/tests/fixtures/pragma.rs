@@ -1,0 +1,14 @@
+//@path crates/des/src/golden/pragma.rs
+// Pragma handling: suppression with a reason (same line or the line
+// above), unused pragmas, missing reasons, and unknown rules.
+
+fn demo() {
+    let r = thread_rng(); // lint:allow(unseeded-rng, golden fixture demo)
+    // lint:allow(instant-wallclock, covers the next line)
+    let t = Instant::now();
+    // lint:allow(hash-iteration, suppresses nothing here)
+    let x = 1;
+    let s = from_entropy(); // lint:allow(unseeded-rng)
+    // lint:allow(not-a-rule, why)
+    let y = 2;
+}

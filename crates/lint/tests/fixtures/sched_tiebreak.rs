@@ -1,0 +1,11 @@
+//@path crates/des/src/golden/sched_tiebreak.rs
+// schedule-no-tiebreak: heap keys need the (time, seq) tie-break.
+
+struct Queue {
+    heap: BinaryHeap<(u64, u64)>,
+}
+
+fn schedule(q: &mut Queue, time: u64, seq: u64) {
+    q.heap.push((time, 0));
+    q.heap.push((time, seq));
+}

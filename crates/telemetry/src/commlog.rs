@@ -1,0 +1,100 @@
+//! Thread-local communication event log for `ThreadWorld` ranks.
+//!
+//! The happens-before checker in `hyades-lint` (`lint::hb`) needs the
+//! exact sequence of communication operations each rank performed —
+//! keyed channel sends/recvs and shared-memory reductions — to replay
+//! them under vector clocks and prove every matched send/recv pair is
+//! ordered. Each rank [`install`]s a log on its own thread before the
+//! run and [`take`]s it after; recording is a no-op otherwise (same
+//! zero-cost-when-disabled idiom as [`crate::flight`]).
+//!
+//! Events carry ranks and payload lengths only — enough to rebuild the
+//! communication structure, nothing order-sensitive to merge across
+//! threads.
+
+use std::cell::{Cell, RefCell};
+
+/// One communication operation performed by the recording rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommEvent {
+    /// Posted `words` values on the keyed channel to rank `to`.
+    Send { to: usize, words: usize },
+    /// Consumed `words` values from the keyed channel from rank `from`.
+    Recv { from: usize, words: usize },
+    /// Joined the all-ranks shared-memory reduction numbered `generation`
+    /// (a global sum / max / barrier; the generation counter totally
+    /// orders reductions across the run).
+    Reduce { generation: u64 },
+}
+
+thread_local! {
+    static INSTALLED: Cell<bool> = const { Cell::new(false) };
+    static LOG: RefCell<Vec<CommEvent>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Start logging communication events on this thread (clears any
+/// previous log).
+pub fn install() {
+    LOG.with(|l| l.borrow_mut().clear());
+    INSTALLED.with(|i| i.set(true));
+}
+
+/// Is a log installed on this thread?
+#[inline]
+pub fn installed() -> bool {
+    INSTALLED.with(|i| i.get())
+}
+
+/// Append an event if a log is installed; otherwise a no-op.
+#[inline]
+pub fn record(ev: CommEvent) {
+    if !installed() {
+        return;
+    }
+    LOG.with(|l| l.borrow_mut().push(ev));
+}
+
+/// Stop logging and return the events recorded on this thread.
+pub fn take() -> Vec<CommEvent> {
+    INSTALLED.with(|i| i.set(false));
+    LOG.with(|l| std::mem::take(&mut *l.borrow_mut()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_is_noop_without_install() {
+        assert!(!installed());
+        record(CommEvent::Send { to: 1, words: 4 });
+        assert!(take().is_empty());
+    }
+
+    #[test]
+    fn installed_log_captures_in_order() {
+        install();
+        record(CommEvent::Send { to: 2, words: 8 });
+        record(CommEvent::Recv { from: 2, words: 8 });
+        record(CommEvent::Reduce { generation: 0 });
+        let log = take();
+        assert!(!installed());
+        assert_eq!(
+            log,
+            vec![
+                CommEvent::Send { to: 2, words: 8 },
+                CommEvent::Recv { from: 2, words: 8 },
+                CommEvent::Reduce { generation: 0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn reinstall_clears_previous_log() {
+        install();
+        record(CommEvent::Reduce { generation: 7 });
+        install();
+        record(CommEvent::Reduce { generation: 8 });
+        assert_eq!(take(), vec![CommEvent::Reduce { generation: 8 }]);
+    }
+}

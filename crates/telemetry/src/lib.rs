@@ -34,6 +34,7 @@
 //! [`SimTime`]: hyades_des::SimTime
 //! [`SimDuration`]: hyades_des::SimDuration
 
+pub mod commlog;
 pub mod export;
 pub mod flight;
 pub mod prom;

@@ -12,7 +12,14 @@ echo "==> cargo build --release"
 cargo build --release
 
 echo "==> hyades-lint (determinism & numerical-correctness rules)"
-cargo run -q -p hyades-lint
+mkdir -p target
+if ! cargo run -q -p hyades-lint -- --json > target/lint-report.json; then
+    cat target/lint-report.json
+    echo "hyades-lint reported violations (full report: target/lint-report.json)"
+    exit 1
+fi
+lint_files=$(sed -n 's/.*"files_scanned": \([0-9]*\).*/\1/p' target/lint-report.json)
+echo "    clean: ${lint_files} files scanned (report: target/lint-report.json)"
 
 echo "==> cargo test -q"
 cargo test -q

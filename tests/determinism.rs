@@ -196,6 +196,46 @@ fn telemetry_exports_are_bit_identical_across_runs() {
     assert_ne!(a.text_summary, c.text_summary);
 }
 
+/// Record the comm log of a threaded GCM round (halo exchange + global
+/// sum) and replay it through the vector-clock happens-before checker.
+fn hb_replay_report(seed: u64) -> String {
+    use hyades_telemetry::commlog;
+
+    let (nx, ny, nz, h) = (16usize, 8usize, 3usize, 2usize);
+    let d = Decomp::blocks(nx, ny, 2, 2, h);
+    let logs = ThreadWorld::run(d.n_ranks(), move |w| {
+        commlog::install();
+        let t = d.tile(w.rank());
+        let mut rng = SplitMix64::new(seed ^ (w.rank() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut field = Field3::new(t.nx, t.ny, nz, h);
+        for k in 0..nz {
+            for j in 0..t.ny as i64 {
+                for i in 0..t.nx as i64 {
+                    field.set(i, j, k, rng.next_f64() - 0.5);
+                }
+            }
+        }
+        exchange3(w, &d, &t, &mut [&mut field], h);
+        let _ = w.global_sum(field.get(0, 0, 0));
+        commlog::take()
+    });
+    let report = hyades_lint::hb::check(&logs).expect("ordering bug in threaded round");
+    report.render()
+}
+
+#[test]
+fn happens_before_replay_is_ordered_and_byte_identical() {
+    // Every matched send/recv pair of a real GCM communication round must
+    // carry a strict happens-before edge, and the checker's report — a
+    // deterministic replay of the logs — must itself be byte-identical
+    // across runs.
+    let a = hb_replay_report(7);
+    let b = hb_replay_report(7);
+    assert_eq!(a, b, "hb report must replay byte-identically");
+    assert!(a.contains("0 unordered pair(s)"), "unordered pairs:\n{a}");
+    assert!(!a.contains("0 messages"), "no exchange traffic was logged");
+}
+
 /// One observed congested run, fully exported: (Prometheus exposition,
 /// JSON manifest).
 fn observatory_exports(seed: u64) -> (String, String) {
