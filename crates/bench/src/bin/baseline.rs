@@ -1,6 +1,6 @@
 //! The perf-baseline harness: one deterministic, instrumented pass over
 //! the E14-style experiments plus the fabric observatory and the full
-//! static-analysis tree walk, emitting `BENCH_pr4.json` — one point of
+//! static-analysis tree walk, emitting `BENCH_pr6.json` — one point of
 //! the regression trajectory every later PR is compared against.
 //!
 //! ```text
@@ -19,10 +19,13 @@
 //!   within the tour's own sanity bar (|residual| < 200 %): the analytic
 //!   model and the executable simulation must not diverge wholesale;
 //! * the full-tree hyades-lint pass (timed as `lint_full_tree_ms`) must
-//!   come back clean.
+//!   come back clean;
+//! * the interprocedural flow pass alone (call-graph build + effect
+//!   fixpoint, timed as `lint_flow_ms`) must stay under its smoke
+//!   budget.
 //!
 //! Wall-clock numbers in the output are environment-dependent by nature;
-//! everything else in `BENCH_pr4.json` is deterministic.
+//! everything else in `BENCH_pr6.json` is deterministic.
 
 use hyades::tour;
 use hyades_arctic::observatory::ObservatoryConfig;
@@ -40,6 +43,20 @@ use std::time::Instant;
 
 const SEED: u64 = 0x0B5_E7A;
 
+/// Smoke budget for the interprocedural flow pass alone: call-graph
+/// build plus effect fixpoint over the whole tree must stay interactive.
+const FLOW_SMOKE_BUDGET_MS: f64 = 3000.0;
+
+/// Write the raw exports next to the summary JSON. Declared as a sink in
+/// `flow::WORKSPACE_SINKS`: everything reaching this function must be
+/// `Det`/`DetModuloSeed`.
+fn write_exports(dir: &PathBuf, prom: &str, manifest: &str, ether_prom: &str) {
+    fs::create_dir_all(dir).expect("create artifact dir");
+    fs::write(dir.join("fabric.prom"), prom).expect("write fabric.prom");
+    fs::write(dir.join("fabric_manifest.json"), manifest).expect("write fabric_manifest.json");
+    fs::write(dir.join("ethernet.prom"), ether_prom).expect("write ethernet.prom");
+}
+
 struct Args {
     smoke: bool,
     out: PathBuf,
@@ -49,7 +66,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut args = Args {
         smoke: false,
-        out: PathBuf::from("BENCH_pr4.json"),
+        out: PathBuf::from("BENCH_pr6.json"),
         artifact_dir: PathBuf::from("target/observatory"),
     };
     let mut it = std::env::args().skip(1);
@@ -170,23 +187,32 @@ fn main() {
         ));
     }
 
-    // Artifacts: the raw exports next to the summary.
-    fs::create_dir_all(&args.artifact_dir).expect("create artifact dir");
-    fs::write(args.artifact_dir.join("fabric.prom"), &prom).expect("write fabric.prom");
-    fs::write(args.artifact_dir.join("fabric_manifest.json"), &manifest)
-        .expect("write fabric_manifest.json");
-    fs::write(args.artifact_dir.join("ethernet.prom"), &ether_prom).expect("write ethernet.prom");
+    // 5. The interprocedural flow pass alone (call graph + fixpoint),
+    //    timed separately so regressions in the analysis itself show up.
+    let sources = hyades_lint::collect_sources(&hyades_lint::workspace_root())
+        .expect("collect workspace sources");
+    let wall_flow = Instant::now();
+    let fl = hyades_lint::flow::analyze(&sources, hyades_lint::flow::WORKSPACE_SINKS);
+    let flow_ms = wall_flow.elapsed().as_secs_f64() * 1e3;
+    let (det, dms, nondet) = fl.effect_counts();
+    if args.smoke && flow_ms > FLOW_SMOKE_BUDGET_MS {
+        failures.push(format!(
+            "lint::flow took {flow_ms:.0} ms (smoke budget {FLOW_SMOKE_BUDGET_MS:.0} ms)"
+        ));
+    }
+
+    write_exports(&args.artifact_dir, &prom, &manifest, &ether_prom);
 
     // The summary JSON.
     let worst = report.hotspots.first();
     let mut j = String::new();
     let _ = write!(
         j,
-        "{{\n  \"bench\": \"pr4-baseline\",\n  \"mode\": \"{mode}\",\n  \"seed\": {SEED},\n"
+        "{{\n  \"bench\": \"pr6-baseline\",\n  \"mode\": \"{mode}\",\n  \"seed\": {SEED},\n"
     );
     let _ = write!(
         j,
-        "  \"wall_ms\": {{\"total\": {:.1}, \"tour\": {tour_ms:.1}, \"fabric\": {fabric_ms:.1}, \"ethernet\": {ether_ms:.1}, \"lint_full_tree_ms\": {lint_ms:.1}}},\n",
+        "  \"wall_ms\": {{\"total\": {:.1}, \"tour\": {tour_ms:.1}, \"fabric\": {fabric_ms:.1}, \"ethernet\": {ether_ms:.1}, \"lint_full_tree_ms\": {lint_ms:.1}, \"lint_flow_ms\": {flow_ms:.1}}},\n",
         wall.elapsed().as_secs_f64() * 1e3
     );
     let _ = write!(
@@ -194,6 +220,13 @@ fn main() {
         "  \"lint\": {{\"files_scanned\": {}, \"violations\": {}}},\n",
         lint.files_scanned,
         lint.violations.len()
+    );
+    let _ = write!(
+        j,
+        "  \"flow\": {{\"functions\": {}, \"call_edges\": {}, \"det\": {det}, \"det_modulo_seed\": {dms}, \"nondet\": {nondet}, \"sinks\": {}}},\n",
+        fl.functions,
+        fl.call_edges,
+        fl.sinks.len()
     );
     let _ = write!(
         j,
@@ -270,6 +303,12 @@ fn main() {
         "  lint: {} files in {lint_ms:.0} ms, {} violation(s)",
         lint.files_scanned,
         lint.violations.len()
+    );
+    println!(
+        "  flow: {} fns, {} edges in {flow_ms:.0} ms ({det} Det / {dms} DetModuloSeed / {nondet} Nondet), {} sink(s) proven",
+        fl.functions,
+        fl.call_edges,
+        fl.sinks.len()
     );
     if !failures.is_empty() {
         for f in &failures {

@@ -232,7 +232,9 @@ pub fn measure_gsum(host: HostParams, values: &[f64], smp_step: bool) -> GsumMea
             .finished
             .unwrap_or_else(|| panic!("node {e} never finished"));
         last = last.max(f);
-        let r = node.result.expect("finished without result");
+        let r = node
+            .result
+            .unwrap_or_else(|| panic!("node {e} finished without a result"));
         if let Some(prev) = result {
             assert_eq!(prev, r, "nodes disagree on the global sum");
         }
@@ -241,7 +243,7 @@ pub fn measure_gsum(host: HostParams, values: &[f64], smp_step: bool) -> GsumMea
     GsumMeasurement {
         n,
         elapsed: last.since(SimTime::ZERO),
-        value: result.unwrap(),
+        value: result.unwrap_or_else(|| panic!("gsum over zero nodes has no result")),
     }
 }
 
@@ -424,10 +426,15 @@ pub fn measure_gsum_tree(host: HostParams, values: &[f64]) -> GsumMeasurement {
     sim.run();
     let mut last = SimTime::ZERO;
     let mut result = None;
-    for &id in &ids {
+    for (e, &id) in ids.iter().enumerate() {
         let node = sim.actor::<TreeGsumNode>(id);
-        last = last.max(node.finished.expect("tree gsum incomplete"));
-        let r = node.result.expect("no result");
+        last = last.max(
+            node.finished
+                .unwrap_or_else(|| panic!("tree node {e} never finished")),
+        );
+        let r = node
+            .result
+            .unwrap_or_else(|| panic!("tree node {e} finished without a result"));
         if let Some(prev) = result {
             assert_eq!(prev, r, "tree nodes disagree");
         }
@@ -436,7 +443,7 @@ pub fn measure_gsum_tree(host: HostParams, values: &[f64]) -> GsumMeasurement {
     GsumMeasurement {
         n,
         elapsed: last.since(SimTime::ZERO),
-        value: result.unwrap(),
+        value: result.unwrap_or_else(|| panic!("tree gsum over zero nodes has no result")),
     }
 }
 

@@ -132,15 +132,18 @@ impl RendezvousCore {
         st.slots[rank] = Some(contribution);
         st.arrived += 1;
         if st.arrived == self.n {
-            let mut acc: Option<Vec<f64>> = None;
-            for slot in st.slots.iter_mut() {
-                let v = slot.take().expect("missing contribution");
-                match &mut acc {
-                    None => acc = Some(v),
-                    Some(a) => combine(a, &v),
+            let mut acc: Vec<f64> = Vec::new();
+            let mut seen = 0usize;
+            for v in st.slots.iter_mut().filter_map(Option::take) {
+                if seen == 0 {
+                    acc = v;
+                } else {
+                    combine(&mut acc, &v);
                 }
+                seen += 1;
             }
-            st.result = acc.unwrap();
+            debug_assert_eq!(seen, self.n, "missing contribution");
+            st.result = acc;
             st.arrived = 0;
             st.generation += 1;
             self.cv.notify_all();
@@ -206,7 +209,10 @@ impl ThreadWorld {
                 handles.push((rank, scope.spawn(move || f(&mut w))));
             }
             for (rank, h) in handles {
-                out[rank] = Some(h.join().expect("rank thread panicked"));
+                match h.join() {
+                    Ok(r) => out[rank] = Some(r),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
             }
         });
         out.into_iter().map(Option::unwrap).collect()

@@ -18,9 +18,11 @@
 //! | E14 | §5.3 extended — model-vs-measured phase profiling | [`profiling`] |
 //! | E15 | §2.2/§6 — fabric observatory: per-link telemetry under congestion | [`observatory`] |
 //! | E16 | §4 — schedule proof + happens-before audit | [`schedcheck`] |
+//! | E17 | §4/§5 — interprocedural determinism proof of the artefact surface | [`detflow`] |
 
 pub mod api_tax;
 pub mod century;
+pub mod detflow;
 pub mod economics;
 pub mod fig10;
 pub mod fig11;
@@ -127,6 +129,12 @@ pub fn all() -> Vec<Experiment> {
             paper_artefact: "Section 4: communication schedule proof and happens-before audit",
             run: schedcheck::run,
         },
+        Experiment {
+            id: "E17",
+            paper_artefact:
+                "Sections 4/5: interprocedural determinism proof of the artefact surface",
+            run: detflow::run,
+        },
     ]
 }
 
@@ -135,13 +143,13 @@ mod tests {
     #[test]
     fn registry_is_complete() {
         let all = super::all();
-        assert_eq!(all.len(), 16);
+        assert_eq!(all.len(), 17);
         let ids: Vec<&str> = all.iter().map(|e| e.id).collect();
         assert_eq!(
             ids,
             [
                 "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
-                "E14", "E15", "E16"
+                "E14", "E15", "E16", "E17"
             ]
         );
     }

@@ -1,0 +1,1419 @@
+//! `lint::flow` — whole-program interprocedural determinism analysis.
+//!
+//! The per-file rules in [`crate::rules`] catch nondeterminism *sources*
+//! where they are written; nothing there proves a source can't flow
+//! through a call chain into a reduction or an exported artifact. This
+//! module closes that gap with three layers on the same lexer/pass
+//! engine:
+//!
+//! 1. **Symbol table + call graph.** Every `fn` item in the workspace
+//!    (free functions, inherent/trait-impl methods, trait default
+//!    bodies) becomes a node, qualified by a module path derived from
+//!    its file (`comms::world::ThreadWorld::exchange`). Call sites come
+//!    straight off the token stream: bare calls resolve same-file →
+//!    same-crate → workspace; `Type::assoc(..)` / `Self::assoc(..)`
+//!    resolve through a `(type, name)` index; `recv.method(..)` uses
+//!    light local type inference (`let x = Type::new(..)`, `x: Type`
+//!    ascriptions, `self`) and falls back to *every* same-named method
+//!    when the receiver type is unknown — an over-approximation that
+//!    keeps dynamic dispatch sound.
+//! 2. **Effect lattice.** `Det < DetModuloSeed < Nondet` with a source
+//!    catalog for intrinsic effects: wall-clock reads, unseeded RNG,
+//!    hash-container iteration, thread identity, env/args reads, atomic
+//!    read-modify-write, parallel-iterator methods; `SplitMix64` (and
+//!    `seed_from_u64`) mark `DetModuloSeed`. A fixpoint propagates the
+//!    join over the call graph: `effect(f) = max(intrinsic(f), max over
+//!    callees of effect)`. Callees outside the workspace contribute
+//!    `Det` — the catalog covers the nondeterministic std surface at
+//!    the call site itself.
+//! 3. **Sink check.** Declared sinks — comms reductions, telemetry
+//!    exporters, the DES trace dump, bench artifact writers — must end
+//!    `Det` or `DetModuloSeed`. A sink that transitively reaches
+//!    `Nondet` code outside test scope is a `nondet-reachable` finding
+//!    carrying the witness call chain. Test-scope functions (`tests/`,
+//!    `benches/`, `#[cfg(test)]`) are never resolved as callees of
+//!    non-test code.
+//!
+//! Escape hatches, both audited: a `lint:allow(rule, why)` pragma on a
+//! source line removes that source from the catalog (same attribution
+//! rules as the per-file passes), and `// lint:det-trusted(why)`
+//! directly above a `fn` pins it to `Det` regardless of its body. Both
+//! count against the `pragma-allow` budget in `baseline.txt`, and
+//! `nondet-reachable` itself is baselined so any accepted debt ratchets
+//! down, never up.
+
+use crate::lexer::TokKind;
+use crate::passes::FileCtx;
+use crate::rules::{
+    for_in_subject, Finding, BAD_PRAGMA, FLOAT_REDUCE_UNORDERED, HASH_ITERATION, INSTANT_WALLCLOCK,
+    ITERATION_METHODS, NONDET_REACHABLE, PAR_METHODS, UNSEEDED_RNG, UNUSED_PRAGMA,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The effect lattice, ordered: `Det < DetModuloSeed < Nondet`.
+///
+/// `Det` — same output every run. `DetModuloSeed` — same output for a
+/// given explicit seed (the repo's contract for every simulation).
+/// `Nondet` — output can differ between runs with identical inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Effect {
+    Det,
+    DetModuloSeed,
+    Nondet,
+}
+
+impl Effect {
+    pub fn name(self) -> &'static str {
+        match self {
+            Effect::Det => "Det",
+            Effect::DetModuloSeed => "DetModuloSeed",
+            Effect::Nondet => "Nondet",
+        }
+    }
+}
+
+/// A declared sink: a function whose output leaves the simulation
+/// (reduction result, exported artifact, trace). Matched by name plus a
+/// path fragment so renames don't silently drop coverage — a spec that
+/// matches nothing is itself a finding.
+pub struct SinkSpec {
+    pub name: &'static str,
+    pub path_hint: &'static str,
+    pub what: &'static str,
+}
+
+/// The workspace sink list: every function whose result is published as
+/// a paper artefact or feeds one (reductions, exporters, traces, bench
+/// JSON). `lint_workspace` proves each reaches only `Det` /
+/// `DetModuloSeed` code.
+pub const WORKSPACE_SINKS: &[SinkSpec] = &[
+    SinkSpec {
+        name: "exchange",
+        path_hint: "crates/comms/src/",
+        what: "comms halo exchange",
+    },
+    SinkSpec {
+        name: "global_sum",
+        path_hint: "crates/comms/src/",
+        what: "comms reduction",
+    },
+    SinkSpec {
+        name: "global_sum_vec",
+        path_hint: "crates/comms/src/",
+        what: "comms reduction",
+    },
+    SinkSpec {
+        name: "global_max",
+        path_hint: "crates/comms/src/",
+        what: "comms reduction",
+    },
+    SinkSpec {
+        name: "measure_gsum",
+        path_hint: "crates/comms/src/gsum.rs",
+        what: "comms reduction driver",
+    },
+    SinkSpec {
+        name: "measure_gsum_tree",
+        path_hint: "crates/comms/src/gsum.rs",
+        what: "comms reduction driver",
+    },
+    SinkSpec {
+        name: "measure_exchange",
+        path_hint: "crates/comms/src/exchange.rs",
+        what: "comms exchange driver",
+    },
+    SinkSpec {
+        name: "exchange3",
+        path_hint: "crates/gcm/src/halo.rs",
+        what: "GCM halo exchange",
+    },
+    SinkSpec {
+        name: "chrome_trace_json",
+        path_hint: "crates/telemetry/src/export.rs",
+        what: "telemetry Chrome trace exporter",
+    },
+    SinkSpec {
+        name: "text_summary",
+        path_hint: "crates/telemetry/src/export.rs",
+        what: "telemetry text exporter",
+    },
+    SinkSpec {
+        name: "render_registry",
+        path_hint: "crates/telemetry/src/prom.rs",
+        what: "telemetry Prometheus exporter",
+    },
+    SinkSpec {
+        name: "prometheus",
+        path_hint: "crates/arctic/src/observatory.rs",
+        what: "observatory Prometheus exposition",
+    },
+    SinkSpec {
+        name: "json_manifest",
+        path_hint: "crates/arctic/src/observatory.rs",
+        what: "observatory JSON manifest",
+    },
+    SinkSpec {
+        name: "prometheus",
+        path_hint: "crates/cluster/src/ethernet_sim.rs",
+        what: "ethernet telemetry exposition",
+    },
+    SinkSpec {
+        name: "dump",
+        path_hint: "crates/des/src/trace.rs",
+        what: "DES trace output",
+    },
+    SinkSpec {
+        name: "write_exports",
+        path_hint: "crates/bench/src/bin/baseline.rs",
+        what: "bench artifact writer",
+    },
+];
+
+/// One function's inferred effect, for the rendered effect table.
+#[derive(Debug, Clone)]
+pub struct FnEffect {
+    pub qual: String,
+    pub file: String,
+    pub line: usize,
+    pub effect: Effect,
+    pub is_test: bool,
+    pub trusted: bool,
+    /// Intrinsic source that set this function's own effect, if any:
+    /// (line, description).
+    pub source: Option<(usize, String)>,
+}
+
+/// One matched sink and its verdict.
+#[derive(Debug, Clone)]
+pub struct SinkResult {
+    pub name: &'static str,
+    pub what: &'static str,
+    pub qual: String,
+    pub file: String,
+    pub line: usize,
+    pub effect: Effect,
+    /// Witness chain from the sink towards the function whose intrinsic
+    /// effect dominates (just the sink itself when intrinsically clean).
+    pub chain: Vec<String>,
+}
+
+/// Everything the analysis produced, in deterministic order.
+pub struct FlowReport {
+    pub functions: usize,
+    pub call_edges: usize,
+    /// Sorted by qualified name.
+    pub fns: Vec<FnEffect>,
+    /// In `WORKSPACE_SINKS` order, then definition order.
+    pub sinks: Vec<SinkResult>,
+    /// Qualified names of `lint:det-trusted` functions.
+    pub trusted: Vec<String>,
+    /// (file, pragma line) of every valid, attached `det-trusted`
+    /// pragma — counted against the pragma budget by `lint_workspace`.
+    pub trusted_sites: Vec<(String, usize)>,
+    /// (file, pragma line) of every `lint:allow` pragma this analysis
+    /// honored; such pragmas are not stale even when no per-file rule
+    /// fired on their line.
+    pub used_allow: BTreeSet<(String, usize)>,
+    /// `nondet-reachable` findings plus det-trusted pragma audit.
+    pub findings: Vec<Finding>,
+}
+
+impl FlowReport {
+    /// Count of (Det, DetModuloSeed, Nondet) functions.
+    pub fn effect_counts(&self) -> (usize, usize, usize) {
+        let mut c = (0usize, 0usize, 0usize);
+        for f in &self.fns {
+            match f.effect {
+                Effect::Det => c.0 += 1,
+                Effect::DetModuloSeed => c.1 += 1,
+                Effect::Nondet => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    /// Stable text rendering for golden tests: effect table, sink
+    /// verdicts, findings.
+    pub fn render_golden(&self) -> String {
+        let mut s = String::new();
+        for f in &self.fns {
+            s.push_str(&format!("fn {} {}", f.qual, f.effect.name()));
+            if f.is_test {
+                s.push_str(" [test]");
+            }
+            if f.trusted {
+                s.push_str(" [trusted]");
+            }
+            if f.effect != Effect::Det {
+                if let Some((line, what)) = &f.source {
+                    s.push_str(&format!(" <- {what} (line {line})"));
+                }
+            }
+            s.push('\n');
+        }
+        for k in &self.sinks {
+            s.push_str(&format!(
+                "sink {} ({}) {} {}\n",
+                k.name,
+                k.what,
+                k.qual,
+                k.effect.name()
+            ));
+        }
+        if self.findings.is_empty() {
+            s.push_str("findings: none\n");
+        } else {
+            for f in &self.findings {
+                s.push_str(&format!("{f}\n"));
+            }
+        }
+        s
+    }
+}
+
+/// A function definition found in the workspace.
+struct FnDef {
+    name: String,
+    qual: String,
+    file: String,
+    line: usize,
+    self_ty: Option<String>,
+    crate_name: Option<String>,
+    is_test: bool,
+    trusted: bool,
+    /// Line of a covering `lint:allow(nondet-reachable, why)` pragma.
+    allow_sink: Option<usize>,
+    intrinsic: Effect,
+    source: Option<(usize, String)>,
+}
+
+/// An unresolved call site.
+enum RawCall {
+    /// `name(..)` — plain path-less call.
+    Free { name: String },
+    /// `Type::name(..)` / `Self::name(..)`.
+    TypeQual { ty: String, name: String },
+    /// `module::name(..)` (lowercase qualifier).
+    ModQual { module: String, name: String },
+    /// `recv.name(..)`; `recv` is the locally inferred receiver type.
+    Method { name: String, recv: Option<String> },
+}
+
+#[derive(Default)]
+struct Builder {
+    fns: Vec<FnDef>,
+    calls: Vec<Vec<RawCall>>,
+    locals: Vec<BTreeMap<String, String>>,
+    findings: Vec<Finding>,
+    used_allow: BTreeSet<(String, usize)>,
+    trusted_sites: Vec<(String, usize)>,
+}
+
+/// Run the analysis over `(rel_path, contents)` sources against a sink
+/// list. Sources should be pre-sorted by path (as `collect_sources`
+/// returns them) for deterministic output.
+pub fn analyze(sources: &[(String, String)], sinks: &[SinkSpec]) -> FlowReport {
+    let mut b = Builder::default();
+    for (rel, src) in sources {
+        let ctx = FileCtx::new(rel, src);
+        extract_file(&ctx, &mut b);
+    }
+    resolve_and_check(b, sinks)
+}
+
+/// Words that look like `ident (` in token space but are not calls.
+const KEYWORDS: &[&str] = &[
+    "fn", "for", "if", "while", "match", "return", "in", "as", "let", "loop", "move", "mut", "ref",
+    "box", "unsafe", "where", "use", "pub", "crate", "super", "self", "Self", "dyn", "static",
+    "const", "break", "continue", "else", "async", "await", "type", "impl", "struct", "enum",
+    "union", "trait", "mod", "extern", "true", "false",
+];
+
+fn starts_upper(s: &str) -> bool {
+    s.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+}
+
+/// Integration tests, benches, and `#[cfg(test)]` bodies are test scope:
+/// they may be nondeterministic setup and are never callees of lib code.
+fn is_test_path(rel: &str) -> bool {
+    rel.starts_with("tests/") || rel.contains("/tests/") || rel.contains("/benches/")
+}
+
+/// Module path for qualification, derived from the file path:
+/// `crates/comms/src/world.rs` → `comms::world`,
+/// `crates/bench/src/bin/baseline.rs` → `bench::bin::baseline`,
+/// `src/lib.rs` → `hyades`, `tests/determinism.rs` → `tests::determinism`.
+fn module_path(rel: &str) -> String {
+    let stem = rel.strip_suffix(".rs").unwrap_or(rel);
+    let parts: Vec<&str> = stem.split('/').collect();
+    let mut segs: Vec<&str> = Vec::new();
+    match parts.as_slice() {
+        ["crates", c, "src", rest @ ..] => {
+            segs.push(c);
+            segs.extend(rest);
+        }
+        ["crates", c, rest @ ..] => {
+            segs.push(c);
+            segs.extend(rest);
+        }
+        ["src", rest @ ..] => {
+            segs.push("hyades");
+            segs.extend(rest);
+        }
+        rest => segs.extend(rest),
+    }
+    segs.retain(|s| !matches!(*s, "lib" | "main" | "mod"));
+    segs.join("::")
+}
+
+/// Skip a balanced `<…>` starting at `open`; returns the index after the
+/// matching `>` (bails at `{` / `;` / EOF).
+fn skip_angles(ctx: &FileCtx<'_>, open: usize) -> usize {
+    let mut depth = 0i64;
+    let mut j = open;
+    while j < ctx.code.len() {
+        match ctx.text(j) {
+            "<" => depth += 1,
+            "<<" => depth += 2,
+            ">" => {
+                depth -= 1;
+                if depth <= 0 {
+                    return j + 1;
+                }
+            }
+            ">>" => {
+                depth -= 2;
+                if depth <= 0 {
+                    return j + 1;
+                }
+            }
+            "(" | "[" => match ctx.bracket_partner(j) {
+                Some(p) => j = p,
+                None => return j,
+            },
+            "{" | ";" => return j,
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// For an `impl` at `i`, the subject type name (`impl Foo` → `Foo`,
+/// `impl Trait for Bar` → `Bar`) and the body-opening `{` index.
+fn impl_subject(ctx: &FileCtx<'_>, i: usize) -> Option<(String, usize)> {
+    let mut j = i + 1;
+    if ctx.is(j, "<") {
+        j = skip_angles(ctx, j);
+    }
+    let mut subject: Option<String> = None;
+    let mut reading = true;
+    while j < ctx.code.len() {
+        match ctx.text(j) {
+            "{" => return subject.map(|s| (s, j)),
+            ";" => return None,
+            "for" => {
+                subject = None;
+                reading = true;
+                j += 1;
+            }
+            "where" => {
+                reading = false;
+                j += 1;
+            }
+            "<" => j = skip_angles(ctx, j),
+            "(" | "[" => j = ctx.bracket_partner(j)? + 1,
+            _ => {
+                if reading
+                    && ctx.kind(j) == Some(TokKind::Ident)
+                    && !matches!(ctx.text(j), "dyn" | "mut")
+                {
+                    subject = Some(ctx.text(j).to_string());
+                }
+                j += 1;
+            }
+        }
+    }
+    None
+}
+
+/// First `{` from `start` (skipping groups and generics), or `None` if a
+/// `;` ends the item first (trait method declaration, `mod x;`).
+fn body_open(ctx: &FileCtx<'_>, start: usize) -> Option<usize> {
+    let mut j = start;
+    while j < ctx.code.len() {
+        match ctx.text(j) {
+            "{" => return Some(j),
+            ";" => return None,
+            "<" => j = skip_angles(ctx, j),
+            "(" | "[" => j = ctx.bracket_partner(j)? + 1,
+            _ => j += 1,
+        }
+    }
+    None
+}
+
+/// Parameter types for local receiver inference: `x: Type`,
+/// `x: &mut Type` (path heads and generics are ignored — only a leading
+/// uppercase ident counts).
+fn param_types(ctx: &FileCtx<'_>, name_idx: usize) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    let mut j = name_idx + 1;
+    if ctx.is(j, "<") {
+        j = skip_angles(ctx, j);
+    }
+    if !ctx.is(j, "(") {
+        return out;
+    }
+    let Some(close) = ctx.bracket_partner(j) else {
+        return out;
+    };
+    for p in j + 1..close {
+        if ctx.kind(p) == Some(TokKind::Ident)
+            && ctx.is(p + 1, ":")
+            && (p == j + 1 || matches!(ctx.text(p - 1), "," | "(" | "mut"))
+        {
+            let mut k = p + 2;
+            while matches!(ctx.text(k), "&" | "mut" | "dyn")
+                || ctx.kind(k) == Some(TokKind::Lifetime)
+            {
+                k += 1;
+            }
+            if ctx.kind(k) == Some(TokKind::Ident) && starts_upper(ctx.text(k)) {
+                out.insert(ctx.text(p).to_string(), ctx.text(k).to_string());
+            }
+        }
+    }
+    out
+}
+
+/// `let [mut] x: Type = ..` / `let [mut] x = [path::]Type::ctor(..)` /
+/// `let x = Type { .. }` — record `x: Type`.
+fn record_let(ctx: &FileCtx<'_>, i: usize, locals: &mut BTreeMap<String, String>) {
+    let mut j = i + 1;
+    if ctx.is(j, "mut") {
+        j += 1;
+    }
+    if ctx.kind(j) != Some(TokKind::Ident) {
+        return;
+    }
+    let var = ctx.text(j).to_string();
+    if ctx.is(j + 1, ":") {
+        let mut k = j + 2;
+        while matches!(ctx.text(k), "&" | "mut" | "dyn") || ctx.kind(k) == Some(TokKind::Lifetime) {
+            k += 1;
+        }
+        if ctx.kind(k) == Some(TokKind::Ident) && starts_upper(ctx.text(k)) {
+            locals.insert(var, ctx.text(k).to_string());
+        }
+        return;
+    }
+    if !ctx.is(j + 1, "=") {
+        return;
+    }
+    let mut k = j + 2;
+    loop {
+        if ctx.kind(k) != Some(TokKind::Ident) {
+            return;
+        }
+        if starts_upper(ctx.text(k)) {
+            let ctor_call = ctx.is(k + 1, "::")
+                && ctx.kind(k + 2) == Some(TokKind::Ident)
+                && ctx.is(k + 3, "(");
+            let struct_lit = ctx.is(k + 1, "{");
+            if ctor_call || struct_lit {
+                locals.insert(var, ctx.text(k).to_string());
+            }
+            return;
+        }
+        // Walk over a lowercase `path::` prefix.
+        if ctx.is(k + 1, "::") {
+            k += 2;
+        } else {
+            return;
+        }
+    }
+}
+
+/// Which pragma (by line) covers a source on `line` for `rule`, if any.
+fn covering_pragma(ctx: &FileCtx<'_>, rule: &str, line: usize) -> Option<usize> {
+    ctx.pragmas
+        .iter()
+        .find(|p| {
+            p.rule == rule && p.has_reason && (p.line == line || (p.own_line && p.line + 1 == line))
+        })
+        .map(|p| p.line)
+}
+
+/// The intrinsic-source catalog: does token `i` read nondeterminism (or
+/// seed-scoped determinism) into the enclosing function? Returns
+/// (effect, description, suppressing per-file rule if one exists).
+fn detect_source(
+    ctx: &FileCtx<'_>,
+    i: usize,
+    hash_names: &BTreeSet<String>,
+) -> Option<(Effect, String, Option<&'static str>)> {
+    let t = &ctx.code[i];
+    let bench = ctx.scope.crate_name.as_deref() == Some("bench");
+    let dotted = i >= 1 && ctx.is(i - 1, ".");
+    let pathed = |seg: &str| i >= 2 && ctx.is(i - 1, "::") && ctx.is_ident(i - 2, seg);
+    match t.text {
+        // Wall-clock (crates/bench is exempt, mirroring instant-wallclock).
+        "SystemTime" if !bench => Some((
+            Effect::Nondet,
+            "wall-clock `SystemTime`".to_string(),
+            Some(INSTANT_WALLCLOCK),
+        )),
+        "Instant"
+            if !bench
+                && (pathed("time") || (ctx.is(i + 1, "::") && ctx.is_ident(i + 2, "now"))) =>
+        {
+            Some((
+                Effect::Nondet,
+                "wall-clock `Instant`".to_string(),
+                Some(INSTANT_WALLCLOCK),
+            ))
+        }
+        // Unseeded randomness.
+        "thread_rng" | "from_entropy" => Some((
+            Effect::Nondet,
+            format!("unseeded RNG `{}`", t.text),
+            Some(UNSEEDED_RNG),
+        )),
+        "random" if pathed("rand") => Some((
+            Effect::Nondet,
+            "unseeded RNG `rand::random`".to_string(),
+            Some(UNSEEDED_RNG),
+        )),
+        // Thread identity.
+        "current" if pathed("thread") => Some((
+            Effect::Nondet,
+            "thread identity `thread::current`".to_string(),
+            None,
+        )),
+        "ThreadId" => Some((
+            Effect::Nondet,
+            "thread identity `ThreadId`".to_string(),
+            None,
+        )),
+        // Environment / CLI reads.
+        "var" | "vars" | "var_os" | "args" | "args_os" if pathed("env") => Some((
+            Effect::Nondet,
+            format!("environment read `env::{}`", t.text),
+            None,
+        )),
+        // Atomic read-modify-write: result depends on thread interleaving.
+        "fetch_add"
+        | "fetch_sub"
+        | "fetch_and"
+        | "fetch_or"
+        | "fetch_xor"
+        | "fetch_update"
+        | "fetch_min"
+        | "fetch_max"
+        | "compare_exchange"
+        | "compare_exchange_weak"
+            if dotted && ctx.is(i + 1, "(") =>
+        {
+            Some((
+                Effect::Nondet,
+                format!("atomic read-modify-write `.{}()`", t.text),
+                None,
+            ))
+        }
+        // Seed-scoped determinism.
+        "SplitMix64" | "seed_from_u64" => Some((
+            Effect::DetModuloSeed,
+            format!("seeded RNG `{}`", t.text),
+            None,
+        )),
+        // `for x in hash_container` iteration.
+        "for" => {
+            let (idx, name) = for_in_subject(ctx, i)?;
+            (hash_names.contains(name) && !ctx.is(idx + 1, ".")).then(|| {
+                (
+                    Effect::Nondet,
+                    format!("hash-container iteration `for .. in {name}`"),
+                    Some(HASH_ITERATION),
+                )
+            })
+        }
+        // `.par_iter()` family: scheduling-dependent order.
+        m if PAR_METHODS.contains(&m) && dotted => Some((
+            Effect::Nondet,
+            format!("parallel iterator `.{m}()`"),
+            Some(FLOAT_REDUCE_UNORDERED),
+        )),
+        // `hash_recv.iter()` family.
+        m if ITERATION_METHODS.contains(&m)
+            && dotted
+            && ctx.is(i + 1, "(")
+            && i >= 2
+            && ctx.kind(i - 2) == Some(TokKind::Ident)
+            && hash_names.contains(ctx.text(i - 2)) =>
+        {
+            Some((
+                Effect::Nondet,
+                format!("hash-container iteration `{}.{m}()`", ctx.text(i - 2)),
+                Some(HASH_ITERATION),
+            ))
+        }
+        _ => None,
+    }
+}
+
+fn apply_source(f: &mut FnDef, eff: Effect, line: usize, what: String) {
+    if eff > f.intrinsic || f.source.is_none() {
+        if eff >= f.intrinsic {
+            f.source = Some((line, what));
+        }
+        if eff > f.intrinsic {
+            f.intrinsic = eff;
+        }
+    }
+}
+
+/// One ident token inside a function body: record sources, `let` type
+/// bindings, and call sites.
+fn scan_token(
+    ctx: &FileCtx<'_>,
+    i: usize,
+    fid: usize,
+    hash_names: &BTreeSet<String>,
+    b: &mut Builder,
+) {
+    let t = &ctx.code[i];
+    if t.text == "let" {
+        record_let(ctx, i, &mut b.locals[fid]);
+        return;
+    }
+    if let Some((eff, what, allow_rule)) = detect_source(ctx, i, hash_names) {
+        let line = ctx.line(i);
+        let suppressed = allow_rule
+            .and_then(|rule| covering_pragma(ctx, rule, line))
+            .map(|pline| b.used_allow.insert((ctx.rel_path.to_string(), pline)))
+            .is_some();
+        if !suppressed {
+            apply_source(&mut b.fns[fid], eff, line, what);
+        }
+    }
+    if KEYWORDS.contains(&t.text) {
+        return;
+    }
+    let after = ctx.skip_turbofish(i + 1);
+    let is_call = if after > i + 1 {
+        ctx.is(after, "(")
+    } else {
+        ctx.is(i + 1, "(")
+    };
+    if !is_call {
+        return;
+    }
+    let name = t.text.to_string();
+    let call = if i >= 1 && ctx.is(i - 1, ".") {
+        let (base, _) = ctx.chain_back(i - 1);
+        let recv = match base {
+            Some("self") => b.fns[fid].self_ty.clone(),
+            Some(v) => b.locals[fid].get(v).cloned(),
+            None => None,
+        };
+        RawCall::Method { name, recv }
+    } else if i >= 2 && ctx.is(i - 1, "::") && ctx.kind(i - 2) == Some(TokKind::Ident) {
+        let seg = ctx.text(i - 2);
+        if seg == "Self" {
+            match b.fns[fid].self_ty.clone() {
+                Some(ty) => RawCall::TypeQual { ty, name },
+                None => RawCall::Free { name },
+            }
+        } else if starts_upper(seg) {
+            RawCall::TypeQual {
+                ty: seg.to_string(),
+                name,
+            }
+        } else if matches!(seg, "crate" | "super" | "self") {
+            RawCall::Free { name }
+        } else {
+            RawCall::ModQual {
+                module: seg.to_string(),
+                name,
+            }
+        }
+    } else if i >= 1 && ctx.is(i - 1, "::") {
+        // `<T as Trait>::name(..)`: qualifier unknown, over-approximate.
+        RawCall::Method { name, recv: None }
+    } else {
+        RawCall::Free { name }
+    };
+    b.calls[fid].push(call);
+}
+
+/// Symbol-table + call-site extraction for one file.
+fn extract_file(ctx: &FileCtx<'_>, b: &mut Builder) {
+    let base = module_path(ctx.rel_path);
+    let path_test = is_test_path(ctx.rel_path);
+    let hash_names = ctx.bound_names(&["HashMap", "HashSet"]);
+    let first_fn = b.fns.len();
+
+    struct Scope {
+        close: usize,
+        seg: Option<String>,
+        ty: Option<String>,
+        fn_id: Option<usize>,
+    }
+    let mut scopes: Vec<Scope> = Vec::new();
+    let mut i = 0usize;
+    while i < ctx.code.len() {
+        while scopes.last().is_some_and(|s| i > s.close) {
+            scopes.pop();
+        }
+        let Some(t) = ctx.code.get(i) else { break };
+        if t.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        match t.text {
+            "impl" => {
+                if let Some((subject, bopen)) = impl_subject(ctx, i) {
+                    if let Some(close) = ctx.bracket_partner(bopen) {
+                        scopes.push(Scope {
+                            close,
+                            seg: Some(subject.clone()),
+                            ty: Some(subject),
+                            fn_id: None,
+                        });
+                        i = bopen + 1;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            "trait" if ctx.kind(i + 1) == Some(TokKind::Ident) => {
+                let subject = ctx.text(i + 1).to_string();
+                if let Some(bopen) = body_open(ctx, i + 2) {
+                    if let Some(close) = ctx.bracket_partner(bopen) {
+                        scopes.push(Scope {
+                            close,
+                            seg: Some(subject.clone()),
+                            ty: Some(subject),
+                            fn_id: None,
+                        });
+                        i = bopen + 1;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            "mod" if ctx.kind(i + 1) == Some(TokKind::Ident) && ctx.is(i + 2, "{") => {
+                match ctx.bracket_partner(i + 2) {
+                    Some(close) => {
+                        scopes.push(Scope {
+                            close,
+                            seg: Some(ctx.text(i + 1).to_string()),
+                            ty: None,
+                            fn_id: None,
+                        });
+                        i += 3;
+                    }
+                    None => i += 1,
+                }
+            }
+            // Skip the name so tuple-struct `Name(..)` defs are not calls.
+            "struct" | "enum" | "union" => i += 2,
+            "fn" if ctx.kind(i + 1) == Some(TokKind::Ident) => {
+                let name_idx = i + 1;
+                let Some(bopen) = body_open(ctx, name_idx + 1) else {
+                    i = name_idx + 1; // bodyless trait method
+                    continue;
+                };
+                let Some(close) = ctx.bracket_partner(bopen) else {
+                    i = name_idx + 1;
+                    continue;
+                };
+                let cur_ty = scopes.iter().rev().find_map(|s| s.ty.clone());
+                let line = ctx.line(i);
+                let mut qual = base.clone();
+                for s in &scopes {
+                    if let Some(seg) = &s.seg {
+                        if !qual.is_empty() {
+                            qual.push_str("::");
+                        }
+                        qual.push_str(seg);
+                    }
+                }
+                if !qual.is_empty() {
+                    qual.push_str("::");
+                }
+                qual.push_str(ctx.text(name_idx));
+                let trusted = ctx.trusted.iter().any(|p| {
+                    p.has_reason && (p.line == line || (p.own_line && p.line + 1 == line))
+                });
+                let allow_sink = ctx
+                    .pragmas
+                    .iter()
+                    .find(|p| {
+                        p.rule == NONDET_REACHABLE
+                            && p.has_reason
+                            && (p.line == line || (p.own_line && p.line + 1 == line))
+                    })
+                    .map(|p| p.line);
+                let id = b.fns.len();
+                // Methods of the seeded RNG are DetModuloSeed by
+                // construction even when their bodies only touch state.
+                let (intrinsic, source) = if cur_ty.as_deref() == Some("SplitMix64") {
+                    (
+                        Effect::DetModuloSeed,
+                        Some((line, "method of seeded RNG `SplitMix64`".to_string())),
+                    )
+                } else {
+                    (Effect::Det, None)
+                };
+                b.fns.push(FnDef {
+                    name: ctx.text(name_idx).to_string(),
+                    qual,
+                    file: ctx.rel_path.to_string(),
+                    line,
+                    self_ty: cur_ty,
+                    crate_name: ctx.scope.crate_name.clone(),
+                    is_test: path_test || ctx.in_test[i],
+                    trusted,
+                    allow_sink,
+                    intrinsic,
+                    source,
+                });
+                b.calls.push(Vec::new());
+                b.locals.push(param_types(ctx, name_idx));
+                scopes.push(Scope {
+                    close,
+                    seg: Some(ctx.text(name_idx).to_string()),
+                    ty: None,
+                    fn_id: Some(id),
+                });
+                i = name_idx + 1;
+            }
+            _ => {
+                if let Some(fid) = scopes.iter().rev().find_map(|s| s.fn_id) {
+                    scan_token(ctx, i, fid, &hash_names, b);
+                }
+                i += 1;
+            }
+        }
+    }
+
+    // det-trusted audit: reasonless pragmas are bad, unattached ones are
+    // stale; valid attached ones join the pragma budget.
+    for tp in &ctx.trusted {
+        if !tp.has_reason {
+            b.findings.push(Finding {
+                rel_path: ctx.rel_path.to_string(),
+                line: tp.line,
+                rule: BAD_PRAGMA,
+                message: "lint:det-trusted() needs a reason: lint:det-trusted(why)".to_string(),
+            });
+            continue;
+        }
+        let attached = b.fns[first_fn..]
+            .iter()
+            .any(|f| f.line == tp.line || (tp.own_line && tp.line + 1 == f.line));
+        if attached {
+            b.trusted_sites.push((ctx.rel_path.to_string(), tp.line));
+        } else {
+            b.findings.push(Finding {
+                rel_path: ctx.rel_path.to_string(),
+                line: tp.line,
+                rule: UNUSED_PRAGMA,
+                message: "lint:det-trusted(..) attaches to no `fn` on this or the next line"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Call-graph resolution, effect fixpoint, and the sink check.
+fn resolve_and_check(mut b: Builder, sinks: &[SinkSpec]) -> FlowReport {
+    let n = b.fns.len();
+    let mut methods: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+    let mut methods_by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    let mut free_by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (id, f) in b.fns.iter().enumerate() {
+        match &f.self_ty {
+            Some(ty) => {
+                methods
+                    .entry((ty.clone(), f.name.clone()))
+                    .or_default()
+                    .push(id);
+                methods_by_name.entry(f.name.clone()).or_default().push(id);
+            }
+            None => free_by_name.entry(f.name.clone()).or_default().push(id),
+        }
+    }
+
+    let mut edges: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+    for caller in 0..n {
+        let caller_test = b.fns[caller].is_test;
+        for call in &b.calls[caller] {
+            let cands: Vec<usize> = match call {
+                RawCall::Free { name } => {
+                    let all = free_by_name.get(name).cloned().unwrap_or_default();
+                    let same_file: Vec<usize> = all
+                        .iter()
+                        .copied()
+                        .filter(|&c| b.fns[c].file == b.fns[caller].file)
+                        .collect();
+                    if !same_file.is_empty() {
+                        same_file
+                    } else {
+                        let same_crate: Vec<usize> = all
+                            .iter()
+                            .copied()
+                            .filter(|&c| {
+                                b.fns[c].crate_name.is_some()
+                                    && b.fns[c].crate_name == b.fns[caller].crate_name
+                            })
+                            .collect();
+                        if !same_crate.is_empty() {
+                            same_crate
+                        } else {
+                            all
+                        }
+                    }
+                }
+                RawCall::TypeQual { ty, name } => methods
+                    .get(&(ty.clone(), name.clone()))
+                    .cloned()
+                    .unwrap_or_default(),
+                RawCall::ModQual { module, name } => free_by_name
+                    .get(name)
+                    .map(|all| {
+                        let tail = format!("::{module}::{name}");
+                        let exact = format!("{module}::{name}");
+                        all.iter()
+                            .copied()
+                            .filter(|&c| b.fns[c].qual.ends_with(&tail) || b.fns[c].qual == exact)
+                            .collect()
+                    })
+                    .unwrap_or_default(),
+                RawCall::Method { name, recv } => {
+                    let keyed = recv
+                        .as_ref()
+                        .and_then(|ty| methods.get(&(ty.clone(), name.clone())))
+                        .cloned();
+                    match keyed {
+                        Some(v) if !v.is_empty() => v,
+                        _ => methods_by_name.get(name).cloned().unwrap_or_default(),
+                    }
+                }
+            };
+            for c in cands {
+                if c == caller {
+                    continue;
+                }
+                // Test scope is never a callee of non-test code.
+                if !caller_test && b.fns[c].is_test {
+                    continue;
+                }
+                edges[caller].insert(c);
+            }
+        }
+    }
+    let call_edges = edges.iter().map(BTreeSet::len).sum();
+
+    // Fixpoint: effect(f) = max(intrinsic, max over callees); `via`
+    // remembers which callee last raised f, for witness chains.
+    let mut effect: Vec<Effect> = b
+        .fns
+        .iter()
+        .map(|f| if f.trusted { Effect::Det } else { f.intrinsic })
+        .collect();
+    let mut via: Vec<Option<usize>> = vec![None; n];
+    loop {
+        let mut changed = false;
+        for f in 0..n {
+            if b.fns[f].trusted {
+                continue;
+            }
+            for &g in &edges[f] {
+                if effect[g] > effect[f] {
+                    effect[f] = effect[g];
+                    via[f] = Some(g);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let chain_of = |start: usize| -> Vec<usize> {
+        let mut out = vec![start];
+        let mut seen = BTreeSet::from([start]);
+        let mut cur = start;
+        while !b.fns[cur].trusted && effect[cur] > b.fns[cur].intrinsic {
+            let Some(nx) = via[cur] else { break };
+            if !seen.insert(nx) {
+                break;
+            }
+            out.push(nx);
+            cur = nx;
+        }
+        out
+    };
+
+    let mut sink_results: Vec<SinkResult> = Vec::new();
+    for spec in sinks {
+        let matches: Vec<usize> = (0..n)
+            .filter(|&f| {
+                b.fns[f].name == spec.name
+                    && b.fns[f].file.contains(spec.path_hint)
+                    && !b.fns[f].is_test
+            })
+            .collect();
+        if matches.is_empty() {
+            b.findings.push(Finding {
+                rel_path: spec.path_hint.trim_end_matches('/').to_string(),
+                line: 0,
+                rule: NONDET_REACHABLE,
+                message: format!(
+                    "declared sink `{}` ({}) not found; update flow::WORKSPACE_SINKS or restore the function",
+                    spec.name, spec.what
+                ),
+            });
+            continue;
+        }
+        for m in matches {
+            let ch = chain_of(m);
+            let terminal = *ch.last().expect("chain starts at the sink");
+            let chain_quals: Vec<String> = ch.iter().map(|&f| b.fns[f].qual.clone()).collect();
+            if effect[m] == Effect::Nondet {
+                if let Some(pline) = b.fns[m].allow_sink {
+                    b.used_allow.insert((b.fns[m].file.clone(), pline));
+                } else {
+                    let src_txt = b.fns[terminal]
+                        .source
+                        .as_ref()
+                        .map(|(l, w)| format!("{w} at {}:{l}", b.fns[terminal].file))
+                        .unwrap_or_else(|| "unresolved source".to_string());
+                    b.findings.push(Finding {
+                        rel_path: b.fns[m].file.clone(),
+                        line: b.fns[m].line,
+                        rule: NONDET_REACHABLE,
+                        message: format!(
+                            "sink `{}` ({}) transitively reaches Nondet `{}` ({}); chain: {}",
+                            b.fns[m].qual,
+                            spec.what,
+                            b.fns[terminal].qual,
+                            src_txt,
+                            chain_quals.join(" -> ")
+                        ),
+                    });
+                }
+            }
+            sink_results.push(SinkResult {
+                name: spec.name,
+                what: spec.what,
+                qual: b.fns[m].qual.clone(),
+                file: b.fns[m].file.clone(),
+                line: b.fns[m].line,
+                effect: effect[m],
+                chain: chain_quals,
+            });
+        }
+    }
+
+    let mut fns_out: Vec<FnEffect> = (0..n)
+        .map(|f| FnEffect {
+            qual: b.fns[f].qual.clone(),
+            file: b.fns[f].file.clone(),
+            line: b.fns[f].line,
+            effect: effect[f],
+            is_test: b.fns[f].is_test,
+            trusted: b.fns[f].trusted,
+            source: b.fns[f].source.clone(),
+        })
+        .collect();
+    fns_out.sort_by(|a, z| (&a.qual, &a.file, a.line).cmp(&(&z.qual, &z.file, z.line)));
+    let mut trusted: Vec<String> = b
+        .fns
+        .iter()
+        .filter(|f| f.trusted)
+        .map(|f| f.qual.clone())
+        .collect();
+    trusted.sort();
+    b.findings.sort();
+    b.findings.dedup();
+    b.trusted_sites.sort();
+
+    FlowReport {
+        functions: n,
+        call_edges,
+        fns: fns_out,
+        sinks: sink_results,
+        trusted,
+        trusted_sites: b.trusted_sites,
+        used_allow: b.used_allow,
+        findings: b.findings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(path: &str, src: &str, sinks: &[SinkSpec]) -> FlowReport {
+        analyze(&[(path.to_string(), src.to_string())], sinks)
+    }
+
+    const SINK_PUBLISH: &[SinkSpec] = &[SinkSpec {
+        name: "publish_sum",
+        path_hint: "crates/comms/src/",
+        what: "comms reduction",
+    }];
+
+    fn effect_of<'r>(r: &'r FlowReport, qual: &str) -> &'r FnEffect {
+        r.fns.iter().find(|f| f.qual == qual).unwrap_or_else(|| {
+            panic!(
+                "no fn {qual} in {:?}",
+                r.fns.iter().map(|f| &f.qual).collect::<Vec<_>>()
+            )
+        })
+    }
+
+    #[test]
+    fn clean_chain_is_det() {
+        let src = "fn combine(a: f64, b: f64) -> f64 { a + b }\n\
+                   fn accumulate(xs: &[f64]) -> f64 { let mut acc = 0.0; for &x in xs { acc = combine(acc, x); } acc }\n\
+                   pub fn publish_sum(xs: &[f64]) -> f64 { accumulate(xs) }\n";
+        let r = one("crates/comms/src/flowdemo.rs", src, SINK_PUBLISH);
+        assert_eq!(r.functions, 3);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.sinks.len(), 1);
+        assert_eq!(r.sinks[0].effect, Effect::Det);
+    }
+
+    #[test]
+    fn wallclock_chain_reaches_sink() {
+        let src = "fn stamp() -> u64 { std::time::SystemTime::now().elapsed().unwrap().as_nanos() as u64 }\n\
+                   fn jitter(x: f64) -> f64 { x + stamp() as f64 }\n\
+                   pub fn publish_sum(xs: &[f64]) -> f64 { let mut s = 0.0; for &x in xs { s += jitter(x); } s }\n";
+        let r = one("crates/comms/src/flowdemo.rs", src, SINK_PUBLISH);
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        let f = &r.findings[0];
+        assert_eq!(f.rule, NONDET_REACHABLE);
+        assert!(f.message.contains("SystemTime"), "{}", f.message);
+        assert!(
+            f.message.contains("publish_sum -> "),
+            "witness chain missing: {}",
+            f.message
+        );
+        assert_eq!(r.sinks[0].effect, Effect::Nondet);
+    }
+
+    #[test]
+    fn det_trusted_pins_function_and_is_audited() {
+        let src = "// lint:det-trusted(stamp is mocked to a constant in sim builds)\n\
+                   fn stamp() -> u64 { std::time::SystemTime::now().elapsed().unwrap().as_nanos() as u64 }\n\
+                   pub fn publish_sum(xs: &[f64]) -> f64 { xs.len() as f64 + stamp() as f64 }\n";
+        let r = one("crates/comms/src/flowdemo.rs", src, SINK_PUBLISH);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.sinks[0].effect, Effect::Det);
+        assert_eq!(r.trusted, vec!["comms::flowdemo::stamp".to_string()]);
+        assert_eq!(
+            r.trusted_sites,
+            vec![("crates/comms/src/flowdemo.rs".to_string(), 1)]
+        );
+    }
+
+    #[test]
+    fn det_trusted_without_reason_or_target_is_flagged() {
+        let src = "// lint:det-trusted()\n\
+                   fn a() {}\n\
+                   // lint:det-trusted(floating in space)\n\
+                   let x = 1;\n";
+        let r = one("crates/comms/src/flowdemo.rs", src, &[]);
+        let rules_hit: Vec<&str> = r.findings.iter().map(|f| f.rule).collect();
+        assert_eq!(
+            rules_hit,
+            vec![BAD_PRAGMA, UNUSED_PRAGMA],
+            "{:?}",
+            r.findings
+        );
+    }
+
+    #[test]
+    fn test_scope_is_not_resolved_from_lib_code() {
+        let src = "fn scale(x: f64) -> f64 { 2.0 * x }\n\
+                   pub fn publish_sum(xs: &[f64]) -> f64 { let mut s = 0.0; for &x in xs { s += scale(x); } s }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn scale(x: f64) -> f64 { x * rand::thread_rng() }\n\
+                       #[test]\n\
+                       fn t() { assert!(scale(1.0) >= 0.0); }\n\
+                   }\n";
+        let r = one("crates/comms/src/flowdemo.rs", src, SINK_PUBLISH);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.sinks[0].effect, Effect::Det);
+        let test_scale = effect_of(&r, "comms::flowdemo::tests::scale");
+        assert!(test_scale.is_test);
+        assert_eq!(test_scale.effect, Effect::Nondet);
+    }
+
+    #[test]
+    fn allow_pragma_removes_source_and_is_recorded() {
+        let src = "fn throughput() -> u64 {\n\
+                       // lint:allow(instant-wallclock, human-facing banner only)\n\
+                       let t0 = std::time::Instant::now();\n\
+                       t0.elapsed().as_nanos() as u64\n\
+                   }\n\
+                   pub fn publish_sum(xs: &[f64]) -> f64 { throughput() as f64 + xs.len() as f64 }\n";
+        let r = one("crates/comms/src/flowdemo.rs", src, SINK_PUBLISH);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.sinks[0].effect, Effect::Det);
+        assert!(r
+            .used_allow
+            .contains(&("crates/comms/src/flowdemo.rs".to_string(), 2)));
+    }
+
+    #[test]
+    fn sink_level_allow_waives_and_is_recorded() {
+        let src = "fn stamp() -> u64 { std::time::SystemTime::now().elapsed().unwrap().as_nanos() as u64 }\n\
+                   // lint:allow(nondet-reachable, demo waiver)\n\
+                   pub fn publish_sum(xs: &[f64]) -> f64 { stamp() as f64 + xs.len() as f64 }\n";
+        let r = one("crates/comms/src/flowdemo.rs", src, SINK_PUBLISH);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.sinks[0].effect, Effect::Nondet);
+        assert!(r
+            .used_allow
+            .contains(&("crates/comms/src/flowdemo.rs".to_string(), 2)));
+    }
+
+    #[test]
+    fn missing_sink_is_a_finding() {
+        let r = one("crates/comms/src/flowdemo.rs", "fn f() {}\n", SINK_PUBLISH);
+        assert_eq!(r.findings.len(), 1);
+        assert!(r.findings[0].message.contains("not found"));
+        assert_eq!(r.findings[0].rule, NONDET_REACHABLE);
+    }
+
+    #[test]
+    fn cross_file_module_resolution() {
+        let helper = "pub fn now_ms() -> u64 { std::time::SystemTime::now().elapsed().unwrap().as_millis() as u64 }\n";
+        let world = "pub fn publish_sum(xs: &[f64]) -> f64 { crate::clock::now_ms() as f64 }\n";
+        let r = analyze(
+            &[
+                ("crates/comms/src/clock.rs".to_string(), helper.to_string()),
+                ("crates/comms/src/world2.rs".to_string(), world.to_string()),
+            ],
+            SINK_PUBLISH,
+        );
+        // `crate::clock::now_ms(..)` parses as `clock::now_ms` ModQual.
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        assert!(r.findings[0].message.contains("now_ms"));
+    }
+
+    #[test]
+    fn method_resolution_prefers_inferred_receiver_type() {
+        let src = "struct Fast;\n\
+                   impl Fast { fn step(&self) -> u64 { 1 } }\n\
+                   struct Slow;\n\
+                   impl Slow { fn step(&self) -> u64 { std::time::SystemTime::now().elapsed().unwrap().as_nanos() as u64 } }\n\
+                   pub fn publish_sum(xs: &[f64]) -> f64 { let f = Fast; let f: Fast = f; f.step() as f64 }\n";
+        let r = one("crates/comms/src/flowdemo.rs", src, SINK_PUBLISH);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.sinks[0].effect, Effect::Det);
+        assert_eq!(
+            effect_of(&r, "comms::flowdemo::Slow::step").effect,
+            Effect::Nondet
+        );
+    }
+
+    #[test]
+    fn unknown_receiver_over_approximates_to_all_methods() {
+        let src = "struct Fast;\n\
+                   impl Fast { fn step(&self) -> u64 { 1 } }\n\
+                   struct Slow;\n\
+                   impl Slow { fn step(&self) -> u64 { std::time::SystemTime::now().elapsed().unwrap().as_nanos() as u64 } }\n\
+                   pub fn publish_sum(w: &W) -> f64 { w.step() as f64 }\n";
+        let r = one("crates/comms/src/flowdemo.rs", src, SINK_PUBLISH);
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        assert_eq!(r.sinks[0].effect, Effect::Nondet);
+    }
+
+    #[test]
+    fn splitmix_marks_det_modulo_seed() {
+        let src = "struct SplitMix64 { s: u64 }\n\
+                   impl SplitMix64 { fn new(seed: u64) -> Self { SplitMix64 { s: seed } } fn next_u64(&mut self) -> u64 { self.s } }\n\
+                   pub fn publish_sum(seed: u64) -> f64 { let mut r = SplitMix64::new(seed); r.next_u64() as f64 }\n";
+        let r = one("crates/comms/src/flowdemo.rs", src, SINK_PUBLISH);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.sinks[0].effect, Effect::DetModuloSeed);
+    }
+
+    #[test]
+    fn trait_default_bodies_are_graph_nodes() {
+        let src = "trait World {\n\
+                       fn leaf(&mut self) -> f64;\n\
+                       fn publish_sum(&mut self) -> f64 { self.leaf() }\n\
+                   }\n\
+                   struct T;\n\
+                   impl World for T { fn leaf(&mut self) -> f64 { std::env::args().count() as f64 } }\n";
+        let r = one("crates/comms/src/flowdemo.rs", src, SINK_PUBLISH);
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        assert!(
+            r.findings[0].message.contains("env::args"),
+            "{}",
+            r.findings[0].message
+        );
+    }
+
+    #[test]
+    fn hash_iteration_and_atomics_are_sources() {
+        let src = "pub fn publish_sum() -> f64 {\n\
+                       let mut m = HashMap::new();\n\
+                       m.insert(1u32, 2.0f64);\n\
+                       let mut s = 0.0;\n\
+                       for v in m.values() { s += v; }\n\
+                       s\n\
+                   }\n\
+                   fn bump(c: &AtomicU64) -> u64 { c.fetch_add(1, Ordering::Relaxed) }\n";
+        let r = one("crates/comms/src/flowdemo.rs", src, SINK_PUBLISH);
+        assert_eq!(r.sinks[0].effect, Effect::Nondet);
+        assert_eq!(
+            effect_of(&r, "comms::flowdemo::bump").effect,
+            Effect::Nondet
+        );
+    }
+
+    #[test]
+    fn render_golden_is_stable() {
+        let src = "fn a() {}\npub fn publish_sum() -> f64 { a(); 0.0 }\n";
+        let r = one("crates/comms/src/flowdemo.rs", src, SINK_PUBLISH);
+        let g1 = r.render_golden();
+        let r2 = one("crates/comms/src/flowdemo.rs", src, SINK_PUBLISH);
+        assert_eq!(g1, r2.render_golden());
+        assert!(g1.contains("fn comms::flowdemo::a Det\n"), "{g1}");
+        assert!(
+            g1.contains("sink publish_sum (comms reduction) comms::flowdemo::publish_sum Det\n")
+        );
+        assert!(g1.ends_with("findings: none\n"));
+    }
+
+    #[test]
+    fn module_paths() {
+        assert_eq!(module_path("crates/comms/src/world.rs"), "comms::world");
+        assert_eq!(module_path("crates/comms/src/lib.rs"), "comms");
+        assert_eq!(
+            module_path("crates/des/src/experiments/mod.rs"),
+            "des::experiments"
+        );
+        assert_eq!(
+            module_path("crates/bench/src/bin/baseline.rs"),
+            "bench::bin::baseline"
+        );
+        assert_eq!(module_path("src/lib.rs"), "hyades");
+        assert_eq!(module_path("tests/determinism.rs"), "tests::determinism");
+        assert_eq!(
+            module_path("examples/ocean_gyre.rs"),
+            "examples::ocean_gyre"
+        );
+    }
+}

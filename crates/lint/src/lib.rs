@@ -9,11 +9,14 @@
 //!
 //! Since PR 4 the engine is a real static-analysis layer: [`lexer`] is a
 //! hand-rolled Rust lexer (string/comment/raw-string aware, spans),
-//! [`passes`] the match-tree API rules are written against, and two
+//! [`passes`] the match-tree API rules are written against, and three
 //! whole-program analyzers go beyond per-file rules — [`schedule`]
 //! proves the comms exchange/gsum schedules deadlock-free and tag-unique
-//! statically, and [`hb`] is a vector-clock happens-before checker over
-//! recorded ThreadWorld event streams.
+//! statically, [`hb`] is a vector-clock happens-before checker over
+//! recorded ThreadWorld event streams, and [`flow`] infers a
+//! determinism effect (`Det`/`DetModuloSeed`/`Nondet`) for every
+//! function over the workspace call graph and proves the declared sinks
+//! (reductions, exporters, traces) never reach `Nondet` code.
 //!
 //! Runs two ways:
 //!
@@ -24,6 +27,7 @@
 //!   plain `cargo test` enforces the rules in CI.
 
 pub mod baseline;
+pub mod flow;
 pub mod hb;
 pub mod lexer;
 pub mod passes;
@@ -102,6 +106,8 @@ pub struct LintReport {
     pub notes: Vec<String>,
     /// Files scanned.
     pub files_scanned: usize,
+    /// Functions in the interprocedural effect table ([`flow`]).
+    pub effect_fns: usize,
 }
 
 impl LintReport {
@@ -125,6 +131,7 @@ impl LintReport {
     /// stable sorted order, so CI can diff runs textually.
     pub fn render_json(&self) -> String {
         let mut s = String::from("{\n");
+        s.push_str(&format!("  \"effect_fns\": {},\n", self.effect_fns));
         s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
         s.push_str("  \"notes\": [");
         for (i, n) in self.notes.iter().enumerate() {
@@ -155,6 +162,19 @@ impl LintReport {
         s.push_str("}\n");
         s
     }
+
+    /// Stable one-line machine-readable summary for shell consumers
+    /// (`scripts/check.sh`), replacing ad-hoc scraping of the JSON
+    /// report. Field order is part of the contract.
+    pub fn render_summary(&self) -> String {
+        format!(
+            "hyades-lint: files={} violations={} effect-table={} notes={}",
+            self.files_scanned,
+            self.violations.len(),
+            self.effect_fns,
+            self.notes.len()
+        )
+    }
 }
 
 fn json_escape(s: &str) -> String {
@@ -173,14 +193,21 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// Per-file findings plus one synthetic [`rules::PRAGMA_ALLOW`] finding
-/// per valid pragma, so the suppression set rides the same per-file
-/// baseline ratchet as the unwrap burndown.
-fn findings_with_pragma_budget(sources: &[(String, String)]) -> Vec<Finding> {
+/// All workspace findings: per-file rule findings, one synthetic
+/// [`rules::PRAGMA_ALLOW`] finding per valid `lint:allow` pragma and
+/// per attached `lint:det-trusted` pragma (so the whole suppression set
+/// rides the baseline ratchet), plus the interprocedural [`flow`]
+/// findings. Pragmas the flow analysis honored are reconciled here: a
+/// pragma that suppressed a flow source is not "unused" even when no
+/// per-file rule fired on its line.
+fn workspace_findings(sources: &[(String, String)]) -> (Vec<Finding>, flow::FlowReport) {
+    let fl = flow::analyze(sources, flow::WORKSPACE_SINKS);
     let mut findings = Vec::new();
     for (rel, contents) in sources {
         let fa = rules::analyze_file(rel, contents);
-        findings.extend(fa.findings);
+        findings.extend(fa.findings.into_iter().filter(|f| {
+            f.rule != rules::UNUSED_PRAGMA || !fl.used_allow.contains(&(f.rel_path.clone(), f.line))
+        }));
         for p in &fa.pragmas {
             if p.valid {
                 findings.push(Finding {
@@ -192,14 +219,23 @@ fn findings_with_pragma_budget(sources: &[(String, String)]) -> Vec<Finding> {
             }
         }
     }
-    findings
+    for (rel, line) in &fl.trusted_sites {
+        findings.push(Finding {
+            rel_path: rel.clone(),
+            line: *line,
+            rule: rules::PRAGMA_ALLOW,
+            message: "lint:det-trusted(..) suppression".to_string(),
+        });
+    }
+    findings.extend(fl.findings.iter().cloned());
+    (findings, fl)
 }
 
 /// Lint every scanned source against the checked-in baseline.
 pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
     let sources = collect_sources(root)?;
     let files_scanned = sources.len();
-    let findings = findings_with_pragma_budget(&sources);
+    let (findings, fl) = workspace_findings(&sources);
 
     let baseline_path = root.join(baseline_file());
     let baseline = if baseline_path.is_file() {
@@ -219,6 +255,7 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
         violations,
         notes,
         files_scanned,
+        effect_fns: fl.functions,
     })
 }
 
@@ -231,7 +268,7 @@ pub fn baseline_file() -> &'static str {
 /// Returns the number of (file, rule) entries.
 pub fn write_baseline(root: &Path) -> std::io::Result<usize> {
     let sources = collect_sources(root)?;
-    let findings = findings_with_pragma_budget(&sources);
+    let (findings, _) = workspace_findings(&sources);
     let b = baseline::from_findings(&findings);
     std::fs::write(root.join(baseline_file()), baseline::render(&b))?;
     Ok(b.len())
@@ -242,13 +279,16 @@ pub fn write_baseline(root: &Path) -> std::io::Result<usize> {
 /// same step). Returns (files rewritten, baseline entries).
 pub fn fix_baseline(root: &Path) -> std::io::Result<(usize, usize)> {
     let sources = collect_sources(root)?;
+    // A pragma only the flow analysis uses (e.g. suppressing a source
+    // for effect inference) must survive the sweep.
+    let fl = flow::analyze(&sources, flow::WORKSPACE_SINKS);
     let mut files_changed = 0usize;
     for (rel, contents) in &sources {
         let fa = rules::analyze_file(rel, contents);
         let stale: BTreeSet<usize> = fa
             .pragmas
             .iter()
-            .filter(|p| p.valid && !p.used)
+            .filter(|p| p.valid && !p.used && !fl.used_allow.contains(&(rel.clone(), p.line)))
             .map(|p| p.line)
             .collect();
         if stale.is_empty() {
@@ -324,9 +364,15 @@ mod tests {
             }],
             notes: vec!["a note".into()],
             files_scanned: 2,
+            effect_fns: 41,
         };
         let json = report.render_json();
         assert!(json.contains("\"files_scanned\": 2"));
+        assert!(json.contains("\"effect_fns\": 41"));
+        assert_eq!(
+            report.render_summary(),
+            "hyades-lint: files=2 violations=1 effect-table=41 notes=1"
+        );
         assert!(json.contains("\\\"no\\\""));
         assert!(json.contains("\"rule\": \"unseeded-rng\""));
         // Stable: rendering twice is byte-identical.

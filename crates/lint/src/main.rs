@@ -1,9 +1,11 @@
-//! `cargo run -p hyades-lint [-- --write-baseline | --fix-baseline | --json]`
+//! `cargo run -p hyades-lint [-- --write-baseline | --fix-baseline | --json | --summary]`
 //!
 //! Lints the workspace sources and exits nonzero on violations.
 //!
 //! * `--json` — emit the report as one stable-sorted JSON object
-//!   (consumed by `scripts/check.sh` for machine-readable CI diffs);
+//!   (machine-readable CI diffs);
+//! * `--summary` — print one stable `hyades-lint: files=N violations=N
+//!   effect-table=N notes=N` line (consumed by `scripts/check.sh`);
 //! * `--write-baseline` — regenerate `crates/lint/baseline.txt` from the
 //!   current tree (ratchets the unwrap-in-lib and pragma budgets);
 //! * `--fix-baseline` — strip `unused-pragma` suppressions from the
@@ -15,7 +17,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let root = hyades_lint::workspace_root();
 
-    const KNOWN: &[&str] = &["--write-baseline", "--fix-baseline", "--json"];
+    const KNOWN: &[&str] = &["--write-baseline", "--fix-baseline", "--json", "--summary"];
     if let Some(unknown) = args.iter().find(|a| !KNOWN.contains(&a.as_str())) {
         eprintln!(
             "hyades-lint: unknown argument `{unknown}` (accepted: {})",
@@ -53,15 +55,18 @@ fn main() -> ExitCode {
     }
 
     let json = args.iter().any(|a| a == "--json");
+    let summary = args.iter().any(|a| a == "--summary");
     match hyades_lint::lint_workspace(&root) {
         Ok(report) => {
             if json {
                 print!("{}", report.render_json());
+            } else if summary {
+                println!("{}", report.render_summary());
             } else {
                 print!("{}", report.render());
             }
             if report.is_clean() {
-                if !json {
+                if !json && !summary {
                     println!("hyades-lint: {} files clean", report.files_scanned);
                 }
                 ExitCode::SUCCESS

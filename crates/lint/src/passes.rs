@@ -47,6 +47,19 @@ pub struct Pragma {
     pub line: usize,
 }
 
+/// A parsed `lint:det-trusted(reason)` pragma: marks the function defined
+/// on (or directly below) its line as `Det` for the interprocedural flow
+/// analysis ([`crate::flow`]), overriding whatever its body and callees
+/// would infer. Every use is recorded in the flow audit trail.
+#[derive(Debug, Clone)]
+pub struct TrustPragma {
+    pub has_reason: bool,
+    /// Pragma sits on a comment-only line, so it covers the next line.
+    pub own_line: bool,
+    /// 1-based source line the pragma text sits on.
+    pub line: usize,
+}
+
 /// One token-matching step for [`FileCtx::match_seq`].
 pub enum Pat {
     /// Exact token text (`"."`, `"("`, `"::"`, keyword, …).
@@ -71,6 +84,8 @@ pub struct FileCtx<'a> {
     pub in_test: Vec<bool>,
     /// Parsed non-doc pragmas, in source order.
     pub pragmas: Vec<Pragma>,
+    /// Parsed `lint:det-trusted(reason)` pragmas, in source order.
+    pub trusted: Vec<TrustPragma>,
     /// For each closer token index, the opener index (and vice versa);
     /// `usize::MAX` elsewhere.
     partner: Vec<usize>,
@@ -97,6 +112,7 @@ impl<'a> FileCtx<'a> {
         let partner = match_brackets(&code);
         let in_test = cfg_test_flags(&code, &partner);
         let pragmas = parse_pragmas(&comments, &lines_with_code);
+        let trusted = parse_trust_pragmas(&comments, &lines_with_code);
         FileCtx {
             rel_path,
             scope: classify(rel_path),
@@ -104,6 +120,7 @@ impl<'a> FileCtx<'a> {
             comments,
             in_test,
             pragmas,
+            trusted,
             partner,
             lines_with_code,
         }
@@ -419,6 +436,38 @@ fn parse_pragmas(comments: &[Tok<'_>], lines_with_code: &BTreeSet<usize>) -> Vec
     out
 }
 
+/// Parse `lint:det-trusted(reason)` pragmas out of the comment stream.
+/// Same attribution rules as `lint:allow`: a pragma on a code line covers
+/// that line's `fn`; one on a comment-only line covers the next line.
+fn parse_trust_pragmas(
+    comments: &[Tok<'_>],
+    lines_with_code: &BTreeSet<usize>,
+) -> Vec<TrustPragma> {
+    let mut out = Vec::new();
+    for c in comments {
+        if c.kind == TokKind::DocComment {
+            continue;
+        }
+        let mut rest = c.text;
+        let mut offset = 0usize;
+        while let Some(pos) = rest.find("lint:det-trusted(") {
+            let abs = offset + pos;
+            let line = c.line as usize + c.text[..abs].bytes().filter(|&b| b == b'\n').count();
+            let body = &rest[pos + "lint:det-trusted(".len()..];
+            let close = body.find(')').unwrap_or(body.len());
+            out.push(TrustPragma {
+                has_reason: !body[..close].trim().is_empty(),
+                own_line: !lines_with_code.contains(&line),
+                line,
+            });
+            let consumed = pos + "lint:det-trusted(".len() + close;
+            offset += consumed;
+            rest = &rest[consumed..];
+        }
+    }
+    out
+}
+
 /// Remove the pragmas on the given 1-based `lines` from `source`
 /// (textually), cleaning up comments left empty. Used by
 /// `--fix-baseline` to drop `unused-pragma` suppressions.
@@ -592,6 +641,21 @@ mod tests {
         assert!(ctx.pragmas[1].own_line);
         assert_eq!(ctx.pragmas[1].line, 2);
         assert!(ctx.pragmas[1].has_reason);
+    }
+
+    #[test]
+    fn trust_pragmas_parse_with_and_without_reason() {
+        let src = "// lint:det-trusted(clock is mocked in this build)\n\
+                   fn stamp() -> u64 { 0 }\n\
+                   fn other() {} // lint:det-trusted()\n";
+        let ctx = FileCtx::new("crates/x/src/a.rs", src);
+        assert_eq!(ctx.trusted.len(), 2);
+        assert!(ctx.trusted[0].has_reason);
+        assert!(ctx.trusted[0].own_line);
+        assert_eq!(ctx.trusted[0].line, 1);
+        assert!(!ctx.trusted[1].has_reason);
+        assert!(!ctx.trusted[1].own_line);
+        assert_eq!(ctx.trusted[1].line, 3);
     }
 
     #[test]

@@ -38,6 +38,11 @@ pub const UNUSED_PRAGMA: &str = "unused-pragma";
 /// Pseudo-rule under which the per-file pragma budget is tracked in
 /// `baseline.txt` (see `lint_workspace`). Not suppressible.
 pub const PRAGMA_ALLOW: &str = "pragma-allow";
+/// Interprocedural rule ([`crate::flow`]): a declared sink (comms
+/// reduction, telemetry exporter, DES trace, bench writer) transitively
+/// reaches a `Nondet`-classified function. Suppressible at the sink's
+/// definition line and ratchetable via `baseline.txt`.
+pub const NONDET_REACHABLE: &str = "nondet-reachable";
 
 /// The suppressible rules — the namespace `lint:allow` pragmas draw from.
 pub const ALL_RULES: &[&str] = &[
@@ -50,6 +55,7 @@ pub const ALL_RULES: &[&str] = &[
     PARTIAL_CMP_UNWRAP,
     FLOAT_SORT_UNSTABLE,
     SCHEDULE_NO_TIEBREAK,
+    NONDET_REACHABLE,
 ];
 
 /// One diagnostic. Renders as `file:line: rule: message`.
@@ -186,7 +192,7 @@ fn pass_rng(ctx: &FileCtx<'_>, out: &mut Vec<Raw>) {
 /// Methods on a hash container whose results depend on hash-iteration
 /// order. Keyed access (`get`, `insert`, `remove`, `contains_key`,
 /// indexing) is fine.
-const ITERATION_METHODS: &[&str] = &[
+pub(crate) const ITERATION_METHODS: &[&str] = &[
     "iter",
     "iter_mut",
     "keys",
@@ -248,7 +254,7 @@ fn pass_hash_iteration(ctx: &FileCtx<'_>, out: &mut Vec<Raw>) {
 
 /// For a `for` token at `i`, the identifier heading the iterated
 /// expression (after `in`, past `&`/`mut`/`self.`).
-fn for_in_subject<'a>(ctx: &FileCtx<'a>, i: usize) -> Option<(usize, &'a str)> {
+pub(crate) fn for_in_subject<'a>(ctx: &FileCtx<'a>, i: usize) -> Option<(usize, &'a str)> {
     let mut depth = 0i64;
     let mut j = i + 1;
     loop {
@@ -319,7 +325,8 @@ fn pass_unwrap_in_lib(ctx: &FileCtx<'_>, out: &mut Vec<Raw>) {
 
 /// Rayon-style parallel-iterator constructors: reduction order over
 /// these is scheduling-dependent.
-const PAR_METHODS: &[&str] = &["par_iter", "par_iter_mut", "into_par_iter", "par_bridge"];
+pub(crate) const PAR_METHODS: &[&str] =
+    &["par_iter", "par_iter_mut", "into_par_iter", "par_bridge"];
 
 const INT_TYPES: &[&str] = &[
     "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",

@@ -1,0 +1,22 @@
+//@path crates/comms/src/golden/flow_chain.rs
+//@sink publish comms reduction
+// Acceptance fixture: a synthetic wall-clock read seeded into a comms
+// helper chain must be caught by the sink check, with the witness chain
+// publish -> jitter -> wall_ns in the finding.
+
+fn wall_ns() -> u64 {
+    let t = std::time::SystemTime::now();
+    t.elapsed().map(|d| d.as_nanos() as u64).unwrap_or(0)
+}
+
+fn jitter(x: f64) -> f64 {
+    x + (wall_ns() % 3) as f64
+}
+
+pub fn publish(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for &x in xs {
+        acc += jitter(x);
+    }
+    acc
+}

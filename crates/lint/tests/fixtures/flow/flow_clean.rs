@@ -1,0 +1,19 @@
+//@path crates/comms/src/golden/flow_clean.rs
+//@sink publish comms reduction
+// Clean call graph: the declared sink reaches only Det code.
+
+fn combine(a: f64, b: f64) -> f64 {
+    a + b
+}
+
+fn accumulate(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for &x in xs {
+        acc = combine(acc, x);
+    }
+    acc
+}
+
+pub fn publish(xs: &[f64]) -> f64 {
+    accumulate(xs)
+}

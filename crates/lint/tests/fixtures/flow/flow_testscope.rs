@@ -1,0 +1,29 @@
+//@path crates/comms/src/golden/flow_testscope.rs
+//@sink publish comms reduction
+// Test-scope exemption: the #[cfg(test)] module carries a Nondet helper
+// with the same name as the lib-scope one; lib code never resolves to
+// it, so the sink stays Det while the test helper is still classified.
+
+fn scale(x: f64) -> f64 {
+    2.0 * x
+}
+
+pub fn publish(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for &x in xs {
+        acc += scale(x);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    fn scale(x: f64) -> f64 {
+        x * rand::thread_rng().gen::<f64>()
+    }
+
+    #[test]
+    fn scaled_is_finite() {
+        assert!(scale(1.0).is_finite());
+    }
+}

@@ -18,8 +18,10 @@ if ! cargo run -q -p hyades-lint -- --json > target/lint-report.json; then
     echo "hyades-lint reported violations (full report: target/lint-report.json)"
     exit 1
 fi
-lint_files=$(sed -n 's/.*"files_scanned": \([0-9]*\).*/\1/p' target/lint-report.json)
-echo "    clean: ${lint_files} files scanned (report: target/lint-report.json)"
+# One stable machine-readable line (files=N violations=N effect-table=N
+# notes=N) instead of scraping the JSON with sed.
+lint_summary=$(cargo run -q -p hyades-lint -- --summary)
+echo "    ${lint_summary#hyades-lint: } (report: target/lint-report.json)"
 
 echo "==> cargo test -q"
 cargo test -q

@@ -281,3 +281,16 @@ fn observatory_exports_are_bit_identical_across_runs() {
     assert_ne!(prom_a, prom_c);
     assert_ne!(man_a, man_c);
 }
+
+#[test]
+fn e17_effect_table_report_is_bit_identical_across_runs() {
+    // The interprocedural effect table is itself a published artefact
+    // (E17). The analysis walks sorted sources through BTree-ordered
+    // symbol tables, so rendering the whole report twice — symbol
+    // extraction, call-graph resolution, fixpoint, sink proof — must be
+    // byte-identical.
+    let a = hyades::experiments::detflow::run();
+    let b = hyades::experiments::detflow::run();
+    assert_eq!(a, b, "E17 effect-table report must replay byte-identically");
+    assert!(a.contains("nondet-reachable findings: 0"), "{a}");
+}

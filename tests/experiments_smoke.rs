@@ -5,7 +5,7 @@
 #[test]
 fn registry_lists_all_artefacts() {
     let all = hyades::experiments::all();
-    assert_eq!(all.len(), 16);
+    assert_eq!(all.len(), 17);
     // Every table/figure of the paper's evaluation is covered.
     let artefacts: Vec<&str> = all.iter().map(|e| e.paper_artefact).collect();
     for needle in [
@@ -37,6 +37,7 @@ fn cheap_experiments_render() {
         ("E11", api_tax::run, "generality"),
         ("E13", economics::run, "price-performance"),
         ("E16", schedcheck::run, "deadlock-free"),
+        ("E17", detflow::run, "nondet-reachable findings: 0"),
     ];
     for (id, run, needle) in checks {
         let report = run();
