@@ -1,11 +1,13 @@
 //! The perf-baseline harness: one deterministic, instrumented pass over
-//! the E14-style experiments plus the fabric observatory and the full
-//! static-analysis tree walk, emitting `BENCH_pr6.json` — one point of
-//! the regression trajectory every later PR is compared against.
+//! the E14-style experiments plus the fabric observatory, the run-health
+//! observatory, and the full static-analysis tree walk, emitting
+//! `BENCH_pr7.json` — one point of the regression trajectory every later
+//! PR is compared against.
 //!
 //! ```text
 //! scripts/bench.sh            # full run
 //! scripts/bench.sh --smoke    # CI-sized run (same checks, shorter windows)
+//! baseline diff OLD NEW       # budgeted cross-run comparison
 //! ```
 //!
 //! The harness fails (non-zero exit) if any of its embedded acceptance
@@ -18,14 +20,20 @@
 //! * the telemetry tour's model-vs-measured phase residual must stay
 //!   within the tour's own sanity bar (|residual| < 200 %): the analytic
 //!   model and the executable simulation must not diverge wholesale;
+//! * the coupled run-health observatory must finish with zero sentinel
+//!   trips and byte-identical diagnostics across a same-seed double run;
 //! * the full-tree hyades-lint pass (timed as `lint_full_tree_ms`) must
 //!   come back clean;
 //! * the interprocedural flow pass alone (call-graph build + effect
 //!   fixpoint, timed as `lint_flow_ms`) must stay under its smoke
 //!   budget.
 //!
+//! The `diff` subcommand compares two summaries through
+//! [`hyades_bench::diff`]'s per-metric budgets and prints a
+//! machine-readable verdict (non-zero exit on any busted budget).
+//!
 //! Wall-clock numbers in the output are environment-dependent by nature;
-//! everything else in `BENCH_pr6.json` is deterministic.
+//! everything else in `BENCH_pr7.json` is deterministic.
 
 use hyades::tour;
 use hyades_arctic::observatory::ObservatoryConfig;
@@ -50,11 +58,44 @@ const FLOW_SMOKE_BUDGET_MS: f64 = 3000.0;
 /// Write the raw exports next to the summary JSON. Declared as a sink in
 /// `flow::WORKSPACE_SINKS`: everything reaching this function must be
 /// `Det`/`DetModuloSeed`.
-fn write_exports(dir: &PathBuf, prom: &str, manifest: &str, ether_prom: &str) {
+fn write_exports(
+    dir: &PathBuf,
+    prom: &str,
+    manifest: &str,
+    ether_prom: &str,
+    diag: &tour::DiagArtifacts,
+) {
     fs::create_dir_all(dir).expect("create artifact dir");
     fs::write(dir.join("fabric.prom"), prom).expect("write fabric.prom");
     fs::write(dir.join("fabric_manifest.json"), manifest).expect("write fabric_manifest.json");
     fs::write(dir.join("ethernet.prom"), ether_prom).expect("write ethernet.prom");
+    fs::write(dir.join("diag.txt"), &diag.text).expect("write diag.txt");
+    fs::write(dir.join("diag.json"), &diag.json).expect("write diag.json");
+    fs::write(dir.join("diag.prom"), &diag.prom).expect("write diag.prom");
+}
+
+fn run_diff(paths: &[String]) -> ! {
+    if paths.len() != 2 {
+        eprintln!("usage: baseline diff OLD.json NEW.json");
+        std::process::exit(2);
+    }
+    let read = |p: &String| {
+        fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("FAIL: reading {p}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let (old_src, new_src) = (read(&paths[0]), read(&paths[1]));
+    match hyades_bench::diff::diff_summaries(&paths[0], &old_src, &paths[1], &new_src) {
+        Ok((verdict, pass)) => {
+            print!("{verdict}");
+            std::process::exit(if pass { 0 } else { 1 });
+        }
+        Err(e) => {
+            eprintln!("FAIL: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 struct Args {
@@ -66,7 +107,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut args = Args {
         smoke: false,
-        out: PathBuf::from("BENCH_pr6.json"),
+        out: PathBuf::from("BENCH_pr7.json"),
         artifact_dir: PathBuf::from("target/observatory"),
     };
     let mut it = std::env::args().skip(1);
@@ -90,6 +131,10 @@ fn parse_args() -> Args {
 }
 
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("diff") {
+        run_diff(&argv[1..]);
+    }
     let args = parse_args();
     let mode = if args.smoke { "smoke" } else { "full" };
     let measure_us = if args.smoke { 120.0 } else { 400.0 };
@@ -201,18 +246,37 @@ fn main() {
         ));
     }
 
-    write_exports(&args.artifact_dir, &prom, &manifest, &ether_prom);
+    // 6. Run-health observatory: the coupled pair through the monitored
+    //    stepper, twice — the health record itself must be byte-identical
+    //    and the sentinel must stay quiet on the healthy run.
+    let wall_diag = Instant::now();
+    let diag = tour::run_coupled_diag(SEED);
+    let diag_ms = wall_diag.elapsed().as_secs_f64() * 1e3;
+    let diag2 = tour::run_coupled_diag(SEED);
+    let diag_identical =
+        diag.text == diag2.text && diag.json == diag2.json && diag.prom == diag2.prom;
+    if !diag_identical {
+        failures.push("diagnostics exports differ across same-seed double run".into());
+    }
+    if diag.sentinel_trips != 0 {
+        failures.push(format!(
+            "blowup sentinel tripped {} time(s) on the healthy coupled run",
+            diag.sentinel_trips
+        ));
+    }
+
+    write_exports(&args.artifact_dir, &prom, &manifest, &ether_prom, &diag);
 
     // The summary JSON.
     let worst = report.hotspots.first();
     let mut j = String::new();
     let _ = write!(
         j,
-        "{{\n  \"bench\": \"pr6-baseline\",\n  \"mode\": \"{mode}\",\n  \"seed\": {SEED},\n"
+        "{{\n  \"bench\": \"pr7-baseline\",\n  \"mode\": \"{mode}\",\n  \"seed\": {SEED},\n"
     );
     let _ = write!(
         j,
-        "  \"wall_ms\": {{\"total\": {:.1}, \"tour\": {tour_ms:.1}, \"fabric\": {fabric_ms:.1}, \"ethernet\": {ether_ms:.1}, \"lint_full_tree_ms\": {lint_ms:.1}, \"lint_flow_ms\": {flow_ms:.1}}},\n",
+        "  \"wall_ms\": {{\"total\": {:.1}, \"tour\": {tour_ms:.1}, \"fabric\": {fabric_ms:.1}, \"ethernet\": {ether_ms:.1}, \"diag\": {diag_ms:.1}, \"lint_full_tree_ms\": {lint_ms:.1}, \"lint_flow_ms\": {flow_ms:.1}}},\n",
         wall.elapsed().as_secs_f64() * 1e3
     );
     let _ = write!(
@@ -230,8 +294,13 @@ fn main() {
     );
     let _ = write!(
         j,
-        "  \"tour\": {{\"max_abs_residual\": {:.6}, \"span_count\": {}}},\n",
-        t.max_abs_residual, t.span_count
+        "  \"tour\": {{\"max_abs_residual\": {:.6}, \"max_step_residual\": {:.6}, \"span_count\": {}}},\n",
+        t.max_abs_residual, t.max_step_residual, t.span_count
+    );
+    let _ = write!(
+        j,
+        "  \"diag\": {{\"steps\": {}, \"cg_iters_p50\": {}, \"cg_iters_p99\": {}, \"max_cfl\": {:.6}, \"sentinel_trips\": {}}},\n",
+        diag.steps, diag.cg_iters_p50, diag.cg_iters_p99, diag.max_cfl, diag.sentinel_trips
     );
     let _ = write!(
         j,
@@ -267,7 +336,7 @@ fn main() {
     );
     let _ = write!(
         j,
-        "  \"determinism\": {{\"prometheus_identical\": {prom_identical}, \"manifest_identical\": {manifest_identical}}},\n"
+        "  \"determinism\": {{\"prometheus_identical\": {prom_identical}, \"manifest_identical\": {manifest_identical}, \"diag_identical\": {diag_identical}}},\n"
     );
     let _ = write!(
         j,
@@ -295,9 +364,14 @@ fn main() {
         prom_identical && manifest_identical
     );
     println!(
-        "  tour residual {:.2}%, ethernet hammered-port occ p99 {:.1}",
+        "  tour residual {:.2}% (per-step max {:.2}%), ethernet hammered-port occ p99 {:.1}",
         t.max_abs_residual * 100.0,
+        t.max_step_residual * 100.0,
         ether_occ_p99
+    );
+    println!(
+        "  diag: {} steps/component, cg p50/p99 {}/{} iters, max CFL {:.3}, trips {}, byte-identical: {diag_identical}",
+        diag.steps, diag.cg_iters_p50, diag.cg_iters_p99, diag.max_cfl, diag.sentinel_trips
     );
     println!(
         "  lint: {} files in {lint_ms:.0} ms, {} violation(s)",

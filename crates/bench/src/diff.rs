@@ -1,0 +1,491 @@
+//! Cross-run bench differ: compare two `BENCH_pr*.json` summaries
+//! against per-metric tolerance budgets.
+//!
+//! The baseline harness emits one summary per PR; this module lines two
+//! of them up and renders a machine-readable verdict. Metrics fall into
+//! two classes:
+//!
+//! * **relative** — wall-clock keys (`wall_ms.*`) are compared
+//!   new-vs-old with a generous ratio budget plus a fixed slack, since
+//!   absolute times are environment noise;
+//! * **absolute** — correctness keys (`lint.violations`,
+//!   `failures.len`, `tour.max_abs_residual`, `determinism.*`,
+//!   `diag.sentinel_trips`) are judged on the new summary alone.
+//!
+//! Only keys present in *both* files are compared relatively, so an
+//! older summary that predates a section (e.g. `diag` before PR 7)
+//! never fails the gate; absolute checks apply whenever the new file
+//! carries the key.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A flattened JSON scalar.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Val {
+    Num(f64),
+    Bool(bool),
+    Str(String),
+    Null,
+}
+
+impl Val {
+    fn render(&self) -> String {
+        match self {
+            Val::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    format!("{n:.0}")
+                } else {
+                    format!("{n:.6}")
+                }
+            }
+            Val::Bool(b) => b.to_string(),
+            Val::Str(s) => format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\"")),
+            Val::Null => "null".to_string(),
+        }
+    }
+}
+
+/// Wall-clock budget: `new ≤ old · RATIO + SLACK_MS`. The ratio is
+/// deliberately loose — the gate catches order-of-magnitude blowups,
+/// not scheduler jitter.
+pub const WALL_RATIO_BUDGET: f64 = 25.0;
+pub const WALL_SLACK_MS: f64 = 1000.0;
+
+/// Residual sanity bar shared with the baseline harness.
+pub const RESIDUAL_BUDGET: f64 = 2.0;
+
+/// Flatten a JSON document into dotted-path scalars. Object keys join
+/// with `.`; array elements land at `path.<index>` and every array also
+/// records `path.len`. The parser covers the subset the bench summaries
+/// use (and standard escapes); it rejects trailing garbage.
+pub fn flatten_json(src: &str) -> Result<BTreeMap<String, Val>, String> {
+    let mut p = Parser {
+        b: src.as_bytes(),
+        i: 0,
+    };
+    let mut out = BTreeMap::new();
+    p.ws();
+    p.value(String::new(), &mut out)?;
+    p.ws();
+    if p.i != p.b.len() {
+        return Err(format!("trailing garbage at byte {}", p.i));
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                c as char,
+                self.i,
+                self.peek().map(|b| b as char)
+            ))
+        }
+    }
+
+    fn value(&mut self, path: String, out: &mut BTreeMap<String, Val>) -> Result<(), String> {
+        self.ws();
+        match self.peek() {
+            Some(b'{') => self.object(path, out),
+            Some(b'[') => self.array(path, out),
+            Some(b'"') => {
+                let s = self.string()?;
+                out.insert(path, Val::Str(s));
+                Ok(())
+            }
+            Some(b't') => self.literal("true", path, Val::Bool(true), out),
+            Some(b'f') => self.literal("false", path, Val::Bool(false), out),
+            Some(b'n') => self.literal("null", path, Val::Null, out),
+            Some(c) if c == b'-' || c.is_ascii_digit() => {
+                let start = self.i;
+                while self.peek().is_some_and(|c| {
+                    c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E')
+                }) {
+                    self.i += 1;
+                }
+                let txt = std::str::from_utf8(&self.b[start..self.i]).map_err(|e| e.to_string())?;
+                let n: f64 = txt
+                    .parse()
+                    .map_err(|_| format!("bad number {txt:?} at byte {start}"))?;
+                out.insert(path, Val::Num(n));
+                Ok(())
+            }
+            other => Err(format!("unexpected {other:?} at byte {}", self.i)),
+        }
+    }
+
+    fn literal(
+        &mut self,
+        word: &str,
+        path: String,
+        v: Val,
+        out: &mut BTreeMap<String, Val>,
+    ) -> Result<(), String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            out.insert(path, v);
+            Ok(())
+        } else {
+            Err(format!("expected {word} at byte {}", self.i))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.i += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .b
+                                .get(self.i..self.i + 4)
+                                .ok_or("truncated \\u escape")?;
+                            self.i += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("bad escape \\{}", other as char)),
+                    }
+                }
+                Some(_) => {
+                    // Strings in the summaries are ASCII, but pass UTF-8
+                    // through byte-faithfully.
+                    let start = self.i;
+                    while self.peek().is_some_and(|c| c != b'"' && c != b'\\') {
+                        self.i += 1;
+                    }
+                    s.push_str(
+                        std::str::from_utf8(&self.b[start..self.i]).map_err(|e| e.to_string())?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn object(&mut self, path: String, out: &mut BTreeMap<String, Val>) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.ws();
+            self.expect(b':')?;
+            let child = if path.is_empty() {
+                key
+            } else {
+                format!("{path}.{key}")
+            };
+            self.value(child, out)?;
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                other => return Err(format!("expected ',' or '}}', found {other:?}")),
+            }
+        }
+    }
+
+    fn array(&mut self, path: String, out: &mut BTreeMap<String, Val>) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.ws();
+        let mut n = 0usize;
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            out.insert(format!("{path}.len"), Val::Num(0.0));
+            return Ok(());
+        }
+        loop {
+            self.value(format!("{path}.{n}"), out)?;
+            n += 1;
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    out.insert(format!("{path}.len"), Val::Num(n as f64));
+                    return Ok(());
+                }
+                other => return Err(format!("expected ',' or ']', found {other:?}")),
+            }
+        }
+    }
+}
+
+/// One budgeted comparison.
+#[derive(Clone, Debug)]
+pub struct Check {
+    pub metric: String,
+    pub old: Option<Val>,
+    pub new: Option<Val>,
+    pub budget: String,
+    pub pass: bool,
+}
+
+fn num(v: Option<&Val>) -> Option<f64> {
+    match v {
+        Some(Val::Num(n)) => Some(*n),
+        _ => None,
+    }
+}
+
+/// Run every budget over the two flattened summaries.
+pub fn compare(old: &BTreeMap<String, Val>, new: &BTreeMap<String, Val>) -> Vec<Check> {
+    let mut checks = Vec::new();
+
+    // Relative wall-clock budgets: only keys present in both files.
+    for (k, nv) in new.range("wall_ms.".to_string()..) {
+        if !k.starts_with("wall_ms.") {
+            break;
+        }
+        if let (Some(o), Some(n)) = (num(old.get(k)), num(Some(nv))) {
+            let limit = o * WALL_RATIO_BUDGET + WALL_SLACK_MS;
+            checks.push(Check {
+                metric: k.clone(),
+                old: old.get(k).cloned(),
+                new: Some(nv.clone()),
+                budget: format!("<= old*{WALL_RATIO_BUDGET:.0} + {WALL_SLACK_MS:.0}ms"),
+                pass: n <= limit,
+            });
+        }
+    }
+
+    // Coverage ratchet: the lint pass never scans fewer files.
+    if let (Some(o), Some(n)) = (
+        num(old.get("lint.files_scanned")),
+        num(new.get("lint.files_scanned")),
+    ) {
+        checks.push(Check {
+            metric: "lint.files_scanned".into(),
+            old: old.get("lint.files_scanned").cloned(),
+            new: new.get("lint.files_scanned").cloned(),
+            budget: ">= old".into(),
+            pass: n >= o,
+        });
+    }
+
+    // Absolute budgets on the new summary.
+    let absolute = [
+        ("lint.violations", "== 0", 0.0f64, 0.0f64),
+        ("failures.len", "== 0", 0.0, 0.0),
+        (
+            "tour.max_abs_residual",
+            "<= 2.0",
+            f64::NEG_INFINITY,
+            RESIDUAL_BUDGET,
+        ),
+        ("diag.sentinel_trips", "== 0", 0.0, 0.0),
+    ];
+    for (key, budget, lo, hi) in absolute {
+        if let Some(v) = new.get(key) {
+            let pass = num(Some(v)).is_some_and(|n| n >= lo && n <= hi);
+            checks.push(Check {
+                metric: key.into(),
+                old: old.get(key).cloned(),
+                new: Some(v.clone()),
+                budget: budget.into(),
+                pass,
+            });
+        }
+    }
+
+    // Every determinism flag in the new summary must hold.
+    for (k, v) in new.range("determinism.".to_string()..) {
+        if !k.starts_with("determinism.") {
+            break;
+        }
+        checks.push(Check {
+            metric: k.clone(),
+            old: old.get(k).cloned(),
+            new: Some(v.clone()),
+            budget: "== true".into(),
+            pass: *v == Val::Bool(true),
+        });
+    }
+
+    checks
+}
+
+/// Render the verdict JSON. Returns `(json, all_passed)`.
+pub fn render_verdict(old_name: &str, new_name: &str, checks: &[Check]) -> (String, bool) {
+    let pass = checks.iter().all(|c| c.pass);
+    let mut j = String::new();
+    let _ = write!(
+        j,
+        "{{\n  \"bench_diff\": {{\"old\": \"{old_name}\", \"new\": \"{new_name}\"}},\n  \"checks\": [\n"
+    );
+    for (i, c) in checks.iter().enumerate() {
+        let _ = write!(
+            j,
+            "    {{\"metric\": \"{}\", \"old\": {}, \"new\": {}, \"budget\": \"{}\", \"pass\": {}}}{}\n",
+            c.metric,
+            c.old.as_ref().map_or("null".to_string(), Val::render),
+            c.new.as_ref().map_or("null".to_string(), Val::render),
+            c.budget,
+            c.pass,
+            if i + 1 < checks.len() { "," } else { "" }
+        );
+    }
+    let _ = write!(
+        j,
+        "  ],\n  \"checked\": {},\n  \"verdict\": \"{}\"\n}}\n",
+        checks.len(),
+        if pass { "pass" } else { "fail" }
+    );
+    (j, pass)
+}
+
+/// Full pipeline: parse both summaries, compare, render. `Err` means a
+/// summary failed to parse, which is itself a gate failure.
+pub fn diff_summaries(
+    old_name: &str,
+    old_src: &str,
+    new_name: &str,
+    new_src: &str,
+) -> Result<(String, bool), String> {
+    let old = flatten_json(old_src).map_err(|e| format!("{old_name}: {e}"))?;
+    let new = flatten_json(new_src).map_err(|e| format!("{new_name}: {e}"))?;
+    let checks = compare(&old, &new);
+    if checks.is_empty() {
+        return Err("no comparable metrics between the two summaries".into());
+    }
+    Ok(render_verdict(old_name, new_name, &checks))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OLD: &str = r#"{
+      "bench": "pr6-baseline",
+      "wall_ms": {"total": 100.0, "tour": 10.0},
+      "lint": {"files_scanned": 154, "violations": 0},
+      "tour": {"max_abs_residual": 0.63},
+      "determinism": {"prometheus_identical": true},
+      "failures": []
+    }"#;
+
+    #[test]
+    fn flatten_handles_nesting_arrays_and_escapes() {
+        let m = flatten_json(r#"{"a": {"b": [1, "x\n\"y", true]}, "c": null}"#).unwrap();
+        assert_eq!(m.get("a.b.0"), Some(&Val::Num(1.0)));
+        assert_eq!(m.get("a.b.1"), Some(&Val::Str("x\n\"y".into())));
+        assert_eq!(m.get("a.b.2"), Some(&Val::Bool(true)));
+        assert_eq!(m.get("a.b.len"), Some(&Val::Num(3.0)));
+        assert_eq!(m.get("c"), Some(&Val::Null));
+        assert!(flatten_json("{}garbage").is_err());
+        assert!(flatten_json(r#"{"a": }"#).is_err());
+    }
+
+    #[test]
+    fn healthy_new_summary_passes_every_budget() {
+        let new = r#"{
+          "bench": "pr7-baseline",
+          "wall_ms": {"total": 180.0, "tour": 12.0, "diag": 40.0},
+          "lint": {"files_scanned": 160, "violations": 0},
+          "tour": {"max_abs_residual": 0.7},
+          "diag": {"sentinel_trips": 0},
+          "determinism": {"prometheus_identical": true, "diag_identical": true},
+          "failures": []
+        }"#;
+        let (j, pass) = diff_summaries("old.json", OLD, "new.json", new).unwrap();
+        assert!(pass, "{j}");
+        assert!(j.contains("\"verdict\": \"pass\""));
+        // diag-only keys never compare against the pre-diag summary...
+        assert!(!j.contains("wall_ms.diag"));
+        // ...but the diag absolute check still runs on the new file.
+        assert!(j.contains("diag.sentinel_trips"));
+        assert!(j.contains("\"metric\": \"wall_ms.total\""));
+    }
+
+    #[test]
+    fn wall_clock_blowup_and_violations_fail() {
+        let new = r#"{
+          "wall_ms": {"total": 99999.0},
+          "lint": {"files_scanned": 140, "violations": 3},
+          "tour": {"max_abs_residual": 5.0},
+          "determinism": {"prometheus_identical": false},
+          "failures": ["boom"]
+        }"#;
+        let (j, pass) = diff_summaries("old.json", OLD, "new.json", new).unwrap();
+        assert!(!pass);
+        assert!(j.contains("\"verdict\": \"fail\""));
+        for metric in [
+            "wall_ms.total",
+            "lint.files_scanned",
+            "lint.violations",
+            "tour.max_abs_residual",
+            "determinism.prometheus_identical",
+            "failures.len",
+        ] {
+            let line = j
+                .lines()
+                .find(|l| l.contains(&format!("\"{metric}\"")))
+                .unwrap_or_else(|| panic!("no check for {metric}:\n{j}"));
+            assert!(line.contains("\"pass\": false"), "{line}");
+        }
+    }
+
+    #[test]
+    fn real_pr6_summary_diffs_cleanly_against_itself() {
+        let (j, pass) = diff_summaries("a", OLD, "b", OLD).unwrap();
+        assert!(pass, "{j}");
+        let (j2, _) = diff_summaries("a", OLD, "b", OLD).unwrap();
+        assert_eq!(j, j2);
+    }
+
+    #[test]
+    fn unparseable_summary_is_a_gate_failure() {
+        assert!(diff_summaries("a", OLD, "b", "{not json").is_err());
+        assert!(diff_summaries("a", "[]", "b", "[]").is_err());
+    }
+}

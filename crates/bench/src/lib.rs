@@ -6,6 +6,8 @@
 //! design decisions DESIGN.md calls out. `examples/reproduce_all.rs` at
 //! the workspace root prints every experiment's table in one run.
 
+pub mod diff;
+
 /// Shared tiny-config builders for kernel benchmarks.
 pub mod setup {
     use hyades_gcm::config::ModelConfig;

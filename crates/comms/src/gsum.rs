@@ -177,7 +177,9 @@ impl Actor for GsumNode {
             }
             Err(e) => e,
         };
-        let rx = ev.downcast::<RxReady>().expect("GsumNode event");
+        let Ok(rx) = ev.downcast::<RxReady>() else {
+            panic!("GsumNode received an unexpected event type");
+        };
         if rx.value.is_nan() {
             // Marker: kick off the send for the current round, then check
             // whether the partner's message already arrived.
@@ -389,7 +391,9 @@ impl Actor for TreeGsumNode {
             }
             Err(e) => e,
         };
-        let rx = ev.downcast::<TreeRx>().expect("TreeGsumNode event");
+        let Ok(rx) = ev.downcast::<TreeRx>() else {
+            panic!("TreeGsumNode received an unexpected event type");
+        };
         match rx.tag {
             TAG_REDUCE => {
                 self.partial += rx.value;

@@ -54,6 +54,44 @@ pub trait CommWorld {
     /// "non-critical communication" class — used for diagnostics and
     /// output, not the inner loop.)
     fn gather(&mut self, data: Vec<f64>) -> Option<Vec<Vec<f64>>>;
+
+    // --- monitor reductions -----------------------------------------------
+    // Derived collectives for the run-health monitor (`gcm::monitor`).
+    // They are provided in terms of the two core reductions so every
+    // backend — serial, threaded, time-charged — inherits them with the
+    // same determinism and cost accounting as the primitives they wrap.
+
+    /// Minimum of `x` across all ranks.
+    fn global_min(&mut self, x: f64) -> f64 {
+        -self.global_max(-x)
+    }
+
+    /// Deterministic argmax: the global maximum of `value` together with
+    /// the smallest `tag` among the ranks whose contribution equals that
+    /// maximum (ties broken toward the smallest tag, so the result is
+    /// independent of reduction order). `tag` must be exactly
+    /// representable in an `f64` (< 2^53); callers pack rank/level/cell
+    /// coordinates into it. Returns `u64::MAX` as the tag when no rank's
+    /// value matches the maximum (all contributions NaN).
+    fn global_argmax(&mut self, value: f64, tag: u64) -> (f64, u64) {
+        debug_assert!(tag < (1u64 << 53), "argmax tag must fit in f64");
+        let m = self.global_max(value);
+        let mine = if value == m {
+            tag as f64
+        } else {
+            f64::INFINITY
+        };
+        let t = self.global_min(mine);
+        (m, if t.is_finite() { t as u64 } else { u64::MAX })
+    }
+
+    /// Deterministic argmin; same tag contract as [`global_argmax`].
+    ///
+    /// [`global_argmax`]: CommWorld::global_argmax
+    fn global_argmin(&mut self, value: f64, tag: u64) -> (f64, u64) {
+        let (neg_min, t) = self.global_argmax(-value, tag);
+        (-neg_min, t)
+    }
 }
 
 /// Single-rank world.
@@ -323,6 +361,45 @@ mod tests {
         let results = ThreadWorld::run(8, |w| w.global_sum(w.rank() as f64 + 1.0));
         let expected: f64 = (1..=8).map(|i| i as f64).sum();
         assert!(results.iter().all(|&r| r == expected));
+    }
+
+    #[test]
+    fn serial_monitor_reductions_are_identities() {
+        let mut w = SerialWorld;
+        assert_eq!(w.global_min(4.5), 4.5);
+        assert_eq!(w.global_argmax(2.0, 17), (2.0, 17));
+        assert_eq!(w.global_argmin(-3.0, 9), (-3.0, 9));
+    }
+
+    #[test]
+    fn thread_argmax_attributes_the_owning_rank() {
+        let vals = [1.0, 9.0, 3.0, -2.0];
+        let results = ThreadWorld::run(4, move |w| {
+            let r = w.rank();
+            w.global_argmax(vals[r], r as u64)
+        });
+        assert!(results.iter().all(|&r| r == (9.0, 1)));
+    }
+
+    #[test]
+    fn thread_argmin_breaks_ties_toward_smallest_tag() {
+        // Ranks 1 and 3 share the minimum; the winner must be the
+        // smaller tag regardless of reduction order.
+        let vals = [5.0, -1.0, 4.0, -1.0];
+        let results = ThreadWorld::run(4, move |w| {
+            let r = w.rank();
+            w.global_argmin(vals[r], 100 + r as u64)
+        });
+        assert!(results.iter().all(|&r| r == (-1.0, 101)));
+    }
+
+    #[test]
+    fn thread_argmax_of_all_nan_has_no_owner() {
+        let results = ThreadWorld::run(4, |w| w.global_argmax(f64::NAN, w.rank() as u64));
+        for &(m, tag) in &results {
+            assert!(m.is_nan());
+            assert_eq!(tag, u64::MAX);
+        }
     }
 
     #[test]

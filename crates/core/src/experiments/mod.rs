@@ -19,6 +19,7 @@
 //! | E15 | §2.2/§6 — fabric observatory: per-link telemetry under congestion | [`observatory`] |
 //! | E16 | §4 — schedule proof + happens-before audit | [`schedcheck`] |
 //! | E17 | §4/§5 — interprocedural determinism proof of the artefact surface | [`detflow`] |
+//! | E18 | §5/§6 — GCM run-health observatory over a coupled run | [`runhealth`] |
 
 pub mod api_tax;
 pub mod century;
@@ -35,6 +36,7 @@ pub mod hpvm;
 pub mod observatory;
 pub mod profiling;
 pub mod routing;
+pub mod runhealth;
 pub mod schedcheck;
 pub mod sec53;
 
@@ -135,6 +137,11 @@ pub fn all() -> Vec<Experiment> {
                 "Sections 4/5: interprocedural determinism proof of the artefact surface",
             run: detflow::run,
         },
+        Experiment {
+            id: "E18",
+            paper_artefact: "Sections 5/6: GCM run-health observatory over a coupled run",
+            run: runhealth::run,
+        },
     ]
 }
 
@@ -143,13 +150,13 @@ mod tests {
     #[test]
     fn registry_is_complete() {
         let all = super::all();
-        assert_eq!(all.len(), 17);
+        assert_eq!(all.len(), 18);
         let ids: Vec<&str> = all.iter().map(|e| e.id).collect();
         assert_eq!(
             ids,
             [
                 "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
-                "E14", "E15", "E16", "E17"
+                "E14", "E15", "E16", "E17", "E18"
             ]
         );
     }

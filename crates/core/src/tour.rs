@@ -21,12 +21,15 @@ use hyades_comms::exchange::measure_exchange;
 use hyades_comms::gsum::measure_gsum;
 use hyades_comms::{ThreadWorld, TimedWorld};
 use hyades_des::rng::SplitMix64;
-use hyades_gcm::config::ModelConfig;
+use hyades_gcm::config::{ModelConfig, SurfaceForcing};
+use hyades_gcm::coupler::CoupledModel;
 use hyades_gcm::decomp::Decomp;
 use hyades_gcm::driver::Model;
+use hyades_gcm::grid::{stretched_levels, Grid};
+use hyades_gcm::monitor::{RunMonitor, SentinelConfig};
 use hyades_perf::model::PerfModel;
 use hyades_perf::params::{DsParams, PsParams};
-use hyades_perf::phases::{self, MeasuredPhases};
+use hyades_perf::phases::{self, MeasuredPhases, StepSample};
 use hyades_startx::HostParams;
 use hyades_telemetry as telemetry;
 use hyades_telemetry::{flight, RankTelemetry, RunTelemetry};
@@ -54,8 +57,13 @@ pub struct TourArtifacts {
     pub text_summary: String,
     /// Model-vs-measured phase report with per-term residuals.
     pub phase_report: String,
+    /// Per-step model-vs-measured residual series (drift over the run,
+    /// not just the end-state average).
+    pub residual_series: String,
     /// Largest |relative residual| over the four phase terms.
     pub max_abs_residual: f64,
+    /// Largest |per-step residual| over the run.
+    pub max_step_residual: f64,
     /// Total spans across all ranks (sanity handle for tests).
     pub span_count: usize,
 }
@@ -68,6 +76,8 @@ struct RankRun {
     wet_columns: u64,
     measured_nps: f64,
     measured_nds: f64,
+    /// This rank's per-step charged phase deltas + iteration counts.
+    steps: Vec<StepSample>,
 }
 
 fn run_rank<W: hyades_comms::CommWorld>(world: &mut W, seed: u64) -> RankRun {
@@ -85,9 +95,21 @@ fn run_rank<W: hyades_comms::CommWorld>(world: &mut W, seed: u64) -> RankRun {
     }
     let net = arctic_paper();
     let mut timed = TimedWorld::new(world, &net);
+    let mut steps = Vec::with_capacity(STEPS);
     for _ in 0..STEPS {
+        let before = telemetry::phase_totals();
         let s = m.step(&mut timed);
         assert!(s.cg_converged, "tour solver diverged");
+        let after = telemetry::phase_totals();
+        steps.push(StepSample {
+            ni: s.cg_iterations as u64,
+            measured: MeasuredPhases {
+                ps_compute_s: (after.ps_compute - before.ps_compute).as_secs_f64(),
+                ps_comm_s: (after.ps_comm - before.ps_comm).as_secs_f64(),
+                ds_compute_s: (after.ds_compute - before.ds_compute).as_secs_f64(),
+                ds_comm_s: (after.ds_comm - before.ds_comm).as_secs_f64(),
+            },
+        });
     }
     let (nps, nds) = m.measured_n_coefficients();
     RankRun {
@@ -97,6 +119,7 @@ fn run_rank<W: hyades_comms::CommWorld>(world: &mut W, seed: u64) -> RankRun {
         wet_columns: m.masks.wet_columns(),
         measured_nps: nps,
         measured_nds: nds,
+        steps,
     }
 }
 
@@ -195,6 +218,40 @@ pub fn run(seed: u64) -> TourArtifacts {
     let max_abs_residual = cmp.max_abs_residual();
     let phase_report = cmp.render();
 
+    // Per-step residual series: each step's sample is the rank-mean of
+    // the charged phase deltas (iteration counts are global, so any
+    // rank's `ni` works).
+    let step_samples: Vec<StepSample> = (0..STEPS)
+        .map(|i| StepSample {
+            ni: runs[0].steps[i].ni,
+            measured: MeasuredPhases {
+                ps_compute_s: runs
+                    .iter()
+                    .map(|r| r.steps[i].measured.ps_compute_s)
+                    .sum::<f64>()
+                    / n,
+                ps_comm_s: runs
+                    .iter()
+                    .map(|r| r.steps[i].measured.ps_comm_s)
+                    .sum::<f64>()
+                    / n,
+                ds_compute_s: runs
+                    .iter()
+                    .map(|r| r.steps[i].measured.ds_compute_s)
+                    .sum::<f64>()
+                    / n,
+                ds_comm_s: runs
+                    .iter()
+                    .map(|r| r.steps[i].measured.ds_comm_s)
+                    .sum::<f64>()
+                    / n,
+            },
+        })
+        .collect();
+    let series = phases::step_residual_series(&model, &step_samples);
+    let max_step_residual = series.max_abs_residual();
+    let residual_series = series.render();
+
     // 4. Merge per-rank telemetry (rank order, then the bench rank) and
     //    export both formats.
     let mut ranks: Vec<RankTelemetry> = runs.drain(..).map(|r| r.telemetry).collect();
@@ -208,8 +265,148 @@ pub fn run(seed: u64) -> TourArtifacts {
         chrome_json,
         text_summary,
         phase_report,
+        residual_series,
         max_abs_residual,
+        max_step_residual,
         span_count,
+    }
+}
+
+// --- the coupled diagnostics tour -------------------------------------
+
+/// Steps of the coupled run-health tour.
+const CSTEPS: usize = 4;
+
+/// Everything the coupled diagnostics tour produces. Every artifact is a
+/// pure function of `seed` (pinned byte-identical by
+/// `tests/determinism.rs`).
+pub struct DiagArtifacts {
+    /// Per-timestep diagnostics tables for both isomorphs (MITgcm
+    /// monitor style).
+    pub text: String,
+    /// Machine-readable series (consumed by the bench differ).
+    pub json: String,
+    /// Prometheus gauges for the final state of both series.
+    pub prom: String,
+    /// Steps monitored per isomorph.
+    pub steps: u64,
+    /// Sentinel trips across both isomorphs (0 for a healthy run).
+    pub sentinel_trips: u64,
+    /// CG iterations-per-solve quantiles over every solve of the run
+    /// (both isomorphs, from the telemetry histogram).
+    pub cg_iters_p50: u64,
+    pub cg_iters_p99: u64,
+    /// Largest advective CFL seen by either isomorph.
+    pub max_cfl: f64,
+}
+
+/// The coupled pair of the diagnostics tour: miniature 2.8125°-style
+/// atmosphere over a test ocean, both on the tour's 2×2 decomposition.
+fn coupled_pair(rank: usize) -> CoupledModel {
+    let d = Decomp::blocks(NX, NY, PX, PY, 3);
+    let mut acfg = ModelConfig::atmosphere_2p8125(Decomp::blocks(128, 64, 1, 1, 3));
+    acfg.grid = Grid::global(NX, NY, 5, 60.0, vec![2.0e4; 5]);
+    acfg.decomp = d;
+    acfg.dt = 600.0;
+    let mut ocfg = ModelConfig::test_ocean(NX, NY, 6, d);
+    ocfg.grid = Grid::global(NX, NY, 6, 60.0, stretched_levels(6, 3000.0));
+    ocfg.forcing = SurfaceForcing::Coupled;
+    CoupledModel::new(Model::new(acfg, rank), Model::new(ocfg, rank), 2)
+}
+
+struct CoupledRankRun {
+    telemetry: RankTelemetry,
+    atmos: RunMonitor,
+    ocean: RunMonitor,
+}
+
+fn run_coupled_rank<W: hyades_comms::CommWorld>(world: &mut W, seed: u64) -> CoupledRankRun {
+    let rank = world.rank();
+    telemetry::enable_with_rates(rank, FPS_MFLOPS, FDS_MFLOPS);
+    let mut c = coupled_pair(rank);
+    // Seeded perturbation of the ocean stratification, then re-derive the
+    // boundary fields so the coupled state stays self-consistent.
+    let mut rng = SplitMix64::new(seed ^ (rank as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    for (i, j, k) in c.ocean.state.theta.clone().interior() {
+        c.ocean
+            .state
+            .theta
+            .add(i, j, k, (rng.next_f64() - 0.5) * 0.2);
+    }
+    c.exchange_boundary_conditions();
+
+    let net = arctic_paper();
+    let mut timed = TimedWorld::new(world, &net);
+    let mut atmos = RunMonitor::new("atmos", SentinelConfig::default());
+    let mut ocean = RunMonitor::new("ocean", SentinelConfig::default());
+    for _ in 0..CSTEPS {
+        let healthy = c.step_monitored(&mut timed, &mut atmos, &mut ocean);
+        assert!(
+            healthy,
+            "coupled diag tour tripped the sentinel: {}",
+            atmos
+                .blowup()
+                .or(ocean.blowup())
+                .map(|r| r.render())
+                .unwrap_or_default()
+        );
+    }
+    CoupledRankRun {
+        telemetry: telemetry::disable().expect("telemetry was enabled"),
+        atmos,
+        ocean,
+    }
+}
+
+/// Run the coupled diagnostics tour: a 2×2-rank coupled
+/// atmosphere–ocean run under `TimedWorld` with per-step run-health
+/// monitoring and the sentinel armed. Every diagnostic is reduced
+/// through the communicator, so all ranks hold identical series; rank
+/// 0's is *the* global series.
+pub fn run_coupled_diag(seed: u64) -> DiagArtifacts {
+    let runs = ThreadWorld::run(NRANKS, |w| run_coupled_rank(w, seed));
+    let r0 = &runs[0];
+
+    let text = format!(
+        "{}\n{}",
+        r0.atmos.series().render_text(),
+        r0.ocean.series().render_text()
+    );
+    let json = format!(
+        "{{\"diag\":[{},{}]}}",
+        r0.atmos.series().render_json(),
+        r0.ocean.series().render_json()
+    );
+    let prom = format!(
+        "{}{}",
+        r0.atmos.series().render_prom("hyades"),
+        r0.ocean.series().render_prom("hyades")
+    );
+
+    let (cg_iters_p50, cg_iters_p99) = r0
+        .telemetry
+        .registry
+        .hist("gcm.cg", "iterations_per_solve")
+        .map(|h| (h.p50(), h.p99()))
+        .unwrap_or((0, 0));
+    let max_cfl = r0
+        .atmos
+        .series()
+        .max("cfl_adv")
+        .unwrap_or(f64::NAN)
+        .max(r0.ocean.series().max("cfl_adv").unwrap_or(f64::NAN));
+
+    DiagArtifacts {
+        text,
+        json,
+        prom,
+        steps: r0.ocean.steps(),
+        // Trip decisions come from reduced values, so every rank agrees;
+        // rank 0's count is the global count.
+        sentinel_trips: r0.atmos.trips() + r0.ocean.trips(),
+        cg_iters_p50,
+        cg_iters_p99,
+        max_cfl,
     }
 }
 
@@ -261,5 +458,48 @@ mod tests {
         assert_eq!(a.chrome_json, b.chrome_json);
         assert_eq!(a.text_summary, b.text_summary);
         assert_eq!(a.phase_report, b.phase_report);
+        assert_eq!(a.residual_series, b.residual_series);
+    }
+
+    #[test]
+    fn tour_residual_series_has_one_row_per_step() {
+        let t = run(7);
+        assert!(t.residual_series.contains(&format!(
+            "per-step model-vs-measured residuals ({STEPS} steps)"
+        )));
+        assert!(
+            t.max_step_residual.is_finite() && t.max_step_residual < 2.0,
+            "per-step drift: {}",
+            t.residual_series
+        );
+        // The step series can only refine the end-of-run average, never
+        // contradict it wildly.
+        assert!(t.max_step_residual >= t.max_abs_residual / 10.0 || t.max_abs_residual < 0.05);
+    }
+
+    #[test]
+    fn coupled_diag_tour_is_healthy_and_complete() {
+        let d = run_coupled_diag(7);
+        assert_eq!(d.steps, CSTEPS as u64);
+        assert_eq!(d.sentinel_trips, 0);
+        assert!(d.cg_iters_p50 >= 1);
+        assert!(d.cg_iters_p99 >= d.cg_iters_p50);
+        assert!(
+            d.max_cfl > 0.0 && d.max_cfl < 1.0,
+            "max_cfl = {}",
+            d.max_cfl
+        );
+        // Both isomorphs' series in every exporter.
+        assert!(d.text.contains("# diag series: atmos"));
+        assert!(d.text.contains("# diag series: ocean"));
+        assert!(d.json.starts_with("{\"diag\":[{\"series\":\"atmos\""));
+        assert!(d.json.contains("\"series\":\"ocean\""));
+        assert!(d
+            .prom
+            .contains("hyades_diag_steps{series=\"atmos\"} 4.000000"));
+        assert!(d.prom.contains("series=\"ocean\",metric=\"cfl_adv\""));
+        for key in ["vol_anom", "ke_u", "cg_iters", "theta_max", "sentinel_trip"] {
+            assert!(d.json.contains(&format!("\"{key}\"")), "missing {key}");
+        }
     }
 }

@@ -159,6 +159,21 @@ mod tests {
     }
 
     #[test]
+    fn monitored_coupled_steps_stay_healthy() {
+        use crate::monitor::{RunMonitor, SentinelConfig};
+        let mut c = small_pair();
+        let mut w = SerialWorld;
+        let mut ma = RunMonitor::new("atmos", SentinelConfig::default());
+        let mut mo = RunMonitor::new("ocean", SentinelConfig::default());
+        for _ in 0..4 {
+            assert!(c.step_monitored(&mut w, &mut ma, &mut mo));
+        }
+        assert_eq!(ma.steps(), 4);
+        assert_eq!(mo.series().len(), 4);
+        assert_eq!(ma.trips() + mo.trips(), 0);
+    }
+
+    #[test]
     fn coupled_steps_stay_finite() {
         let mut c = small_pair();
         let mut wa = SerialWorld;
@@ -214,6 +229,27 @@ impl CoupledModel {
             self.exchange_boundary_conditions();
         }
         (sa, so)
+    }
+
+    /// [`step_shared`] with run-health monitoring: after stepping, each
+    /// isomorph's [`RunMonitor`] observes its model through the same
+    /// shared communicator (again in a fixed atmos-then-ocean order, so
+    /// the collective schedule stays identical on every rank). Returns
+    /// `true` while both isomorphs are healthy; on `false` the caller
+    /// stops stepping and reads the blame from the tripped monitor.
+    ///
+    /// [`step_shared`]: CoupledModel::step_shared
+    /// [`RunMonitor`]: crate::monitor::RunMonitor
+    pub fn step_monitored(
+        &mut self,
+        world: &mut dyn CommWorld,
+        atmos_monitor: &mut crate::monitor::RunMonitor,
+        ocean_monitor: &mut crate::monitor::RunMonitor,
+    ) -> bool {
+        let (sa, so) = self.step_shared(world);
+        let ha = atmos_monitor.observe(world, &self.atmos, &sa);
+        let ho = ocean_monitor.observe(world, &self.ocean, &so);
+        ha && ho
     }
 
     /// Checkpoint both isomorphs into one stream.

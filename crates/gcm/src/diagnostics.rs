@@ -49,11 +49,11 @@ pub fn global_diagnostics(model: &Model, world: &mut dyn CommWorld) -> GlobalDia
 pub fn tile_level_csv(model: &Model, level: usize) -> String {
     let mut out = String::new();
     let t = &model.tile;
-    writeln!(out, "# gi,gj,lat_deg,u,v,theta,s,ps").unwrap();
+    let _ = writeln!(out, "# gi,gj,lat_deg,u,v,theta,s,ps");
     for j in 0..t.ny as i64 {
         let lat = model.cfg.grid.lat_c(t.gy(j)).to_degrees();
         for i in 0..t.nx as i64 {
-            writeln!(
+            let _ = writeln!(
                 out,
                 "{},{},{:.3},{:.6},{:.6},{:.4},{:.5},{:.5}",
                 t.gx(i),
@@ -64,8 +64,7 @@ pub fn tile_level_csv(model: &Model, level: usize) -> String {
                 model.state.theta.at(i, j, level),
                 model.state.s.at(i, j, level),
                 model.state.ps.at(i, j),
-            )
-            .unwrap();
+            );
         }
     }
     out
@@ -263,10 +262,12 @@ pub fn gathered_level_csv(
         for j in 0..ny {
             for i in 0..nx {
                 let g = (gy0 + j) * gnx + (gx0 + i);
+                // A short chunk (malformed gather) leaves NaN holes
+                // rather than panicking mid-diagnostic.
                 grid[g] = [
-                    *it.next().unwrap(),
-                    *it.next().unwrap(),
-                    *it.next().unwrap(),
+                    it.next().copied().unwrap_or(f64::NAN),
+                    it.next().copied().unwrap_or(f64::NAN),
+                    it.next().copied().unwrap_or(f64::NAN),
                 ];
             }
         }
@@ -274,12 +275,11 @@ pub fn gathered_level_csv(
     let mut out = String::from("# gi,gj,u,v,theta\n");
     for (g, cell) in grid.iter().enumerate() {
         let (gi, gj) = (g % gnx, g / gnx);
-        writeln!(
+        let _ = writeln!(
             out,
             "{gi},{gj},{:.6},{:.6},{:.4}",
             cell[0], cell[1], cell[2]
-        )
-        .unwrap();
+        );
     }
     Some(out)
 }

@@ -38,6 +38,10 @@ pub struct StepStats {
     /// 3-D solver iterations (non-hydrostatic mode; 0 otherwise).
     pub nh_iterations: usize,
     pub cg_residual: f64,
+    /// Absolute `‖r₀‖` of the surface-pressure solve (warm-start drift).
+    pub cg_initial_residual: f64,
+    /// Absolute final `‖r‖`.
+    pub cg_final_residual: f64,
     pub cg_converged: bool,
     /// Flops this rank spent in each phase this step.
     pub ps_flops: u64,
@@ -371,11 +375,20 @@ impl Model {
             cg_iterations: cg.iterations,
             nh_iterations,
             cg_residual: cg.rel_residual,
+            cg_initial_residual: cg.initial_residual,
+            cg_final_residual: cg.final_residual,
             cg_converged: cg.converged,
             ps_flops,
             ds_flops,
             max_speed,
         }
+    }
+
+    /// Max |∇·(H u*)| over the tile interior after the most recent step
+    /// — the divergence that fed the elliptic right-hand side. A healthy
+    /// run keeps this bounded; growth is an early blowup signal.
+    pub fn divergence_norm(&self) -> f64 {
+        self.ws.rhs.interior_max_abs()
     }
 
     /// Run `n` steps, returning the last step's stats.

@@ -91,17 +91,26 @@ fn unpack(
     is_range: std::ops::Range<i64>,
     js_range: std::ops::Range<i64>,
 ) {
+    // Validate the payload size once up front; the fill loop below can
+    // then consume infallibly.
+    let cells = ((is_range.end - is_range.start) * (js_range.end - js_range.start)).max(0) as usize;
+    let expected = 1 + fields.iter().map(|f| f.levels() * cells).sum::<usize>();
+    assert_eq!(
+        data.len(),
+        expected,
+        "halo message truncated or padded: {} words, expected {expected}",
+        data.len()
+    );
     let mut it = data.iter().skip(1).copied();
     for f in fields.iter_mut() {
         for k in 0..f.levels() {
             for j in js_range.clone() {
                 for i in is_range.clone() {
-                    f.put(i, j, k, it.next().expect("halo message truncated"));
+                    f.put(i, j, k, it.next().unwrap_or(0.0));
                 }
             }
         }
     }
-    assert!(it.next().is_none(), "halo message has trailing data");
 }
 
 fn zero_halo(

@@ -48,6 +48,7 @@ pub mod flops;
 pub mod grid;
 pub mod halo;
 pub mod kernel;
+pub mod monitor;
 pub mod physics;
 pub mod solver;
 pub mod state;
@@ -58,3 +59,4 @@ pub use config::ModelConfig;
 pub use driver::{Model, StepStats};
 pub use field::{Field2, Field3};
 pub use grid::Grid;
+pub use monitor::{BlowupKind, BlowupReport, RunMonitor, SentinelConfig};

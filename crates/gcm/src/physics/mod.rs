@@ -127,8 +127,9 @@ pub fn convective_adjustment(
                     let b_near = cfg.eos.buoyancy(tu, su, upper.k_last);
                     let b_far = cfg.eos.buoyancy(tl, sl, lower.k_first);
                     if cfg.eos.unstable(b_near, b_far) {
-                        let lower = stack.pop().unwrap();
-                        let upper = stack.last_mut().unwrap();
+                        // Both always present under the `len() >= 2` guard.
+                        let Some(lower) = stack.pop() else { break };
+                        let Some(upper) = stack.last_mut() else { break };
                         upper.k_last = lower.k_last;
                         upper.t_sum += lower.t_sum;
                         upper.s_sum += lower.s_sum;

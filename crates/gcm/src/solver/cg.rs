@@ -29,6 +29,12 @@ pub const CG_FLOPS_PER_CELL: u64 = 13;
 #[derive(Clone, Copy, Debug)]
 pub struct CgResult {
     pub iterations: usize,
+    /// `‖r₀‖` — the absolute residual norm before the first iteration
+    /// (warm-started, so this measures how far the previous step's
+    /// pressure drifted).
+    pub initial_residual: f64,
+    /// Final absolute `‖r‖`.
+    pub final_residual: f64,
     /// Final `‖r‖ / ‖b‖`.
     pub rel_residual: f64,
     pub converged: bool,
@@ -146,6 +152,8 @@ impl CgSolver {
         if rr0 == 0.0 {
             return CgResult {
                 iterations: 0,
+                initial_residual: 0.0,
+                final_residual: 0.0,
                 rel_residual: 0.0,
                 converged: true,
             };
@@ -193,6 +201,16 @@ impl CgSolver {
             let mut pair = [rz_new, rr_new];
             world.global_sum_vec(&mut pair);
             let (rz_new, rr_new) = (pair[0], pair[1]);
+            // Per-iteration convergence trace: ‖r‖² reduction rate in
+            // permille (e.g. 250 = each iteration leaves a quarter of
+            // the squared residual). Saturates at the histogram's u64.
+            if rr > 0.0 {
+                telemetry::observe_hist(
+                    "gcm.cg",
+                    "reduction_permille",
+                    ((rr_new / rr) * 1000.0) as u64,
+                );
+            }
             rr = rr_new;
             flops::add(
                 Phase::Ds,
@@ -219,6 +237,8 @@ impl CgSolver {
         telemetry::observe_hist("gcm.cg", "iterations_per_solve", iterations as u64);
         CgResult {
             iterations,
+            initial_residual: rr0.sqrt(),
+            final_residual: rr.sqrt(),
             rel_residual,
             converged: rr <= target,
         }

@@ -300,10 +300,12 @@ fn pass_f32_in_gcm(ctx: &FileCtx<'_>, out: &mut Vec<Raw>) {
     }
 }
 
-/// R5: panicking on Err/None in library code of the simulation crates;
-/// burned down via the checked-in baseline.
+/// R5: panicking on Err/None in library code of the simulation crates
+/// and (since the run-health observatory made its failure paths
+/// load-bearing) the GCM; burned down via the checked-in baseline.
 fn pass_unwrap_in_lib(ctx: &FileCtx<'_>, out: &mut Vec<Raw>) {
-    if !event_ordering_crate(ctx) || !ctx.scope.in_src {
+    let in_scope = event_ordering_crate(ctx) || ctx.scope.crate_name.as_deref() == Some("gcm");
+    if !in_scope || !ctx.scope.in_src {
         return;
     }
     for i in 0..ctx.code.len() {
@@ -658,7 +660,17 @@ mod tests {
         assert_eq!(hits.len(), 1, "{hits:?}");
         assert_eq!(hits[0].line, 1);
         assert!(rules_hit("crates/des/tests/t.rs", src).is_empty());
-        assert!(rules_hit("crates/gcm/src/x.rs", src).is_empty());
+        // PR 7 pulls the GCM into the burndown scope: the run-health
+        // observatory makes its failure paths load-bearing.
+        let gcm_hits = analyze("crates/gcm/src/x.rs", src);
+        assert_eq!(gcm_hits.len(), 1, "{gcm_hits:?}");
+        assert!(rules_hit("crates/gcm/tests/t.rs", src).is_empty());
+        // The widened scope is rule-local: gcm stays outside the
+        // event-ordering passes (hash iteration is only flagged in the
+        // des/arctic/comms/cluster/telemetry crates).
+        let hash_src = "let mut m = HashMap::new();\nfor v in m.values() {}\n";
+        assert!(!rules_hit("crates/gcm/src/x.rs", hash_src).contains(&HASH_ITERATION));
+        assert!(rules_hit("crates/des/src/x.rs", hash_src).contains(&HASH_ITERATION));
     }
 
     #[test]

@@ -125,6 +125,99 @@ impl PhaseComparison {
     }
 }
 
+/// One step's measured phase seconds plus the solver iteration count
+/// that step actually took — the inputs the per-step prediction needs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StepSample {
+    /// CG iterations this step (`Ni` varies step to step).
+    pub ni: u64,
+    pub measured: MeasuredPhases,
+}
+
+/// One step of the residual series: predicted/measured totals and the
+/// per-term residuals for that step alone.
+#[derive(Clone, Copy, Debug)]
+pub struct StepResidualRow {
+    pub step: u64,
+    pub ni: u64,
+    pub predicted_s: f64,
+    pub measured_s: f64,
+    /// `(measured − predicted) / predicted` for the whole step.
+    pub residual: f64,
+}
+
+/// Per-step model-vs-measured drift over a run. The end-of-run
+/// [`PhaseComparison`] averages residuals away; this series shows
+/// *when* the model and the run diverge (e.g. an `Ni` ramp as the
+/// pressure field roughens).
+#[derive(Clone, Debug)]
+pub struct ResidualSeries {
+    pub rows: Vec<StepResidualRow>,
+}
+
+impl ResidualSeries {
+    /// Largest |per-step residual| over the run.
+    pub fn max_abs_residual(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(|r| r.residual.abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Deterministic text table, one line per step.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(&["step", "ni", "predicted_s", "measured_s", "residual"]);
+        for r in &self.rows {
+            t.row(&[
+                r.step.to_string(),
+                r.ni.to_string(),
+                format!("{:.6}", r.predicted_s),
+                format!("{:.6}", r.measured_s),
+                format!("{:+.2}%", r.residual * 100.0),
+            ]);
+        }
+        format!(
+            "per-step model-vs-measured residuals ({} steps):\n{}",
+            self.rows.len(),
+            t.render()
+        )
+    }
+}
+
+/// Build the per-step residual series: each sample is one step's charged
+/// phase seconds (differences of consecutive recorder snapshots) against
+/// the model's prediction for one step with that step's `Ni`.
+pub fn step_residual_series(model: &PerfModel, samples: &[StepSample]) -> ResidualSeries {
+    let rows = samples
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let ni = s.ni as f64;
+            let predicted = model.tps_compute()
+                + model.tps_exch()
+                + ni * (model.tds_compute() + model.tds_comm());
+            let measured = s.measured.total();
+            let residual = if predicted == 0.0 {
+                if measured == 0.0 {
+                    0.0
+                } else {
+                    f64::INFINITY.copysign(measured)
+                }
+            } else {
+                (measured - predicted) / predicted
+            };
+            StepResidualRow {
+                step: i as u64 + 1,
+                ni: s.ni,
+                predicted_s: predicted,
+                measured_s: measured,
+                residual,
+            }
+        })
+        .collect();
+    ResidualSeries { rows }
+}
+
 /// Compare an instrumented run's measured phase seconds against the
 /// analytical model, term by term.
 pub fn compare(
@@ -214,6 +307,43 @@ mod tests {
             assert!(a.contains(label), "missing {label} in:\n{a}");
         }
         assert!(a.contains("nt=50 ni_total=3000"));
+    }
+
+    #[test]
+    fn step_series_localizes_drift_to_the_step() {
+        let m = paper_atmosphere();
+        let per_step = |ni: u64, scale: f64| StepSample {
+            ni,
+            measured: MeasuredPhases {
+                ps_compute_s: m.tps_compute() * scale,
+                ps_comm_s: m.tps_exch() * scale,
+                ds_compute_s: ni as f64 * m.tds_compute() * scale,
+                ds_comm_s: ni as f64 * m.tds_comm() * scale,
+            },
+        };
+        // Steps 1–2 match the model exactly; step 3 runs 20% hot.
+        let series = step_residual_series(
+            &m,
+            &[per_step(60, 1.0), per_step(55, 1.0), per_step(80, 1.2)],
+        );
+        assert_eq!(series.rows.len(), 3);
+        assert!(series.rows[0].residual.abs() < 1e-12);
+        assert!(series.rows[1].residual.abs() < 1e-12);
+        assert!((series.rows[2].residual - 0.2).abs() < 1e-12);
+        assert!((series.max_abs_residual() - 0.2).abs() < 1e-12);
+        assert_eq!(series.rows[2].step, 3);
+        assert_eq!(series.rows[2].ni, 80);
+        let r = series.render();
+        assert_eq!(
+            r,
+            step_residual_series(
+                &m,
+                &[per_step(60, 1.0), per_step(55, 1.0), per_step(80, 1.2),]
+            )
+            .render()
+        );
+        assert!(r.contains("per-step model-vs-measured residuals (3 steps)"));
+        assert!(r.contains("+20.00%"));
     }
 
     #[test]

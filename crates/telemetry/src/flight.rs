@@ -41,6 +41,21 @@ pub fn record(at: SimTime, actor: ActorId, label: &'static str, detail: u64) {
     });
 }
 
+/// Convenience for model-side callers (the GCM monitor) that live
+/// outside the DES and have no natural [`SimTime`]/[`ActorId`]: stamp
+/// the crumb with the timestep number as microseconds and the rank as
+/// the actor, so sentinel breadcrumbs interleave readably with a
+/// `Trace::dump`.
+#[inline]
+pub fn crumb(step: u64, rank: usize, label: &'static str, detail: u64) {
+    record(
+        SimTime::from_us_f64(step as f64),
+        ActorId(rank),
+        label,
+        detail,
+    );
+}
+
 /// Remove and return the recorder (for dumping after a failure).
 pub fn take() -> Option<Trace> {
     INSTALLED.with(|i| i.set(false));

@@ -35,6 +35,7 @@
 //! [`SimDuration`]: hyades_des::SimDuration
 
 pub mod commlog;
+pub mod diag;
 pub mod export;
 pub mod flight;
 pub mod prom;
@@ -42,12 +43,13 @@ pub mod recorder;
 pub mod registry;
 pub mod sampler;
 
+pub use diag::{DiagRow, DiagSeries};
 pub use export::RunTelemetry;
 pub use prom::PromText;
 pub use recorder::{
     charge_comm, charge_flops, count, current_phase, disable, enable, enable_with_rates, enabled,
-    observe, observe_duration_us, observe_hist, record_span, set_phase, Phase, PhaseTotals,
-    RankTelemetry, SpanRecord, DES_PID, GCM_PID,
+    observe, observe_duration_us, observe_hist, phase_totals, record_span, set_phase, Phase,
+    PhaseTotals, RankTelemetry, SpanRecord, DES_PID, GCM_PID,
 };
 pub use registry::Registry;
 pub use sampler::{SampleSet, SampleTick, SamplerActor, Series, SeriesKey};

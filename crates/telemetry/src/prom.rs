@@ -13,9 +13,20 @@ use crate::registry::Registry;
 use std::fmt::Write as _;
 
 /// Render an `f64` the way every exporter in this crate does: fixed six
-/// decimals, no exponent. Deterministic for any finite value.
+/// decimals, no exponent. Non-finite values use the spellings the
+/// Prometheus text format requires (`NaN`, `+Inf`, `-Inf`) — Rust's
+/// default `{:.6}` would emit `NaN`/`inf`/`-inf`, and lowercase `inf`
+/// is not parseable by Prometheus. Deterministic for every value.
 pub fn fixed(v: f64) -> String {
-    format!("{v:.6}")
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v:.6}")
+    }
 }
 
 /// Incremental builder for one exposition document.
@@ -148,10 +159,39 @@ mod tests {
     }
 
     #[test]
+    fn hostile_link_and_flow_names_render_parseably() {
+        // Link/flow names are caller-supplied strings; a name containing
+        // the format's own metacharacters must round-trip through label
+        // escaping without breaking the sample line.
+        let mut p = PromText::new();
+        p.type_line("hyades_flow_bytes", "gauge");
+        p.sample(
+            "hyades_flow_bytes",
+            &[("flow", "src=\"a\\b\"\ndst=c"), ("link", "l0.\"w1\".p2")],
+            7.0,
+        );
+        assert_eq!(
+            p.finish(),
+            "# TYPE hyades_flow_bytes gauge\n\
+             hyades_flow_bytes{flow=\"src=\\\"a\\\\b\\\"\\ndst=c\",link=\"l0.\\\"w1\\\".p2\"} 7.000000\n"
+        );
+    }
+
+    #[test]
     fn fixed_is_six_decimals() {
         assert_eq!(fixed(0.0), "0.000000");
         assert_eq!(fixed(1.0 / 3.0), "0.333333");
         assert_eq!(fixed(1234.5), "1234.500000");
+    }
+
+    #[test]
+    fn fixed_renders_non_finite_per_spec() {
+        // The sentinel publishes gauges that can legitimately be
+        // non-finite (that is what it exists to catch); the exposition
+        // must use the spec spellings, not Rust's `inf`.
+        assert_eq!(fixed(f64::NAN), "NaN");
+        assert_eq!(fixed(f64::INFINITY), "+Inf");
+        assert_eq!(fixed(f64::NEG_INFINITY), "-Inf");
     }
 
     #[test]

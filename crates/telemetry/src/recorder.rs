@@ -273,6 +273,19 @@ pub fn charge_flops(phase: Phase, flops: u64) {
     });
 }
 
+/// Snapshot of the per-phase charged totals so far (all zero when
+/// disabled). The run-health monitor differences consecutive snapshots
+/// to attribute charged time to individual timesteps.
+#[inline]
+pub fn phase_totals() -> PhaseTotals {
+    if !enabled() {
+        return PhaseTotals::default();
+    }
+    let mut totals = PhaseTotals::default();
+    with_recorder(|rec| totals = rec.phases);
+    totals
+}
+
 /// Bump a registry counter.
 #[inline]
 pub fn count(component: &'static str, metric: &'static str, delta: u64) {

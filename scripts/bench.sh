@@ -1,17 +1,21 @@
 #!/bin/sh
 # Perf-baseline harness: builds and runs the `baseline` bin, which emits
-# BENCH_pr6.json (wall time, simulated time, per-phase model residuals,
-# fabric hotspot summary, full-tree lint timing, interprocedural flow
-# timing) plus the raw exporter artifacts under target/observatory/.
+# BENCH_pr7.json (wall time, simulated time, per-phase model residuals,
+# fabric hotspot summary, run-health diagnostics, full-tree lint timing,
+# interprocedural flow timing) plus the raw exporter artifacts under
+# target/observatory/.
 #
-#   scripts/bench.sh            # full run -> BENCH_pr6.json
+#   scripts/bench.sh            # full run -> BENCH_pr7.json
 #   scripts/bench.sh --smoke    # CI-sized run, same embedded checks
+#   scripts/bench.sh diff A B   # budgeted cross-run comparison
 #
 # The bin exits non-zero if the congested workload shows no hotspot, if
 # the exports are not byte-identical across a same-seed double run, if
-# the tour's model residual blows past its sanity bar, if the lint pass
-# finds unsuppressed violations, or (in --smoke) if the lint::flow
-# call-graph + fixpoint pass exceeds its wall-clock budget.
+# the tour's model residual blows past its sanity bar, if the coupled
+# run-health diagnostics differ across a double run or the sentinel
+# trips, if the lint pass finds unsuppressed violations, or (in --smoke)
+# if the lint::flow call-graph + fixpoint pass exceeds its wall-clock
+# budget.
 set -eu
 cd "$(dirname "$0")/.."
 

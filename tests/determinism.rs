@@ -283,6 +283,68 @@ fn observatory_exports_are_bit_identical_across_runs() {
 }
 
 #[test]
+fn coupled_diag_exports_are_bit_identical_across_runs() {
+    // The run-health observatory's golden test: the per-timestep
+    // diagnostics of the monitored coupled run — budgets, CFL
+    // indicators, per-field extremes with blame coordinates, CG traces —
+    // are built entirely from rank-ordered reductions, so all three
+    // exporters must replay byte-for-byte.
+    let a = hyades::tour::run_coupled_diag(0xD1A6);
+    let b = hyades::tour::run_coupled_diag(0xD1A6);
+    assert_eq!(a.text, b.text, "diag text must replay byte-identically");
+    assert_eq!(a.json, b.json, "diag json must replay byte-identically");
+    assert_eq!(a.prom, b.prom, "diag prom must replay byte-identically");
+    assert_eq!(a.sentinel_trips, 0, "healthy run tripped the sentinel");
+    assert!(a.steps > 0);
+
+    // A different seed perturbs the ocean initial state, which must move
+    // the recorded extremes — otherwise the equality above is vacuous.
+    let c = hyades::tour::run_coupled_diag(0x0CEA);
+    assert_ne!(a.text, c.text);
+    assert_ne!(a.json, c.json);
+}
+
+#[test]
+fn threaded_blowup_sentinel_blames_the_poisoned_cell() {
+    use hyades::gcm::config::ModelConfig;
+    use hyades::gcm::driver::Model;
+    use hyades::gcm::{BlowupKind, RunMonitor, SentinelConfig};
+
+    // Poison one theta cell on one rank of a 2×2 decomposition; every
+    // rank's sentinel must agree (the blame key is reduced) and name the
+    // owning rank, level, and global cell.
+    const POISONED_RANK: usize = 2;
+    let d = Decomp::blocks(16, 8, 2, 2, 3);
+    let reports = ThreadWorld::run(d.n_ranks(), move |w| {
+        let mut m = Model::new(ModelConfig::test_ocean(16, 8, 4, d), w.rank());
+        let mut mon = RunMonitor::new("ocean", SentinelConfig::default());
+        let stats = m.step(w);
+        assert!(mon.observe(w, &m, &stats), "healthy step tripped");
+        let stats = m.step(w);
+        if w.rank() == POISONED_RANK {
+            m.state.theta.set(2, 1, 1, f64::NAN);
+        }
+        let healthy = mon.observe(w, &m, &stats);
+        assert!(!healthy, "sentinel missed the NaN");
+        let r = mon.blowup().expect("tripped sentinel left no report");
+        (r.kind, r.field, r.rank, r.level, r.gi, r.gj, r.step)
+    });
+    let t = d.tile(POISONED_RANK);
+    let expected = (
+        BlowupKind::NonFinite,
+        "theta",
+        POISONED_RANK,
+        1usize,
+        t.gx(2),
+        t.gy(1),
+        2u64,
+    );
+    for (rank, r) in reports.iter().enumerate() {
+        assert_eq!(*r, expected, "rank {rank} disagrees on the blame");
+    }
+}
+
+#[test]
 fn e17_effect_table_report_is_bit_identical_across_runs() {
     // The interprocedural effect table is itself a published artefact
     // (E17). The analysis walks sorted sources through BTree-ordered
