@@ -1,8 +1,8 @@
 //! The perf-baseline harness: one deterministic, instrumented pass over
 //! the E14-style experiments plus the fabric observatory, the run-health
-//! observatory, and the full static-analysis tree walk, emitting
-//! `BENCH_pr7.json` — one point of the regression trajectory every later
-//! PR is compared against.
+//! observatory, the cross-rank critical-path profiler, and the full
+//! static-analysis tree walk, emitting `BENCH_pr8.json` — one point of
+//! the regression trajectory every later PR is compared against.
 //!
 //! ```text
 //! scripts/bench.sh            # full run
@@ -26,14 +26,18 @@
 //!   come back clean;
 //! * the interprocedural flow pass alone (call-graph build + effect
 //!   fixpoint, timed as `lint_flow_ms`) must stay under its smoke
-//!   budget.
+//!   budget;
+//! * the critical-path profiler must blame the injected straggler's
+//!   exact (rank, phase), replay byte-identically across a same-seed
+//!   double run, and keep the balanced run's per-step path within the
+//!   phase model's residual budget.
 //!
 //! The `diff` subcommand compares two summaries through
 //! [`hyades_bench::diff`]'s per-metric budgets and prints a
 //! machine-readable verdict (non-zero exit on any busted budget).
 //!
 //! Wall-clock numbers in the output are environment-dependent by nature;
-//! everything else in `BENCH_pr7.json` is deterministic.
+//! everything else in `BENCH_pr8.json` is deterministic.
 
 use hyades::tour;
 use hyades_arctic::observatory::ObservatoryConfig;
@@ -107,7 +111,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut args = Args {
         smoke: false,
-        out: PathBuf::from("BENCH_pr7.json"),
+        out: PathBuf::from("BENCH_pr8.json"),
         artifact_dir: PathBuf::from("target/observatory"),
     };
     let mut it = std::env::args().skip(1);
@@ -265,18 +269,60 @@ fn main() {
         ));
     }
 
+    // 7. Critical-path profiler: balanced run checked against the phase
+    //    model, straggler run (rank 2 + 1 s of PS compute per step)
+    //    checked for exact blame, both for byte-identical replay.
+    let straggler = tour::Straggler {
+        rank: 2,
+        extra_flops: 50_000_000,
+    };
+    let wall_crit = Instant::now();
+    let crit_base = tour::run_critpath(SEED, None);
+    let crit_perturbed = tour::run_critpath(SEED, Some(straggler));
+    let crit_ms = wall_crit.elapsed().as_secs_f64() * 1e3;
+    let crit_base2 = tour::run_critpath(SEED, None);
+    let crit_perturbed2 = tour::run_critpath(SEED, Some(straggler));
+    let critpath_identical = crit_base.report == crit_base2.report
+        && crit_base.json == crit_base2.json
+        && crit_perturbed.report == crit_perturbed2.report
+        && crit_perturbed.json == crit_perturbed2.json;
+    if !critpath_identical {
+        failures.push("critpath artifacts differ across same-seed double run".into());
+    }
+    let blame_rank = crit_perturbed.blame.map(|(r, _)| r);
+    let straggler_blamed = blame_rank == Some(straggler.rank);
+    if !straggler_blamed {
+        failures.push(format!(
+            "critpath blamed rank {blame_rank:?}, injected straggler was rank {}",
+            straggler.rank
+        ));
+    }
+    if crit_base.max_step_residual.abs() >= 2.0 {
+        failures.push(format!(
+            "balanced critical path off the phase model by {:.1}% (budget 200%)",
+            crit_base.max_step_residual * 100.0
+        ));
+    }
+
     write_exports(&args.artifact_dir, &prom, &manifest, &ether_prom, &diag);
+    fs::write(args.artifact_dir.join("critpath.txt"), &crit_base.report)
+        .expect("write critpath.txt");
+    fs::write(
+        args.artifact_dir.join("critpath_straggler.txt"),
+        &crit_perturbed.report,
+    )
+    .expect("write critpath_straggler.txt");
 
     // The summary JSON.
     let worst = report.hotspots.first();
     let mut j = String::new();
     let _ = write!(
         j,
-        "{{\n  \"bench\": \"pr7-baseline\",\n  \"mode\": \"{mode}\",\n  \"seed\": {SEED},\n"
+        "{{\n  \"bench\": \"pr8-baseline\",\n  \"mode\": \"{mode}\",\n  \"seed\": {SEED},\n"
     );
     let _ = write!(
         j,
-        "  \"wall_ms\": {{\"total\": {:.1}, \"tour\": {tour_ms:.1}, \"fabric\": {fabric_ms:.1}, \"ethernet\": {ether_ms:.1}, \"diag\": {diag_ms:.1}, \"lint_full_tree_ms\": {lint_ms:.1}, \"lint_flow_ms\": {flow_ms:.1}}},\n",
+        "  \"wall_ms\": {{\"total\": {:.1}, \"tour\": {tour_ms:.1}, \"fabric\": {fabric_ms:.1}, \"ethernet\": {ether_ms:.1}, \"diag\": {diag_ms:.1}, \"critpath\": {crit_ms:.1}, \"lint_full_tree_ms\": {lint_ms:.1}, \"lint_flow_ms\": {flow_ms:.1}}},\n",
         wall.elapsed().as_secs_f64() * 1e3
     );
     let _ = write!(
@@ -336,7 +382,18 @@ fn main() {
     );
     let _ = write!(
         j,
-        "  \"determinism\": {{\"prometheus_identical\": {prom_identical}, \"manifest_identical\": {manifest_identical}, \"diag_identical\": {diag_identical}}},\n"
+        "  \"critpath\": {{\"max_step_residual\": {:.6}, \"balanced_path_us\": {:.6}, \"straggler_path_us\": {:.6}, \"messages\": {}, \"straggler_blamed\": {straggler_blamed}, \"blame_rank\": {}}},\n",
+        crit_base.max_step_residual,
+        crit_base.total_path_us,
+        crit_perturbed.total_path_us,
+        crit_base.messages,
+        blame_rank
+            .map(|r| r.to_string())
+            .unwrap_or_else(|| "null".into())
+    );
+    let _ = write!(
+        j,
+        "  \"determinism\": {{\"prometheus_identical\": {prom_identical}, \"manifest_identical\": {manifest_identical}, \"diag_identical\": {diag_identical}, \"critpath_identical\": {critpath_identical}}},\n"
     );
     let _ = write!(
         j,
@@ -372,6 +429,15 @@ fn main() {
     println!(
         "  diag: {} steps/component, cg p50/p99 {}/{} iters, max CFL {:.3}, trips {}, byte-identical: {diag_identical}",
         diag.steps, diag.cg_iters_p50, diag.cg_iters_p99, diag.max_cfl, diag.sentinel_trips
+    );
+    println!(
+        "  critpath: balanced {:.1} us / straggler {:.1} us over {} msgs, blame rank {}, byte-identical: {critpath_identical}",
+        crit_base.total_path_us,
+        crit_perturbed.total_path_us,
+        crit_base.messages,
+        blame_rank
+            .map(|r| r.to_string())
+            .unwrap_or_else(|| "-".into())
     );
     println!(
         "  lint: {} files in {lint_ms:.0} ms, {} violation(s)",

@@ -324,6 +324,12 @@ pub fn compare(old: &BTreeMap<String, Val>, new: &BTreeMap<String, Val>) -> Vec<
             RESIDUAL_BUDGET,
         ),
         ("diag.sentinel_trips", "== 0", 0.0, 0.0),
+        (
+            "critpath.max_step_residual",
+            "abs <= 2.0",
+            -RESIDUAL_BUDGET,
+            RESIDUAL_BUDGET,
+        ),
     ];
     for (key, budget, lo, hi) in absolute {
         if let Some(v) = new.get(key) {
@@ -429,12 +435,13 @@ mod tests {
     #[test]
     fn healthy_new_summary_passes_every_budget() {
         let new = r#"{
-          "bench": "pr7-baseline",
+          "bench": "pr8-baseline",
           "wall_ms": {"total": 180.0, "tour": 12.0, "diag": 40.0},
           "lint": {"files_scanned": 160, "violations": 0},
           "tour": {"max_abs_residual": 0.7},
           "diag": {"sentinel_trips": 0},
-          "determinism": {"prometheus_identical": true, "diag_identical": true},
+          "critpath": {"max_step_residual": -0.4, "straggler_blamed": true},
+          "determinism": {"prometheus_identical": true, "diag_identical": true, "critpath_identical": true},
           "failures": []
         }"#;
         let (j, pass) = diff_summaries("old.json", OLD, "new.json", new).unwrap();
@@ -444,6 +451,11 @@ mod tests {
         assert!(!j.contains("wall_ms.diag"));
         // ...but the diag absolute check still runs on the new file.
         assert!(j.contains("diag.sentinel_trips"));
+        // A negative critpath residual inside the band passes the
+        // two-sided budget; the determinism flag is swept up with the
+        // rest.
+        assert!(j.contains("critpath.max_step_residual"));
+        assert!(j.contains("determinism.critpath_identical"));
         assert!(j.contains("\"metric\": \"wall_ms.total\""));
     }
 
@@ -453,6 +465,7 @@ mod tests {
           "wall_ms": {"total": 99999.0},
           "lint": {"files_scanned": 140, "violations": 3},
           "tour": {"max_abs_residual": 5.0},
+          "critpath": {"max_step_residual": -5.0},
           "determinism": {"prometheus_identical": false},
           "failures": ["boom"]
         }"#;
@@ -464,6 +477,7 @@ mod tests {
             "lint.files_scanned",
             "lint.violations",
             "tour.max_abs_residual",
+            "critpath.max_step_residual",
             "determinism.prometheus_identical",
             "failures.len",
         ] {

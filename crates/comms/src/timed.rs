@@ -64,45 +64,55 @@ impl<W: CommWorld> CommWorld for TimedWorld<'_, W> {
             .collect();
         let leg_bytes = legs.iter().sum::<u64>();
         self.bytes_exchanged += leg_bytes;
+        let mut cost = SimDuration::ZERO;
         if !legs.is_empty() {
-            let cost = self.net.exchange_time(&ExchangeShape::from_legs(legs));
+            cost = self.net.exchange_time(&ExchangeShape::from_legs(legs));
             self.comm_time += cost;
             telemetry::charge_comm("exchange", cost);
             telemetry::count("comm", "exchange_bytes", leg_bytes);
         }
+        // Open a stamped op so the events the inner world records carry
+        // this primitive's charged cost (critical-path reconstruction).
+        telemetry::commlog::begin_op(cost.as_ps());
         self.exchanges += 1;
         self.inner.exchange(outgoing)
     }
 
     fn global_sum_vec(&mut self, xs: &mut [f64]) {
+        let mut cost = SimDuration::ZERO;
         if self.size() > 1 {
             let n = self.size().next_power_of_two() as u32;
-            let cost = self.net.gsum_time(n.max(2));
+            cost = self.net.gsum_time(n.max(2));
             self.comm_time += cost;
             telemetry::charge_comm("gsum", cost);
         }
+        telemetry::commlog::begin_op(cost.as_ps());
         self.reductions += 1;
         self.inner.global_sum_vec(xs)
     }
 
     fn global_max(&mut self, x: f64) -> f64 {
+        let mut cost = SimDuration::ZERO;
         if self.size() > 1 {
             let n = self.size().next_power_of_two() as u32;
-            let cost = self.net.gsum_time(n.max(2));
+            cost = self.net.gsum_time(n.max(2));
             self.comm_time += cost;
             telemetry::charge_comm("gmax", cost);
         }
+        telemetry::commlog::begin_op(cost.as_ps());
         self.reductions += 1;
         self.inner.global_max(x)
     }
 
     fn barrier(&mut self) {
+        let mut cost = SimDuration::ZERO;
         if self.size() > 1 {
             let n = self.size().next_power_of_two() as u32;
-            let cost = self.net.barrier_time(n.max(2));
+            cost = self.net.barrier_time(n.max(2));
             self.comm_time += cost;
             telemetry::charge_comm("barrier", cost);
         }
+        telemetry::commlog::begin_op(cost.as_ps());
         self.inner.barrier()
     }
 
@@ -112,6 +122,7 @@ impl<W: CommWorld> CommWorld for TimedWorld<'_, W> {
         let cost = self.net.ptp_time(bytes);
         self.comm_time += cost;
         telemetry::charge_comm("gather", cost);
+        telemetry::commlog::begin_op(cost.as_ps());
         self.inner.gather(data)
     }
 }

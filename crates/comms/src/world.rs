@@ -278,13 +278,23 @@ impl CommWorld for ThreadWorld {
                     to: nbr,
                     words: data.len(),
                 });
-                self.tx[nbr].send(data).expect("peer world dropped");
+                self.tx[nbr].send(data).unwrap_or_else(|_| {
+                    panic!(
+                        "rank {}: channel to rank {nbr} closed (peer exited early)",
+                        self.rank
+                    )
+                });
                 awaiting.push(nbr);
             }
         }
         let mut incoming = selfs;
         for nbr in awaiting {
-            let data = self.rx[nbr].recv().expect("peer world dropped");
+            let data = self.rx[nbr].recv().unwrap_or_else(|_| {
+                panic!(
+                    "rank {}: channel from rank {nbr} closed (peer exited early)",
+                    self.rank
+                )
+            });
             commlog::record(CommEvent::Recv {
                 from: nbr,
                 words: data.len(),
@@ -323,7 +333,12 @@ impl CommWorld for ThreadWorld {
         if self.rank == 0 {
             let mut out = vec![data];
             for src in 1..self.size {
-                let v = self.rx[src].recv().expect("peer world dropped");
+                let v = self.rx[src].recv().unwrap_or_else(|_| {
+                    panic!(
+                        "rank {}: gather channel from rank {src} closed (peer exited early)",
+                        self.rank
+                    )
+                });
                 commlog::record(CommEvent::Recv {
                     from: src,
                     words: v.len(),
@@ -336,7 +351,12 @@ impl CommWorld for ThreadWorld {
                 to: 0,
                 words: data.len(),
             });
-            self.tx[0].send(data).expect("peer world dropped");
+            self.tx[0].send(data).unwrap_or_else(|_| {
+                panic!(
+                    "rank {}: gather channel to rank 0 closed (peer exited early)",
+                    self.rank
+                )
+            });
             None
         }
     }

@@ -20,9 +20,11 @@
 //! | E16 | §4 — schedule proof + happens-before audit | [`schedcheck`] |
 //! | E17 | §4/§5 — interprocedural determinism proof of the artefact surface | [`detflow`] |
 //! | E18 | §5/§6 — GCM run-health observatory over a coupled run | [`runhealth`] |
+//! | E19 | §5/§6 — cross-rank critical path of a coupled step | [`critpath`] |
 
 pub mod api_tax;
 pub mod century;
+pub mod critpath;
 pub mod detflow;
 pub mod economics;
 pub mod fig10;
@@ -142,6 +144,11 @@ pub fn all() -> Vec<Experiment> {
             paper_artefact: "Sections 5/6: GCM run-health observatory over a coupled run",
             run: runhealth::run,
         },
+        Experiment {
+            id: "E19",
+            paper_artefact: "Sections 5/6: cross-rank critical path of a coupled step",
+            run: critpath::run,
+        },
     ]
 }
 
@@ -150,13 +157,13 @@ mod tests {
     #[test]
     fn registry_is_complete() {
         let all = super::all();
-        assert_eq!(all.len(), 18);
+        assert_eq!(all.len(), 19);
         let ids: Vec<&str> = all.iter().map(|e| e.id).collect();
         assert_eq!(
             ids,
             [
                 "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
-                "E14", "E15", "E16", "E17", "E18"
+                "E14", "E15", "E16", "E17", "E18", "E19"
             ]
         );
     }

@@ -71,6 +71,8 @@ pub struct TourArtifacts {
 /// Per-worker results shipped back from the fan-out.
 struct RankRun {
     telemetry: RankTelemetry,
+    /// Stamped comm log (feeds the Chrome flow events).
+    stamped: Vec<telemetry::commlog::Stamped>,
     total_cg_iterations: u64,
     wet_cells: u64,
     wet_columns: u64,
@@ -83,6 +85,7 @@ struct RankRun {
 fn run_rank<W: hyades_comms::CommWorld>(world: &mut W, seed: u64) -> RankRun {
     let rank = world.rank();
     telemetry::enable_with_rates(rank, FPS_MFLOPS, FDS_MFLOPS);
+    telemetry::commlog::install();
     let d = Decomp::blocks(NX, NY, PX, PY, 3);
     let cfg = ModelConfig::test_ocean(NX, NY, NZ, d);
     let mut m = Model::new(cfg, rank);
@@ -113,6 +116,7 @@ fn run_rank<W: hyades_comms::CommWorld>(world: &mut W, seed: u64) -> RankRun {
     }
     let (nps, nds) = m.measured_n_coefficients();
     RankRun {
+        stamped: telemetry::commlog::take_stamped(),
         telemetry: telemetry::disable().expect("telemetry was enabled"),
         total_cg_iterations: m.total_cg_iterations,
         wet_cells: m.masks.wet_cells,
@@ -152,16 +156,23 @@ fn run_microbench(seed: u64) -> (RankTelemetry, String) {
     (tel, dump)
 }
 
-/// Build the analytical model matching the tour configuration, using the
-/// run's measured flop coefficients and the same interconnect cost model
-/// `TimedWorld` charged against.
-fn tour_model(net: &dyn Interconnect, rank0: &RankRun) -> PerfModel {
+/// Build the analytical model for one model instance on the tour's 2×2
+/// decomposition: `nz` levels, the run's measured flop coefficients, and
+/// the same interconnect cost model `TimedWorld` charged against.
+fn model_for(
+    net: &dyn Interconnect,
+    nz: usize,
+    nps: f64,
+    nds: f64,
+    wet_cells: u64,
+    wet_columns: u64,
+) -> PerfModel {
     let (tx, ty) = (NX / PX, NY / PY);
     let elem = 8u64;
     // One 3-D field exchange: x phase moves width-3 strips to 2 neighbors
     // (send + receive legs each), then y phase moves halo-widened rows.
-    let xleg3 = (3 * ty * NZ) as u64 * elem;
-    let yleg3 = ((tx + 6) * 3 * NZ) as u64 * elem;
+    let xleg3 = (3 * ty * nz) as u64 * elem;
+    let yleg3 = ((tx + 6) * 3 * nz) as u64 * elem;
     let texch_xyz = net.exchange_time(&ExchangeShape::from_legs(vec![
         xleg3, xleg3, xleg3, xleg3, yleg3, yleg3, yleg3, yleg3,
     ]));
@@ -173,19 +184,31 @@ fn tour_model(net: &dyn Interconnect, rank0: &RankRun) -> PerfModel {
     ]));
     PerfModel {
         ps: PsParams {
-            nps: rank0.measured_nps,
-            nxyz: rank0.wet_cells,
+            nps,
+            nxyz: wet_cells,
             texch_xyz_us: texch_xyz.as_us_f64(),
             fps_mflops: FPS_MFLOPS,
         },
         ds: DsParams {
-            nds: rank0.measured_nds,
-            nxy: rank0.wet_columns,
+            nds,
+            nxy: wet_columns,
             tgsum_us: net.gsum_time(NRANKS as u32).as_us_f64(),
             texch_xy_us: texch_xy.as_us_f64(),
             fds_mflops: FDS_MFLOPS,
         },
     }
+}
+
+/// The analytical model matching the single-model tour configuration.
+fn tour_model(net: &dyn Interconnect, rank0: &RankRun) -> PerfModel {
+    model_for(
+        net,
+        NZ,
+        rank0.measured_nps,
+        rank0.measured_nds,
+        rank0.wet_cells,
+        rank0.wet_columns,
+    )
 }
 
 /// Run the full tour for `seed`.
@@ -253,10 +276,17 @@ pub fn run(seed: u64) -> TourArtifacts {
     let residual_series = series.render();
 
     // 4. Merge per-rank telemetry (rank order, then the bench rank) and
-    //    export both formats.
+    //    export both formats. Matched send→recv pairs from the stamped
+    //    comm logs become Chrome flow events, so the cross-rank arrows
+    //    are visible in the trace viewer.
+    let stamped: Vec<Vec<telemetry::commlog::Stamped>> = runs
+        .iter_mut()
+        .map(|r| std::mem::take(&mut r.stamped))
+        .collect();
     let mut ranks: Vec<RankTelemetry> = runs.drain(..).map(|r| r.telemetry).collect();
     ranks.push(bench_tel);
-    let run_tel = RunTelemetry::from_ranks(ranks);
+    let mut run_tel = RunTelemetry::from_ranks(ranks);
+    run_tel.set_flows(telemetry::flows_from_stamped(&stamped));
     let span_count = run_tel.span_count();
     let chrome_json = run_tel.chrome_trace_json();
     let text_summary = format!("{}\n{}", run_tel.text_summary(), flight_dump);
@@ -410,6 +440,162 @@ pub fn run_coupled_diag(seed: u64) -> DiagArtifacts {
     }
 }
 
+// --- the critical-path tour -------------------------------------------
+
+/// A deliberate per-rank compute perturbation: before each timestep's
+/// communication, `rank` is charged `extra_flops` of PS compute, slowing
+/// its entry into every exchange and reduction of that step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Straggler {
+    pub rank: usize,
+    pub extra_flops: u64,
+}
+
+/// Everything the critical-path tour produces. Every artifact is a pure
+/// function of `(seed, straggler)` (pinned byte-identical by
+/// `tests/determinism.rs`).
+pub struct CritArtifacts {
+    /// The full critical-path report (per-step table, chain, slack,
+    /// attribution, wait-vs-wire).
+    pub report: String,
+    /// Machine-readable summary (consumed by the bench differ).
+    pub json: String,
+    /// Chrome trace with flow events linking matched sends to recvs.
+    pub chrome_json: String,
+    /// Model-predicted vs observed per-step critical-path residuals.
+    pub slack_report: String,
+    /// Largest |per-step residual| of the slack series.
+    pub max_step_residual: f64,
+    /// The straggler the profiler attributes the path to.
+    pub blame: Option<(usize, telemetry::Phase)>,
+    /// Whole-run critical-path length in microseconds.
+    pub total_path_us: f64,
+    /// Matched send→recv pairs in the run.
+    pub messages: usize,
+}
+
+struct CritRankRun {
+    telemetry: RankTelemetry,
+    stamped: Vec<telemetry::commlog::Stamped>,
+    /// Per-step CG iteration counts for each isomorph (globally reduced,
+    /// so identical on every rank).
+    ni_atmos: Vec<u64>,
+    ni_ocean: Vec<u64>,
+    atmos_coeffs: (f64, f64, u64, u64),
+    ocean_coeffs: (f64, f64, u64, u64),
+}
+
+fn run_critpath_rank<W: hyades_comms::CommWorld>(
+    world: &mut W,
+    seed: u64,
+    straggler: Option<Straggler>,
+) -> CritRankRun {
+    let rank = world.rank();
+    telemetry::enable_with_rates(rank, FPS_MFLOPS, FDS_MFLOPS);
+    telemetry::commlog::install();
+    let mut c = coupled_pair(rank);
+    let mut rng = SplitMix64::new(seed ^ (rank as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    for (i, j, k) in c.ocean.state.theta.clone().interior() {
+        c.ocean
+            .state
+            .theta
+            .add(i, j, k, (rng.next_f64() - 0.5) * 0.2);
+    }
+    c.exchange_boundary_conditions();
+
+    let net = arctic_paper();
+    let mut timed = TimedWorld::new(world, &net);
+    let mut atmos = RunMonitor::new("atmos", SentinelConfig::default());
+    let mut ocean = RunMonitor::new("ocean", SentinelConfig::default());
+    let mut ni_atmos = Vec::with_capacity(CSTEPS);
+    let mut ni_ocean = Vec::with_capacity(CSTEPS);
+    for s in 0..CSTEPS {
+        telemetry::commlog::mark_step(s as u32 + 1);
+        if let Some(st) = straggler {
+            if st.rank == rank {
+                // The perturbation lands *before* the step's first comm
+                // op: compute after a rank's last recorded event is
+                // invisible to the DAG.
+                telemetry::charge_flops(telemetry::Phase::Ps, st.extra_flops);
+            }
+        }
+        let (sa, so, healthy) = c.step_monitored_full(&mut timed, &mut atmos, &mut ocean);
+        assert!(healthy, "critpath tour tripped the sentinel");
+        ni_atmos.push(sa.cg_iterations as u64);
+        ni_ocean.push(so.cg_iterations as u64);
+    }
+    let (anps, ands) = c.atmos.measured_n_coefficients();
+    let (onps, onds) = c.ocean.measured_n_coefficients();
+    CritRankRun {
+        stamped: telemetry::commlog::take_stamped(),
+        telemetry: telemetry::disable().expect("telemetry was enabled"),
+        ni_atmos,
+        ni_ocean,
+        atmos_coeffs: (
+            anps,
+            ands,
+            c.atmos.masks.wet_cells,
+            c.atmos.masks.wet_columns(),
+        ),
+        ocean_coeffs: (
+            onps,
+            onds,
+            c.ocean.masks.wet_cells,
+            c.ocean.masks.wet_columns(),
+        ),
+    }
+}
+
+/// Run the critical-path tour: the coupled diagnostics run, stamped and
+/// reconstructed into the global event DAG, with an optional injected
+/// straggler. Returns the byte-stable report/JSON/trace plus the
+/// model-vs-path residuals.
+pub fn run_critpath(seed: u64, straggler: Option<Straggler>) -> CritArtifacts {
+    let mut runs = ThreadWorld::run(NRANKS, |w| run_critpath_rank(w, seed, straggler));
+    let logs: Vec<Vec<telemetry::commlog::Stamped>> = runs
+        .iter_mut()
+        .map(|r| std::mem::take(&mut r.stamped))
+        .collect();
+
+    let net = arctic_paper();
+    let wire = |words: usize| net.ptp_time((words * 8) as u64).as_ps();
+    let cp = telemetry::critpath::analyze(&logs, &wire)
+        .unwrap_or_else(|e| panic!("critpath analysis failed: {e}"));
+
+    // Model-predicted coupled step cost vs the observed per-step path.
+    let r0 = &runs[0];
+    let (anps, ands, acells, acols) = r0.atmos_coeffs;
+    let (onps, onds, ocells, ocols) = r0.ocean_coeffs;
+    let ma = model_for(&net, 5, anps, ands, acells, acols);
+    let mo = model_for(&net, 6, onps, onds, ocells, ocols);
+    let predicted: Vec<f64> = (0..CSTEPS)
+        .map(|s| {
+            hyades_perf::slack::predicted_coupled_step(&ma, &mo, r0.ni_atmos[s], r0.ni_ocean[s])
+        })
+        .collect();
+    let observed: Vec<f64> = cp
+        .per_step_path_ps()
+        .iter()
+        .map(|&(_, ps)| ps as f64 * 1e-12)
+        .collect();
+    let series = hyades_perf::slack::critpath_series(&predicted, &observed);
+
+    // Chrome trace with the matched-message flow arrows.
+    let mut run_tel = RunTelemetry::from_ranks(runs.drain(..).map(|r| r.telemetry).collect());
+    run_tel.set_flows(telemetry::flows_from_stamped(&logs));
+
+    CritArtifacts {
+        report: cp.render(),
+        json: cp.render_json(),
+        chrome_json: run_tel.chrome_trace_json(),
+        slack_report: series.render(),
+        max_step_residual: series.max_abs_residual(),
+        blame: cp.blame(),
+        total_path_us: cp.total_path_ps as f64 / 1e6,
+        messages: cp.messages,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -475,6 +661,61 @@ mod tests {
         // The step series can only refine the end-of-run average, never
         // contradict it wildly.
         assert!(t.max_step_residual >= t.max_abs_residual / 10.0 || t.max_abs_residual < 0.05);
+    }
+
+    #[test]
+    fn tour_chrome_trace_carries_flow_events() {
+        let t = run(7);
+        assert!(t.chrome_json.contains("\"ph\":\"s\""), "no flow starts");
+        assert!(
+            t.chrome_json.contains("\"ph\":\"f\",\"bp\":\"e\""),
+            "no flow finishes"
+        );
+    }
+
+    #[test]
+    fn critpath_tour_without_straggler_is_balanced() {
+        let c = run_critpath(7, None);
+        assert!(c.messages > 0);
+        assert!(c.total_path_us > 0.0);
+        // Identical tiles: no rank should own a grossly dominant share,
+        // and the model should predict the path within the residual
+        // budget the bench gate enforces.
+        assert!(
+            c.max_step_residual.is_finite() && c.max_step_residual < 2.0,
+            "path vs model diverged:\n{}",
+            c.slack_report
+        );
+        for needle in [
+            "[per-step critical path]",
+            "[per-rank slack]",
+            "[straggler attribution]",
+            "[wait vs wire]",
+        ] {
+            assert!(c.report.contains(needle), "missing {needle}");
+        }
+        assert!(c.json.starts_with("{\"critpath\":{"));
+        assert!(c.chrome_json.contains("\"ph\":\"s\""));
+    }
+
+    #[test]
+    fn critpath_tour_blames_the_injected_straggler() {
+        let c = run_critpath(
+            7,
+            Some(Straggler {
+                rank: 2,
+                extra_flops: 50_000_000,
+            }),
+        );
+        assert_eq!(
+            c.blame,
+            Some((2, telemetry::Phase::Ps)),
+            "wrong blame; report:\n{}",
+            c.report
+        );
+        // The injected second of compute (50 Mflop at 50 Mflop/s)
+        // dominates the whole path.
+        assert!(c.total_path_us > 4.0 * 0.9e6, "path {} us", c.total_path_us);
     }
 
     #[test]

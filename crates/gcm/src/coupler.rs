@@ -246,10 +246,25 @@ impl CoupledModel {
         atmos_monitor: &mut crate::monitor::RunMonitor,
         ocean_monitor: &mut crate::monitor::RunMonitor,
     ) -> bool {
+        self.step_monitored_full(world, atmos_monitor, ocean_monitor)
+            .2
+    }
+
+    /// [`step_monitored`] returning both isomorphs' step statistics
+    /// alongside the health flag — the critical-path tour needs the
+    /// per-step CG iteration counts to drive the phase model.
+    ///
+    /// [`step_monitored`]: CoupledModel::step_monitored
+    pub fn step_monitored_full(
+        &mut self,
+        world: &mut dyn CommWorld,
+        atmos_monitor: &mut crate::monitor::RunMonitor,
+        ocean_monitor: &mut crate::monitor::RunMonitor,
+    ) -> (StepStats, StepStats, bool) {
         let (sa, so) = self.step_shared(world);
         let ha = atmos_monitor.observe(world, &self.atmos, &sa);
         let ho = ocean_monitor.observe(world, &self.ocean, &so);
-        ha && ho
+        (sa, so, ha && ho)
     }
 
     /// Checkpoint both isomorphs into one stream.

@@ -22,11 +22,15 @@
 //! size mismatches, ranks disagreeing on the reduction sequence — are
 //! hard errors.
 //!
-//! The replay order is fixed, so [`HbReport::render`] is byte-identical
-//! across same-input runs (enforced in `tests/determinism.rs`).
+//! The replay itself now lives in `hyades_telemetry::matcher`, shared
+//! with the critical-path profiler and the Chrome flow-event exporter so
+//! all three agree on matching semantics; this module keeps the lint's
+//! report shape and error vocabulary. The replay order is fixed, so
+//! [`HbReport::render`] is byte-identical across same-input runs
+//! (enforced in `tests/determinism.rs`).
 
 use hyades_telemetry::commlog::CommEvent;
-use std::collections::{BTreeMap, VecDeque};
+use hyades_telemetry::matcher::{self, MatchError};
 use std::fmt;
 
 /// Successful check: counts plus any unordered pairs (expected none).
@@ -107,144 +111,42 @@ impl fmt::Display for HbError {
     }
 }
 
-type Clock = Vec<u64>;
-
-fn join(into: &mut Clock, other: &Clock) {
-    for (a, b) in into.iter_mut().zip(other) {
-        *a = (*a).max(*b);
+impl From<MatchError> for HbError {
+    fn from(e: MatchError) -> HbError {
+        match e {
+            MatchError::Stuck { state } => HbError::Stuck { state },
+            MatchError::Leftover { src, dst, pending } => HbError::Leftover { src, dst, pending },
+            MatchError::PayloadMismatch {
+                src,
+                dst,
+                sent,
+                got,
+            } => HbError::PayloadMismatch {
+                src,
+                dst,
+                sent,
+                got,
+            },
+            MatchError::ReduceMismatch { detail } => HbError::ReduceMismatch { detail },
+        }
     }
-}
-
-/// `a` strictly happens-before `b`: component-wise ≤ and not equal.
-fn strictly_before(a: &Clock, b: &Clock) -> bool {
-    a.iter().zip(b).all(|(x, y)| x <= y) && a != b
 }
 
 /// Replay per-rank event logs and prove every matched send/recv pair is
 /// ordered. See the module docs for semantics.
 pub fn check(progs: &[Vec<CommEvent>]) -> Result<HbReport, HbError> {
-    let n = progs.len();
-    let mut cursor = vec![0usize; n];
-    let mut vc: Vec<Clock> = vec![vec![0; n]; n];
-    // (src, dst) -> FIFO of (send clock, words, message ordinal on the
-    // channel).
-    let mut channels: BTreeMap<(usize, usize), VecDeque<(Clock, usize, usize)>> = BTreeMap::new();
-    let mut sent_on: BTreeMap<(usize, usize), usize> = BTreeMap::new();
-    let mut messages = 0usize;
-    let mut reductions = 0usize;
-    let mut unordered = Vec::new();
-
-    loop {
-        let mut progressed = false;
-        for r in 0..n {
-            while let Some(ev) = progs[r].get(cursor[r]) {
-                match *ev {
-                    CommEvent::Send { to, words } => {
-                        assert!(to < n && to != r, "rank {r} sends to {to}");
-                        vc[r][r] += 1;
-                        let ordinal = sent_on.entry((r, to)).or_insert(0);
-                        channels.entry((r, to)).or_default().push_back((
-                            vc[r].clone(),
-                            words,
-                            *ordinal,
-                        ));
-                        *ordinal += 1;
-                    }
-                    CommEvent::Recv { from, words } => {
-                        let Some((send_clock, sent, ordinal)) =
-                            channels.get_mut(&(from, r)).and_then(|q| q.pop_front())
-                        else {
-                            break; // blocked: nothing posted yet
-                        };
-                        if sent != words {
-                            return Err(HbError::PayloadMismatch {
-                                src: from,
-                                dst: r,
-                                sent,
-                                got: words,
-                            });
-                        }
-                        join(&mut vc[r], &send_clock);
-                        vc[r][r] += 1;
-                        if !strictly_before(&send_clock, &vc[r]) {
-                            unordered.push(format!("{from}->{r} msg#{ordinal}"));
-                        }
-                        messages += 1;
-                    }
-                    CommEvent::Reduce { .. } => break, // needs everyone
-                }
-                cursor[r] += 1;
-                progressed = true;
-            }
-        }
-
-        // All-ranks reduction join: enabled only when every rank's next
-        // event is a Reduce with the same generation.
-        let at_reduce: Vec<Option<u64>> = (0..n)
-            .map(|r| match progs[r].get(cursor[r]) {
-                Some(CommEvent::Reduce { generation }) => Some(*generation),
-                _ => None,
-            })
-            .collect();
-        if at_reduce.iter().all(|g| g.is_some()) {
-            let gens: Vec<u64> = at_reduce.iter().map(|g| g.unwrap()).collect();
-            if gens.iter().any(|&g| g != gens[0]) {
-                return Err(HbError::ReduceMismatch {
-                    detail: format!("ranks joined different generations {gens:?}"),
-                });
-            }
-            let merged = {
-                let mut m = vec![0u64; n];
-                for clock in &vc {
-                    join(&mut m, clock);
-                }
-                m
-            };
-            for (r, clock) in vc.iter_mut().enumerate() {
-                *clock = merged.clone();
-                clock[r] += 1;
-                cursor[r] += 1;
-            }
-            reductions += 1;
-            progressed = true;
-        } else if at_reduce.iter().any(|g| g.is_some())
-            && (0..n).all(|r| cursor[r] >= progs[r].len() || at_reduce[r].is_some())
-        {
-            // Some ranks wait at a reduction the rest will never join.
-            return Err(HbError::ReduceMismatch {
-                detail: format!("ranks at a reduction while others finished: {at_reduce:?}"),
-            });
-        }
-
-        if !progressed {
-            break;
-        }
-    }
-
-    if (0..n).any(|r| cursor[r] < progs[r].len()) {
-        let state: Vec<String> = (0..n)
-            .map(|r| match progs[r].get(cursor[r]) {
-                Some(ev) => format!("rank{r}@{}: waiting on {ev:?}", cursor[r]),
-                None => format!("rank{r}: done"),
-            })
-            .collect();
-        return Err(HbError::Stuck { state });
-    }
-    for ((src, dst), q) in &channels {
-        if !q.is_empty() {
-            return Err(HbError::Leftover {
-                src: *src,
-                dst: *dst,
-                pending: q.len(),
-            });
-        }
-    }
-
+    let run = matcher::replay(progs)?;
+    let unordered = run
+        .messages
+        .iter()
+        .filter(|m| !m.ordered)
+        .map(|m| format!("{}->{} msg#{}", m.src, m.dst, m.ordinal))
+        .collect();
     Ok(HbReport {
-        ranks: n,
-        events: progs.iter().map(Vec::len).sum(),
-        messages,
-        reductions,
+        ranks: run.ranks,
+        events: run.events,
+        messages: run.messages.len(),
+        reductions: run.reductions.len(),
         unordered,
     })
 }
@@ -337,10 +239,16 @@ mod tests {
     }
 
     #[test]
-    fn clock_comparison_is_strict() {
-        assert!(strictly_before(&vec![1, 0], &vec![1, 1]));
-        assert!(!strictly_before(&vec![1, 1], &vec![1, 1]));
-        assert!(!strictly_before(&vec![2, 0], &vec![1, 1]), "concurrent");
+    fn errors_render_with_the_lint_vocabulary() {
+        // The matcher's errors pass through with byte-identical Display
+        // strings (the lint's CLI output is part of the determinism
+        // gate).
+        let progs = vec![vec![Send { to: 1, words: 2 }], vec![]];
+        let err = check(&progs).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "1 message(s) left undelivered on channel 0->1"
+        );
     }
 
     #[test]

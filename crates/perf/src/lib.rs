@@ -24,7 +24,8 @@
 //! least-squares helper behind the paper's `4.67·log2 N − 0.95` global-sum
 //! fit, [`validate`] the §5.3 prediction-vs-observation comparison,
 //! [`phases`] the per-term model-vs-measured comparison fed by telemetry
-//! from instrumented runs, and [`report`] plain-text table rendering.
+//! from instrumented runs, [`slack`] the model-predicted vs observed
+//! critical-path residual, and [`report`] plain-text table rendering.
 
 pub mod fit;
 pub mod model;
@@ -33,6 +34,7 @@ pub mod pfpp;
 pub mod phases;
 pub mod queueing;
 pub mod report;
+pub mod slack;
 pub mod validate;
 
 pub use model::PerfModel;

@@ -17,24 +17,83 @@
 //! Both outputs are byte-identical across double runs with the same seed
 //! (asserted by `tests/determinism.rs`).
 
+use crate::commlog::Stamped;
+use crate::matcher;
 use crate::recorder::{PhaseTotals, RankTelemetry, DES_PID, GCM_PID};
 use crate::registry::Registry;
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
-/// A whole run's telemetry: one [`RankTelemetry`] per rank, in rank order.
+/// One matched send→recv pair rendered as a Chrome flow (`ph:"s"` start
+/// on the sender's track, `ph:"f"` finish on the receiver's), so the
+/// cross-rank dependency arrows are visible in a trace viewer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowEvent {
+    pub src: usize,
+    pub dst: usize,
+    /// Sender-side timestamp (op start on the sender's charged clock).
+    pub send_ps: u64,
+    /// Receiver-side timestamp (op end on the receiver's charged clock).
+    pub recv_ps: u64,
+    pub words: usize,
+}
+
+/// Build flow events from stamped per-rank comm logs by matching sends
+/// to receives with the vector-clock replay. Unmatchable logs (a real
+/// ordering bug) yield no flows rather than a poisoned trace.
+pub fn flows_from_stamped(logs: &[Vec<Stamped>]) -> Vec<FlowEvent> {
+    let bare: Vec<Vec<_>> = logs
+        .iter()
+        .map(|l| l.iter().map(|s| s.ev).collect())
+        .collect();
+    let Ok(run) = matcher::replay(&bare) else {
+        return Vec::new();
+    };
+    run.messages
+        .iter()
+        .map(|m| {
+            let send = &logs[m.src][m.send_idx];
+            let recv = &logs[m.dst][m.recv_idx];
+            FlowEvent {
+                src: m.src,
+                dst: m.dst,
+                // The send is posted at the op's start (the charged span
+                // covers the whole primitive); the message lands when
+                // the receiver's op completes.
+                send_ps: send.at_ps.saturating_sub(send.cost_ps),
+                recv_ps: recv.at_ps,
+                words: m.words,
+            }
+        })
+        .collect()
+}
+
+/// A whole run's telemetry: one [`RankTelemetry`] per rank, in rank
+/// order, plus optional cross-rank flow events.
 #[derive(Debug, Default)]
 pub struct RunTelemetry {
     pub ranks: Vec<RankTelemetry>,
+    pub flows: Vec<FlowEvent>,
 }
 
 impl RunTelemetry {
     pub fn from_ranks(ranks: Vec<RankTelemetry>) -> RunTelemetry {
-        RunTelemetry { ranks }
+        RunTelemetry {
+            ranks,
+            flows: Vec::new(),
+        }
     }
 
     pub fn single(rank: RankTelemetry) -> RunTelemetry {
-        RunTelemetry { ranks: vec![rank] }
+        RunTelemetry {
+            ranks: vec![rank],
+            flows: Vec::new(),
+        }
+    }
+
+    /// Attach cross-rank flow events (see [`flows_from_stamped`]).
+    pub fn set_flows(&mut self, flows: Vec<FlowEvent>) {
+        self.flows = flows;
     }
 
     /// All rank registries pooled (counters summed, stats/histograms
@@ -119,6 +178,34 @@ impl RunTelemetry {
                     s.tid
                 );
             }
+        }
+
+        // Flow events: one "s" (start, sender track) / "f" (finish,
+        // receiver track) pair per matched message, on the GCM charged
+        // timeline. `bp:"e"` binds the finish to the enclosing slice.
+        for (id, fl) in self.flows.iter().enumerate() {
+            comma(&mut out, &mut first);
+            let _ = write!(
+                out,
+                "{{\"name\":\"msg {} words\",\"cat\":\"comm\",\"ph\":\"s\",\"id\":{},\
+                 \"ts\":{},\"pid\":{},\"tid\":{}}}",
+                fl.words,
+                id,
+                us(fl.send_ps),
+                GCM_PID,
+                fl.src
+            );
+            comma(&mut out, &mut first);
+            let _ = write!(
+                out,
+                "{{\"name\":\"msg {} words\",\"cat\":\"comm\",\"ph\":\"f\",\"bp\":\"e\",\
+                 \"id\":{},\"ts\":{},\"pid\":{},\"tid\":{}}}",
+                fl.words,
+                id,
+                us(fl.recv_ps),
+                GCM_PID,
+                fl.dst
+            );
         }
         out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
         out
@@ -223,13 +310,19 @@ fn us(ps: u64) -> String {
 }
 
 /// Minimal JSON string escaping (the strings are static labels, but be
-/// safe about quotes, backslashes, and control characters).
+/// safe about quotes, backslashes, and control characters). Uses the
+/// same shorthand escapes as `prom.rs`'s label escaping (`\n`, `\r`,
+/// `\t`) so the two exporters render identical labels; other control
+/// characters fall back to `\u00xx`.
 fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
             '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
             c if (c as u32) < 0x20 => {
                 let _ = write!(out, "\\u{:04x}", c as u32);
             }
@@ -324,7 +417,65 @@ mod tests {
     fn escape_handles_specials() {
         assert_eq!(escape("plain"), "plain");
         assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
-        assert_eq!(escape("x\ny"), "x\\u000ay");
+        // Shorthand escapes, matching prom.rs's label escaping.
+        assert_eq!(escape("x\ny"), "x\\ny");
+        assert_eq!(escape("x\r\ty"), "x\\r\\ty");
+        assert_eq!(escape("x\u{1}y"), "x\\u0001y");
+    }
+
+    #[test]
+    fn flow_events_render_as_s_f_pairs() {
+        use crate::commlog::{CommEvent, Stamped};
+        use crate::recorder::Phase;
+        let stamp = |ev, at_ps, cost_ps| Stamped {
+            ev,
+            at_ps,
+            cost_ps,
+            op: 1,
+            step: 1,
+            phase: Phase::Ps,
+        };
+        let logs = vec![
+            vec![
+                stamp(CommEvent::Send { to: 1, words: 16 }, 500, 200),
+                stamp(CommEvent::Recv { from: 1, words: 16 }, 500, 200),
+            ],
+            vec![
+                stamp(CommEvent::Send { to: 0, words: 16 }, 700, 250),
+                stamp(CommEvent::Recv { from: 0, words: 16 }, 700, 250),
+            ],
+        ];
+        let flows = flows_from_stamped(&logs);
+        assert_eq!(flows.len(), 2);
+        // Rank 0's send leaves at its op start (500-200=300) and lands
+        // at rank 1's op end (700).
+        let f01 = flows.iter().find(|f| f.src == 0).unwrap();
+        assert_eq!((f01.send_ps, f01.recv_ps, f01.words), (300, 700, 16));
+
+        let mut run = sample_run();
+        run.set_flows(flows);
+        let json = run.chrome_trace_json();
+        assert!(json.contains("\"ph\":\"s\""), "{json}");
+        assert!(json.contains("\"ph\":\"f\",\"bp\":\"e\""), "{json}");
+        assert!(json.contains("\"name\":\"msg 16 words\""), "{json}");
+        // Each flow id appears exactly twice (one s, one f).
+        assert_eq!(json.matches("\"id\":0,").count(), 2);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn unmatchable_logs_yield_no_flows() {
+        use crate::commlog::{CommEvent, Stamped};
+        use crate::recorder::Phase;
+        let logs = vec![vec![Stamped {
+            ev: CommEvent::Recv { from: 1, words: 1 },
+            at_ps: 10,
+            cost_ps: 5,
+            op: 1,
+            step: 1,
+            phase: Phase::Ps,
+        }]];
+        assert!(flows_from_stamped(&logs).is_empty());
     }
 
     #[test]

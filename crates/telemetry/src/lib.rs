@@ -35,16 +35,19 @@
 //! [`SimDuration`]: hyades_des::SimDuration
 
 pub mod commlog;
+pub mod critpath;
 pub mod diag;
 pub mod export;
 pub mod flight;
+pub mod matcher;
 pub mod prom;
 pub mod recorder;
 pub mod registry;
 pub mod sampler;
 
+pub use critpath::{CritPath, CritPathError};
 pub use diag::{DiagRow, DiagSeries};
-pub use export::RunTelemetry;
+pub use export::{flows_from_stamped, FlowEvent, RunTelemetry};
 pub use prom::PromText;
 pub use recorder::{
     charge_comm, charge_flops, count, current_phase, disable, enable, enable_with_rates, enabled,

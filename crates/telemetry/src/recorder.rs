@@ -273,6 +273,21 @@ pub fn charge_flops(phase: Phase, flops: u64) {
     });
 }
 
+/// Current value of the charged per-rank clock in integer picoseconds
+/// (0 when disabled). The commlog stamps communication events with this
+/// clock: it is simulated time, so stamped logs replay byte-identically
+/// across double runs — the property the critical-path profiler's
+/// determinism rests on.
+#[inline]
+pub fn charged_clock_ps() -> u64 {
+    if !enabled() {
+        return 0;
+    }
+    let mut ps = 0u64;
+    with_recorder(|rec| ps = rec.clock.since(SimTime::ZERO).as_ps());
+    ps
+}
+
 /// Snapshot of the per-phase charged totals so far (all zero when
 /// disabled). The run-health monitor differences consecutive snapshots
 /// to attribute charged time to individual timesteps.
@@ -349,7 +364,10 @@ mod tests {
         set_phase(Phase::Ds);
         charge_flops(Phase::Ds, 60_000_000); // 1 s at 60 MFlop/s
         charge_comm("gsum", SimDuration::from_us(4));
+        let clock_ps = charged_clock_ps();
         let t = disable().unwrap();
+        assert_eq!(clock_ps, t.clock.since(SimTime::ZERO).as_ps());
+        assert_eq!(charged_clock_ps(), 0, "disabled clock reads zero");
         assert!(!enabled());
         assert_eq!(t.rank, 3);
         assert_eq!(t.phases.ps_compute, SimDuration::from_secs_f64(1.0));

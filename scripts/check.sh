@@ -33,11 +33,15 @@ echo "==> monitor smoke (coupled run, diagnostics on, sentinel armed)"
 cargo run -q --release --example monitor_smoke > target/monitor-smoke.txt
 tail -n 1 target/monitor-smoke.txt
 
+echo "==> critpath smoke (critical-path profiler + straggler attribution)"
+cargo run -q --release --example critpath_smoke > target/critpath-smoke.txt
+tail -n 1 target/critpath-smoke.txt
+
 echo "==> perf baseline (smoke): fabric observatory + export determinism"
 scripts/bench.sh --smoke
 
-echo "==> bench diff: BENCH_pr6.json vs BENCH_pr7.json (budgeted regression gate)"
-./target/release/baseline diff BENCH_pr6.json BENCH_pr7.json > target/bench-diff.json
+echo "==> bench diff: BENCH_pr7.json vs BENCH_pr8.json (budgeted regression gate)"
+./target/release/baseline diff BENCH_pr7.json BENCH_pr8.json > target/bench-diff.json
 grep '"verdict"' target/bench-diff.json
 
 echo "All checks passed."

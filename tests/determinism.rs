@@ -345,6 +345,54 @@ fn threaded_blowup_sentinel_blames_the_poisoned_cell() {
 }
 
 #[test]
+fn critpath_blames_the_injected_straggler_byte_identically() {
+    use hyades::tour::Straggler;
+    use hyades_telemetry::Phase;
+
+    // The critical-path profiler's golden test: delay one rank of the
+    // 4-rank coupled run by a second of PS compute per step, and the
+    // reconstructed global DAG must (a) blame exactly that (rank, phase)
+    // and (b) replay byte-for-byte — report, JSON, and Chrome flow trace
+    // alike. The path walk breaks ties by rank and the tables sort on
+    // integer picoseconds, so any map-order leak or float-format drift
+    // in the analyzer diffs here.
+    let straggler = Straggler {
+        rank: 2,
+        extra_flops: 50_000_000,
+    };
+    let a = hyades::tour::run_critpath(0xC817, Some(straggler));
+    let b = hyades::tour::run_critpath(0xC817, Some(straggler));
+    assert_eq!(
+        a.report, b.report,
+        "critpath report must replay byte-identically"
+    );
+    assert_eq!(a.json, b.json, "critpath json must replay byte-identically");
+    assert_eq!(
+        a.chrome_json, b.chrome_json,
+        "flow trace must replay byte-identically"
+    );
+    assert_eq!(
+        a.blame,
+        Some((straggler.rank, Phase::Ps)),
+        "misattributed straggler:\n{}",
+        a.report
+    );
+
+    // The balanced run must also replay byte-for-byte, and must not
+    // blame the straggler's rank — otherwise the attribution above is
+    // vacuous (e.g. rank 2 always winning a tiebreak).
+    let base_a = hyades::tour::run_critpath(0xC817, None);
+    let base_b = hyades::tour::run_critpath(0xC817, None);
+    assert_eq!(base_a.report, base_b.report);
+    assert_eq!(base_a.json, base_b.json);
+    assert_ne!(
+        base_a.blame.map(|(r, _)| r),
+        Some(straggler.rank),
+        "balanced run already blames the straggler rank"
+    );
+}
+
+#[test]
 fn e17_effect_table_report_is_bit_identical_across_runs() {
     // The interprocedural effect table is itself a published artefact
     // (E17). The analysis walks sorted sources through BTree-ordered
