@@ -1,7 +1,7 @@
 //! The perf-baseline harness: one deterministic, instrumented pass over
 //! the E14-style experiments plus the fabric observatory, the run-health
 //! observatory, the cross-rank critical-path profiler, and the full
-//! static-analysis tree walk, emitting `BENCH_pr8.json` — one point of
+//! static-analysis tree walk, emitting `BENCH_pr9.json` — one point of
 //! the regression trajectory every later PR is compared against.
 //!
 //! ```text
@@ -27,6 +27,9 @@
 //! * the interprocedural flow pass alone (call-graph build + effect
 //!   fixpoint, timed as `lint_flow_ms`) must stay under its smoke
 //!   budget;
+//! * the SPMD collective-uniformity proof alone (taint fixpoint +
+//!   sequence check, timed as `lint_uniform_ms`) must stay under the
+//!   same smoke budget and report zero collective-divergence findings;
 //! * the critical-path profiler must blame the injected straggler's
 //!   exact (rank, phase), replay byte-identically across a same-seed
 //!   double run, and keep the balanced run's per-step path within the
@@ -37,7 +40,7 @@
 //! machine-readable verdict (non-zero exit on any busted budget).
 //!
 //! Wall-clock numbers in the output are environment-dependent by nature;
-//! everything else in `BENCH_pr8.json` is deterministic.
+//! everything else in `BENCH_pr9.json` is deterministic.
 
 use hyades::tour;
 use hyades_arctic::observatory::ObservatoryConfig;
@@ -111,7 +114,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut args = Args {
         smoke: false,
-        out: PathBuf::from("BENCH_pr8.json"),
+        out: PathBuf::from("BENCH_pr9.json"),
         artifact_dir: PathBuf::from("target/observatory"),
     };
     let mut it = std::env::args().skip(1);
@@ -250,6 +253,30 @@ fn main() {
         ));
     }
 
+    // 5b. The SPMD collective-uniformity proof alone (rank-dependence
+    //     taint fixpoint + collective-sequence check), timed separately
+    //     and required to come back with zero divergences: the 16-node
+    //     run's collective schedule is only trustworthy if no rank can
+    //     branch around a blocking collective.
+    let wall_uniform = Instant::now();
+    let un = hyades_lint::uniform::analyze(&sources);
+    let uniform_ms = wall_uniform.elapsed().as_secs_f64() * 1e3;
+    let uniform_findings = un
+        .findings
+        .iter()
+        .filter(|f| f.rule == "collective-divergence")
+        .count();
+    if uniform_findings != 0 {
+        failures.push(format!(
+            "lint::uniform found {uniform_findings} collective-divergence finding(s)"
+        ));
+    }
+    if args.smoke && uniform_ms > FLOW_SMOKE_BUDGET_MS {
+        failures.push(format!(
+            "lint::uniform took {uniform_ms:.0} ms (smoke budget {FLOW_SMOKE_BUDGET_MS:.0} ms)"
+        ));
+    }
+
     // 6. Run-health observatory: the coupled pair through the monitored
     //    stepper, twice — the health record itself must be byte-identical
     //    and the sentinel must stay quiet on the healthy run.
@@ -318,11 +345,11 @@ fn main() {
     let mut j = String::new();
     let _ = write!(
         j,
-        "{{\n  \"bench\": \"pr8-baseline\",\n  \"mode\": \"{mode}\",\n  \"seed\": {SEED},\n"
+        "{{\n  \"bench\": \"pr9-baseline\",\n  \"mode\": \"{mode}\",\n  \"seed\": {SEED},\n"
     );
     let _ = write!(
         j,
-        "  \"wall_ms\": {{\"total\": {:.1}, \"tour\": {tour_ms:.1}, \"fabric\": {fabric_ms:.1}, \"ethernet\": {ether_ms:.1}, \"diag\": {diag_ms:.1}, \"critpath\": {crit_ms:.1}, \"lint_full_tree_ms\": {lint_ms:.1}, \"lint_flow_ms\": {flow_ms:.1}}},\n",
+        "  \"wall_ms\": {{\"total\": {:.1}, \"tour\": {tour_ms:.1}, \"fabric\": {fabric_ms:.1}, \"ethernet\": {ether_ms:.1}, \"diag\": {diag_ms:.1}, \"critpath\": {crit_ms:.1}, \"lint_full_tree_ms\": {lint_ms:.1}, \"lint_flow_ms\": {flow_ms:.1}, \"lint_uniform_ms\": {uniform_ms:.1}}},\n",
         wall.elapsed().as_secs_f64() * 1e3
     );
     let _ = write!(
@@ -337,6 +364,15 @@ fn main() {
         fl.functions,
         fl.call_edges,
         fl.sinks.len()
+    );
+    let _ = write!(
+        j,
+        "  \"uniform\": {{\"functions\": {}, \"call_edges\": {}, \"collective_sites\": {}, \"collective_fns\": {}, \"trusted\": {}, \"findings\": {uniform_findings}}},\n",
+        un.functions,
+        un.call_edges,
+        un.collective_sites,
+        un.fns.len(),
+        un.trusted.len()
     );
     let _ = write!(
         j,
@@ -449,6 +485,11 @@ fn main() {
         fl.functions,
         fl.call_edges,
         fl.sinks.len()
+    );
+    println!(
+        "  uniform: {} collective site(s) in {uniform_ms:.0} ms, {} trusted, {uniform_findings} divergence(s)",
+        un.collective_sites,
+        un.trusted.len()
     );
     if !failures.is_empty() {
         for f in &failures {

@@ -299,18 +299,18 @@ pub fn compare(old: &BTreeMap<String, Val>, new: &BTreeMap<String, Val>) -> Vec<
         }
     }
 
-    // Coverage ratchet: the lint pass never scans fewer files.
-    if let (Some(o), Some(n)) = (
-        num(old.get("lint.files_scanned")),
-        num(new.get("lint.files_scanned")),
-    ) {
-        checks.push(Check {
-            metric: "lint.files_scanned".into(),
-            old: old.get("lint.files_scanned").cloned(),
-            new: new.get("lint.files_scanned").cloned(),
-            budget: ">= old".into(),
-            pass: n >= o,
-        });
+    // Coverage ratchets: the lint pass never scans fewer files, and the
+    // uniformity proof never covers fewer collective call sites.
+    for key in ["lint.files_scanned", "uniform.collective_sites"] {
+        if let (Some(o), Some(n)) = (num(old.get(key)), num(new.get(key))) {
+            checks.push(Check {
+                metric: key.into(),
+                old: old.get(key).cloned(),
+                new: new.get(key).cloned(),
+                budget: ">= old".into(),
+                pass: n >= o,
+            });
+        }
     }
 
     // Absolute budgets on the new summary.
@@ -324,6 +324,7 @@ pub fn compare(old: &BTreeMap<String, Val>, new: &BTreeMap<String, Val>) -> Vec<
             RESIDUAL_BUDGET,
         ),
         ("diag.sentinel_trips", "== 0", 0.0, 0.0),
+        ("uniform.findings", "== 0", 0.0, 0.0),
         (
             "critpath.max_step_residual",
             "abs <= 2.0",

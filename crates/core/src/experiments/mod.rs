@@ -21,6 +21,7 @@
 //! | E17 | §4/§5 — interprocedural determinism proof of the artefact surface | [`detflow`] |
 //! | E18 | §5/§6 — GCM run-health observatory over a coupled run | [`runhealth`] |
 //! | E19 | §5/§6 — cross-rank critical path of a coupled step | [`critpath`] |
+//! | E20 | §3/§5 — static SPMD collective-uniformity proof | [`spmd`] |
 
 pub mod api_tax;
 pub mod century;
@@ -41,6 +42,7 @@ pub mod routing;
 pub mod runhealth;
 pub mod schedcheck;
 pub mod sec53;
+pub mod spmd;
 
 /// A registered experiment.
 pub struct Experiment {
@@ -149,6 +151,11 @@ pub fn all() -> Vec<Experiment> {
             paper_artefact: "Sections 5/6: cross-rank critical path of a coupled step",
             run: critpath::run,
         },
+        Experiment {
+            id: "E20",
+            paper_artefact: "Sections 3/5: static SPMD collective-uniformity proof",
+            run: spmd::run,
+        },
     ]
 }
 
@@ -157,13 +164,13 @@ mod tests {
     #[test]
     fn registry_is_complete() {
         let all = super::all();
-        assert_eq!(all.len(), 19);
+        assert_eq!(all.len(), 20);
         let ids: Vec<&str> = all.iter().map(|e| e.id).collect();
         assert_eq!(
             ids,
             [
                 "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
-                "E14", "E15", "E16", "E17", "E18", "E19"
+                "E14", "E15", "E16", "E17", "E18", "E19", "E20"
             ]
         );
     }

@@ -83,22 +83,26 @@ impl Simulator {
     /// Panics if the id is invalid or the type does not match — both are
     /// programming errors in the simulation harness.
     pub fn actor<T: Actor + 'static>(&self, id: ActorId) -> &T {
-        self.actors[id.0]
-            .as_ref()
-            .expect("actor is currently executing or removed")
-            .as_any()
-            .downcast_ref::<T>()
-            .expect("actor type mismatch")
+        let slot = match self.actors[id.0].as_ref() {
+            Some(a) => a,
+            None => panic!("actor {} is currently executing or removed", id.0),
+        };
+        match slot.as_any().downcast_ref::<T>() {
+            Some(t) => t,
+            None => panic!("actor {} type mismatch", id.0),
+        }
     }
 
     /// Mutable access to a registered actor, downcast to its concrete type.
     pub fn actor_mut<T: Actor + 'static>(&mut self, id: ActorId) -> &mut T {
-        self.actors[id.0]
-            .as_mut()
-            .expect("actor is currently executing or removed")
-            .as_any_mut()
-            .downcast_mut::<T>()
-            .expect("actor type mismatch")
+        let slot = match self.actors[id.0].as_mut() {
+            Some(a) => a,
+            None => panic!("actor {} is currently executing or removed", id.0),
+        };
+        match slot.as_any_mut().downcast_mut::<T>() {
+            Some(t) => t,
+            None => panic!("actor {} type mismatch", id.0),
+        }
     }
 
     /// Run until no events remain or an actor calls [`Ctx::halt`].

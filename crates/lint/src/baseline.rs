@@ -22,12 +22,14 @@ use crate::rules::Finding;
 use std::collections::BTreeMap;
 
 /// Rules whose findings are counted against the baseline instead of
-/// failing outright. `nondet-reachable` rides the same ratchet so any
-/// accepted sink debt can only burn down, never grow.
+/// failing outright. `nondet-reachable` and `collective-divergence`
+/// ride the same ratchet so any accepted interprocedural debt can only
+/// burn down, never grow.
 pub const BASELINED_RULES: &[&str] = &[
     crate::rules::UNWRAP_IN_LIB,
     crate::rules::PRAGMA_ALLOW,
     crate::rules::NONDET_REACHABLE,
+    crate::rules::COLLECTIVE_DIVERGENCE,
 ];
 
 /// (path, rule) → allowed count.
@@ -61,8 +63,8 @@ pub fn parse(text: &str) -> Result<Baseline, String> {
 pub fn render(baseline: &Baseline) -> String {
     let mut s = String::from(
         "# hyades-lint baseline: unwrap-in-lib counts, the lint:allow pragma\n\
-         # budget (pragma-allow), and nondet-reachable sink debt — all\n\
-         # burn-down-only ratchets.\n\
+         # budget (pragma-allow), nondet-reachable sink debt, and\n\
+         # collective-divergence SPMD debt — all burn-down-only ratchets.\n\
          # Regenerate with: cargo run -p hyades-lint -- --write-baseline\n",
     );
     for ((path, rule), count) in baseline {

@@ -42,6 +42,10 @@
 //! `nondet-reachable` itself is baselined so any accepted debt ratchets
 //! down, never up.
 
+use crate::graph::{
+    self, body_open, impl_subject, is_test_path, module_path, param_types, record_let, RawCall,
+    KEYWORDS,
+};
 use crate::lexer::TokKind;
 use crate::passes::FileCtx;
 use crate::rules::{
@@ -287,18 +291,6 @@ struct FnDef {
     source: Option<(usize, String)>,
 }
 
-/// An unresolved call site.
-enum RawCall {
-    /// `name(..)` — plain path-less call.
-    Free { name: String },
-    /// `Type::name(..)` / `Self::name(..)`.
-    TypeQual { ty: String, name: String },
-    /// `module::name(..)` (lowercase qualifier).
-    ModQual { module: String, name: String },
-    /// `recv.name(..)`; `recv` is the locally inferred receiver type.
-    Method { name: String, recv: Option<String> },
-}
-
 #[derive(Default)]
 struct Builder {
     fns: Vec<FnDef>,
@@ -319,220 +311,6 @@ pub fn analyze(sources: &[(String, String)], sinks: &[SinkSpec]) -> FlowReport {
         extract_file(&ctx, &mut b);
     }
     resolve_and_check(b, sinks)
-}
-
-/// Words that look like `ident (` in token space but are not calls.
-const KEYWORDS: &[&str] = &[
-    "fn", "for", "if", "while", "match", "return", "in", "as", "let", "loop", "move", "mut", "ref",
-    "box", "unsafe", "where", "use", "pub", "crate", "super", "self", "Self", "dyn", "static",
-    "const", "break", "continue", "else", "async", "await", "type", "impl", "struct", "enum",
-    "union", "trait", "mod", "extern", "true", "false",
-];
-
-fn starts_upper(s: &str) -> bool {
-    s.chars().next().is_some_and(|c| c.is_ascii_uppercase())
-}
-
-/// Integration tests, benches, and `#[cfg(test)]` bodies are test scope:
-/// they may be nondeterministic setup and are never callees of lib code.
-fn is_test_path(rel: &str) -> bool {
-    rel.starts_with("tests/") || rel.contains("/tests/") || rel.contains("/benches/")
-}
-
-/// Module path for qualification, derived from the file path:
-/// `crates/comms/src/world.rs` → `comms::world`,
-/// `crates/bench/src/bin/baseline.rs` → `bench::bin::baseline`,
-/// `src/lib.rs` → `hyades`, `tests/determinism.rs` → `tests::determinism`.
-fn module_path(rel: &str) -> String {
-    let stem = rel.strip_suffix(".rs").unwrap_or(rel);
-    let parts: Vec<&str> = stem.split('/').collect();
-    let mut segs: Vec<&str> = Vec::new();
-    match parts.as_slice() {
-        ["crates", c, "src", rest @ ..] => {
-            segs.push(c);
-            segs.extend(rest);
-        }
-        ["crates", c, rest @ ..] => {
-            segs.push(c);
-            segs.extend(rest);
-        }
-        ["src", rest @ ..] => {
-            segs.push("hyades");
-            segs.extend(rest);
-        }
-        rest => segs.extend(rest),
-    }
-    segs.retain(|s| !matches!(*s, "lib" | "main" | "mod"));
-    segs.join("::")
-}
-
-/// Skip a balanced `<…>` starting at `open`; returns the index after the
-/// matching `>` (bails at `{` / `;` / EOF).
-fn skip_angles(ctx: &FileCtx<'_>, open: usize) -> usize {
-    let mut depth = 0i64;
-    let mut j = open;
-    while j < ctx.code.len() {
-        match ctx.text(j) {
-            "<" => depth += 1,
-            "<<" => depth += 2,
-            ">" => {
-                depth -= 1;
-                if depth <= 0 {
-                    return j + 1;
-                }
-            }
-            ">>" => {
-                depth -= 2;
-                if depth <= 0 {
-                    return j + 1;
-                }
-            }
-            "(" | "[" => match ctx.bracket_partner(j) {
-                Some(p) => j = p,
-                None => return j,
-            },
-            "{" | ";" => return j,
-            _ => {}
-        }
-        j += 1;
-    }
-    j
-}
-
-/// For an `impl` at `i`, the subject type name (`impl Foo` → `Foo`,
-/// `impl Trait for Bar` → `Bar`) and the body-opening `{` index.
-fn impl_subject(ctx: &FileCtx<'_>, i: usize) -> Option<(String, usize)> {
-    let mut j = i + 1;
-    if ctx.is(j, "<") {
-        j = skip_angles(ctx, j);
-    }
-    let mut subject: Option<String> = None;
-    let mut reading = true;
-    while j < ctx.code.len() {
-        match ctx.text(j) {
-            "{" => return subject.map(|s| (s, j)),
-            ";" => return None,
-            "for" => {
-                subject = None;
-                reading = true;
-                j += 1;
-            }
-            "where" => {
-                reading = false;
-                j += 1;
-            }
-            "<" => j = skip_angles(ctx, j),
-            "(" | "[" => j = ctx.bracket_partner(j)? + 1,
-            _ => {
-                if reading
-                    && ctx.kind(j) == Some(TokKind::Ident)
-                    && !matches!(ctx.text(j), "dyn" | "mut")
-                {
-                    subject = Some(ctx.text(j).to_string());
-                }
-                j += 1;
-            }
-        }
-    }
-    None
-}
-
-/// First `{` from `start` (skipping groups and generics), or `None` if a
-/// `;` ends the item first (trait method declaration, `mod x;`).
-fn body_open(ctx: &FileCtx<'_>, start: usize) -> Option<usize> {
-    let mut j = start;
-    while j < ctx.code.len() {
-        match ctx.text(j) {
-            "{" => return Some(j),
-            ";" => return None,
-            "<" => j = skip_angles(ctx, j),
-            "(" | "[" => j = ctx.bracket_partner(j)? + 1,
-            _ => j += 1,
-        }
-    }
-    None
-}
-
-/// Parameter types for local receiver inference: `x: Type`,
-/// `x: &mut Type` (path heads and generics are ignored — only a leading
-/// uppercase ident counts).
-fn param_types(ctx: &FileCtx<'_>, name_idx: usize) -> BTreeMap<String, String> {
-    let mut out = BTreeMap::new();
-    let mut j = name_idx + 1;
-    if ctx.is(j, "<") {
-        j = skip_angles(ctx, j);
-    }
-    if !ctx.is(j, "(") {
-        return out;
-    }
-    let Some(close) = ctx.bracket_partner(j) else {
-        return out;
-    };
-    for p in j + 1..close {
-        if ctx.kind(p) == Some(TokKind::Ident)
-            && ctx.is(p + 1, ":")
-            && (p == j + 1 || matches!(ctx.text(p - 1), "," | "(" | "mut"))
-        {
-            let mut k = p + 2;
-            while matches!(ctx.text(k), "&" | "mut" | "dyn")
-                || ctx.kind(k) == Some(TokKind::Lifetime)
-            {
-                k += 1;
-            }
-            if ctx.kind(k) == Some(TokKind::Ident) && starts_upper(ctx.text(k)) {
-                out.insert(ctx.text(p).to_string(), ctx.text(k).to_string());
-            }
-        }
-    }
-    out
-}
-
-/// `let [mut] x: Type = ..` / `let [mut] x = [path::]Type::ctor(..)` /
-/// `let x = Type { .. }` — record `x: Type`.
-fn record_let(ctx: &FileCtx<'_>, i: usize, locals: &mut BTreeMap<String, String>) {
-    let mut j = i + 1;
-    if ctx.is(j, "mut") {
-        j += 1;
-    }
-    if ctx.kind(j) != Some(TokKind::Ident) {
-        return;
-    }
-    let var = ctx.text(j).to_string();
-    if ctx.is(j + 1, ":") {
-        let mut k = j + 2;
-        while matches!(ctx.text(k), "&" | "mut" | "dyn") || ctx.kind(k) == Some(TokKind::Lifetime) {
-            k += 1;
-        }
-        if ctx.kind(k) == Some(TokKind::Ident) && starts_upper(ctx.text(k)) {
-            locals.insert(var, ctx.text(k).to_string());
-        }
-        return;
-    }
-    if !ctx.is(j + 1, "=") {
-        return;
-    }
-    let mut k = j + 2;
-    loop {
-        if ctx.kind(k) != Some(TokKind::Ident) {
-            return;
-        }
-        if starts_upper(ctx.text(k)) {
-            let ctor_call = ctx.is(k + 1, "::")
-                && ctx.kind(k + 2) == Some(TokKind::Ident)
-                && ctx.is(k + 3, "(");
-            let struct_lit = ctx.is(k + 1, "{");
-            if ctor_call || struct_lit {
-                locals.insert(var, ctx.text(k).to_string());
-            }
-            return;
-        }
-        // Walk over a lowercase `path::` prefix.
-        if ctx.is(k + 1, "::") {
-            k += 2;
-        } else {
-            return;
-        }
-    }
 }
 
 /// Which pragma (by line) covers a source on `line` for `rule`, if any.
@@ -709,41 +487,7 @@ fn scan_token(
     if !is_call {
         return;
     }
-    let name = t.text.to_string();
-    let call = if i >= 1 && ctx.is(i - 1, ".") {
-        let (base, _) = ctx.chain_back(i - 1);
-        let recv = match base {
-            Some("self") => b.fns[fid].self_ty.clone(),
-            Some(v) => b.locals[fid].get(v).cloned(),
-            None => None,
-        };
-        RawCall::Method { name, recv }
-    } else if i >= 2 && ctx.is(i - 1, "::") && ctx.kind(i - 2) == Some(TokKind::Ident) {
-        let seg = ctx.text(i - 2);
-        if seg == "Self" {
-            match b.fns[fid].self_ty.clone() {
-                Some(ty) => RawCall::TypeQual { ty, name },
-                None => RawCall::Free { name },
-            }
-        } else if starts_upper(seg) {
-            RawCall::TypeQual {
-                ty: seg.to_string(),
-                name,
-            }
-        } else if matches!(seg, "crate" | "super" | "self") {
-            RawCall::Free { name }
-        } else {
-            RawCall::ModQual {
-                module: seg.to_string(),
-                name,
-            }
-        }
-    } else if i >= 1 && ctx.is(i - 1, "::") {
-        // `<T as Trait>::name(..)`: qualifier unknown, over-approximate.
-        RawCall::Method { name, recv: None }
-    } else {
-        RawCall::Free { name }
-    };
+    let call = graph::classify_call(ctx, i, b.fns[fid].self_ty.as_deref(), &b.locals[fid]);
     b.calls[fid].push(call);
 }
 
@@ -931,86 +675,24 @@ fn extract_file(ctx: &FileCtx<'_>, b: &mut Builder) {
 /// Call-graph resolution, effect fixpoint, and the sink check.
 fn resolve_and_check(mut b: Builder, sinks: &[SinkSpec]) -> FlowReport {
     let n = b.fns.len();
-    let mut methods: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
-    let mut methods_by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
-    let mut free_by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
-    for (id, f) in b.fns.iter().enumerate() {
-        match &f.self_ty {
-            Some(ty) => {
-                methods
-                    .entry((ty.clone(), f.name.clone()))
-                    .or_default()
-                    .push(id);
-                methods_by_name.entry(f.name.clone()).or_default().push(id);
-            }
-            None => free_by_name.entry(f.name.clone()).or_default().push(id),
-        }
-    }
+    let syms: Vec<graph::Sym> = b
+        .fns
+        .iter()
+        .map(|f| graph::Sym {
+            name: f.name.clone(),
+            qual: f.qual.clone(),
+            file: f.file.clone(),
+            self_ty: f.self_ty.clone(),
+            crate_name: f.crate_name.clone(),
+            is_test: f.is_test,
+        })
+        .collect();
+    let resolver = graph::Resolver::new(&syms);
 
     let mut edges: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
     for caller in 0..n {
-        let caller_test = b.fns[caller].is_test;
         for call in &b.calls[caller] {
-            let cands: Vec<usize> = match call {
-                RawCall::Free { name } => {
-                    let all = free_by_name.get(name).cloned().unwrap_or_default();
-                    let same_file: Vec<usize> = all
-                        .iter()
-                        .copied()
-                        .filter(|&c| b.fns[c].file == b.fns[caller].file)
-                        .collect();
-                    if !same_file.is_empty() {
-                        same_file
-                    } else {
-                        let same_crate: Vec<usize> = all
-                            .iter()
-                            .copied()
-                            .filter(|&c| {
-                                b.fns[c].crate_name.is_some()
-                                    && b.fns[c].crate_name == b.fns[caller].crate_name
-                            })
-                            .collect();
-                        if !same_crate.is_empty() {
-                            same_crate
-                        } else {
-                            all
-                        }
-                    }
-                }
-                RawCall::TypeQual { ty, name } => methods
-                    .get(&(ty.clone(), name.clone()))
-                    .cloned()
-                    .unwrap_or_default(),
-                RawCall::ModQual { module, name } => free_by_name
-                    .get(name)
-                    .map(|all| {
-                        let tail = format!("::{module}::{name}");
-                        let exact = format!("{module}::{name}");
-                        all.iter()
-                            .copied()
-                            .filter(|&c| b.fns[c].qual.ends_with(&tail) || b.fns[c].qual == exact)
-                            .collect()
-                    })
-                    .unwrap_or_default(),
-                RawCall::Method { name, recv } => {
-                    let keyed = recv
-                        .as_ref()
-                        .and_then(|ty| methods.get(&(ty.clone(), name.clone())))
-                        .cloned();
-                    match keyed {
-                        Some(v) if !v.is_empty() => v,
-                        _ => methods_by_name.get(name).cloned().unwrap_or_default(),
-                    }
-                }
-            };
-            for c in cands {
-                if c == caller {
-                    continue;
-                }
-                // Test scope is never a callee of non-test code.
-                if !caller_test && b.fns[c].is_test {
-                    continue;
-                }
+            for c in resolver.candidates(&syms, caller, call) {
                 edges[caller].insert(c);
             }
         }
@@ -1395,25 +1077,5 @@ mod tests {
             g1.contains("sink publish_sum (comms reduction) comms::flowdemo::publish_sum Det\n")
         );
         assert!(g1.ends_with("findings: none\n"));
-    }
-
-    #[test]
-    fn module_paths() {
-        assert_eq!(module_path("crates/comms/src/world.rs"), "comms::world");
-        assert_eq!(module_path("crates/comms/src/lib.rs"), "comms");
-        assert_eq!(
-            module_path("crates/des/src/experiments/mod.rs"),
-            "des::experiments"
-        );
-        assert_eq!(
-            module_path("crates/bench/src/bin/baseline.rs"),
-            "bench::bin::baseline"
-        );
-        assert_eq!(module_path("src/lib.rs"), "hyades");
-        assert_eq!(module_path("tests/determinism.rs"), "tests::determinism");
-        assert_eq!(
-            module_path("examples/ocean_gyre.rs"),
-            "examples::ocean_gyre"
-        );
     }
 }

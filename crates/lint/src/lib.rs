@@ -13,10 +13,14 @@
 //! whole-program analyzers go beyond per-file rules — [`schedule`]
 //! proves the comms exchange/gsum schedules deadlock-free and tag-unique
 //! statically, [`hb`] is a vector-clock happens-before checker over
-//! recorded ThreadWorld event streams, and [`flow`] infers a
+//! recorded ThreadWorld event streams, [`flow`] infers a
 //! determinism effect (`Det`/`DetModuloSeed`/`Nondet`) for every
 //! function over the workspace call graph and proves the declared sinks
-//! (reductions, exporters, traces) never reach `Nondet` code.
+//! (reductions, exporters, traces) never reach `Nondet` code, and
+//! [`uniform`] (PR 9) proves SPMD collective uniformity: no
+//! rank-dependent branch, early exit, or loop bound can make one rank
+//! skip or repeat a blocking collective the others enter. [`graph`] is
+//! the shared symbol-table/call-resolution layer under the last two.
 //!
 //! Runs two ways:
 //!
@@ -28,11 +32,13 @@
 
 pub mod baseline;
 pub mod flow;
+pub mod graph;
 pub mod hb;
 pub mod lexer;
 pub mod passes;
 pub mod rules;
 pub mod schedule;
+pub mod uniform;
 
 pub use rules::{analyze, analyze_file, Finding};
 
@@ -108,6 +114,8 @@ pub struct LintReport {
     pub files_scanned: usize,
     /// Functions in the interprocedural effect table ([`flow`]).
     pub effect_fns: usize,
+    /// Direct collective call sites proven uniform ([`uniform`]).
+    pub collective_sites: usize,
 }
 
 impl LintReport {
@@ -131,6 +139,10 @@ impl LintReport {
     /// stable sorted order, so CI can diff runs textually.
     pub fn render_json(&self) -> String {
         let mut s = String::from("{\n");
+        s.push_str(&format!(
+            "  \"collective_sites\": {},\n",
+            self.collective_sites
+        ));
         s.push_str(&format!("  \"effect_fns\": {},\n", self.effect_fns));
         s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
         s.push_str("  \"notes\": [");
@@ -168,10 +180,11 @@ impl LintReport {
     /// report. Field order is part of the contract.
     pub fn render_summary(&self) -> String {
         format!(
-            "hyades-lint: files={} violations={} effect-table={} notes={}",
+            "hyades-lint: files={} violations={} effect-table={} collectives={} notes={}",
             self.files_scanned,
             self.violations.len(),
             self.effect_fns,
+            self.collective_sites,
             self.notes.len()
         )
     }
@@ -195,18 +208,24 @@ fn json_escape(s: &str) -> String {
 
 /// All workspace findings: per-file rule findings, one synthetic
 /// [`rules::PRAGMA_ALLOW`] finding per valid `lint:allow` pragma and
-/// per attached `lint:det-trusted` pragma (so the whole suppression set
-/// rides the baseline ratchet), plus the interprocedural [`flow`]
-/// findings. Pragmas the flow analysis honored are reconciled here: a
-/// pragma that suppressed a flow source is not "unused" even when no
-/// per-file rule fired on its line.
-fn workspace_findings(sources: &[(String, String)]) -> (Vec<Finding>, flow::FlowReport) {
+/// per attached `lint:det-trusted` / `lint:uniform-trusted` pragma (so
+/// the whole suppression set rides the baseline ratchet), plus the
+/// interprocedural [`flow`] and [`uniform`] findings. Pragmas either
+/// whole-program analysis honored are reconciled here: a pragma that
+/// suppressed a flow source or a collective-divergence finding is not
+/// "unused" even when no per-file rule fired on its line.
+fn workspace_findings(
+    sources: &[(String, String)],
+) -> (Vec<Finding>, flow::FlowReport, uniform::UniformReport) {
     let fl = flow::analyze(sources, flow::WORKSPACE_SINKS);
+    let un = uniform::analyze(sources);
     let mut findings = Vec::new();
     for (rel, contents) in sources {
         let fa = rules::analyze_file(rel, contents);
         findings.extend(fa.findings.into_iter().filter(|f| {
-            f.rule != rules::UNUSED_PRAGMA || !fl.used_allow.contains(&(f.rel_path.clone(), f.line))
+            f.rule != rules::UNUSED_PRAGMA
+                || (!fl.used_allow.contains(&(f.rel_path.clone(), f.line))
+                    && !un.used_allow.contains(&(f.rel_path.clone(), f.line)))
         }));
         for p in &fa.pragmas {
             if p.valid {
@@ -227,15 +246,24 @@ fn workspace_findings(sources: &[(String, String)]) -> (Vec<Finding>, flow::Flow
             message: "lint:det-trusted(..) suppression".to_string(),
         });
     }
+    for (rel, line) in &un.trusted_sites {
+        findings.push(Finding {
+            rel_path: rel.clone(),
+            line: *line,
+            rule: rules::PRAGMA_ALLOW,
+            message: "lint:uniform-trusted(..) suppression".to_string(),
+        });
+    }
     findings.extend(fl.findings.iter().cloned());
-    (findings, fl)
+    findings.extend(un.findings.iter().cloned());
+    (findings, fl, un)
 }
 
 /// Lint every scanned source against the checked-in baseline.
 pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
     let sources = collect_sources(root)?;
     let files_scanned = sources.len();
-    let (findings, fl) = workspace_findings(&sources);
+    let (findings, fl, un) = workspace_findings(&sources);
 
     let baseline_path = root.join(baseline_file());
     let baseline = if baseline_path.is_file() {
@@ -256,6 +284,7 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
         notes,
         files_scanned,
         effect_fns: fl.functions,
+        collective_sites: un.collective_sites,
     })
 }
 
@@ -268,29 +297,55 @@ pub fn baseline_file() -> &'static str {
 /// Returns the number of (file, rule) entries.
 pub fn write_baseline(root: &Path) -> std::io::Result<usize> {
     let sources = collect_sources(root)?;
-    let (findings, _) = workspace_findings(&sources);
+    let (findings, _, _) = workspace_findings(&sources);
     let b = baseline::from_findings(&findings);
     std::fs::write(root.join(baseline_file()), baseline::render(&b))?;
     Ok(b.len())
 }
 
-/// Strip every valid-but-unused `lint:allow` pragma from the tree, then
-/// regenerate the baseline (so the pragma budget ratchets down in the
-/// same step). Returns (files rewritten, baseline entries).
+/// Strip every valid-but-unused `lint:allow` pragma AND every stale
+/// (unattached) `lint:det-trusted` / `lint:uniform-trusted` pragma from
+/// the tree, then regenerate the baseline (so the pragma budget
+/// ratchets down in the same step). All three pragma families go
+/// through the same reconciliation: a pragma survives only if a
+/// per-file rule used it, a whole-program analysis honored it, or it is
+/// attached to a function. Returns (files rewritten, baseline entries).
 pub fn fix_baseline(root: &Path) -> std::io::Result<(usize, usize)> {
     let sources = collect_sources(root)?;
-    // A pragma only the flow analysis uses (e.g. suppressing a source
-    // for effect inference) must survive the sweep.
+    // A pragma only the whole-program analyses use (e.g. suppressing a
+    // flow source or a collective-divergence finding) must survive the
+    // sweep.
     let fl = flow::analyze(&sources, flow::WORKSPACE_SINKS);
+    let un = uniform::analyze(&sources);
+    // Stale trust pragmas are reported as `unused-pragma` findings by
+    // the two analyses' audits; their lines feed the same strip pass.
+    let stale_trust: BTreeSet<(String, usize)> = fl
+        .findings
+        .iter()
+        .chain(un.findings.iter())
+        .filter(|f| f.rule == rules::UNUSED_PRAGMA)
+        .map(|f| (f.rel_path.clone(), f.line))
+        .collect();
     let mut files_changed = 0usize;
     for (rel, contents) in &sources {
         let fa = rules::analyze_file(rel, contents);
-        let stale: BTreeSet<usize> = fa
+        let mut stale: BTreeSet<usize> = fa
             .pragmas
             .iter()
-            .filter(|p| p.valid && !p.used && !fl.used_allow.contains(&(rel.clone(), p.line)))
+            .filter(|p| {
+                p.valid
+                    && !p.used
+                    && !fl.used_allow.contains(&(rel.clone(), p.line))
+                    && !un.used_allow.contains(&(rel.clone(), p.line))
+            })
             .map(|p| p.line)
             .collect();
+        stale.extend(
+            stale_trust
+                .iter()
+                .filter(|(path, _)| path == rel)
+                .map(|(_, line)| *line),
+        );
         if stale.is_empty() {
             continue;
         }
@@ -365,13 +420,15 @@ mod tests {
             notes: vec!["a note".into()],
             files_scanned: 2,
             effect_fns: 41,
+            collective_sites: 7,
         };
         let json = report.render_json();
         assert!(json.contains("\"files_scanned\": 2"));
         assert!(json.contains("\"effect_fns\": 41"));
+        assert!(json.contains("\"collective_sites\": 7"));
         assert_eq!(
             report.render_summary(),
-            "hyades-lint: files=2 violations=1 effect-table=41 notes=1"
+            "hyades-lint: files=2 violations=1 effect-table=41 collectives=7 notes=1"
         );
         assert!(json.contains("\\\"no\\\""));
         assert!(json.contains("\"rule\": \"unseeded-rng\""));

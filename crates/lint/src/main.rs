@@ -5,11 +5,14 @@
 //! * `--json` — emit the report as one stable-sorted JSON object
 //!   (machine-readable CI diffs);
 //! * `--summary` — print one stable `hyades-lint: files=N violations=N
-//!   effect-table=N notes=N` line (consumed by `scripts/check.sh`);
+//!   effect-table=N collectives=N notes=N` line (consumed by
+//!   `scripts/check.sh`);
 //! * `--write-baseline` — regenerate `crates/lint/baseline.txt` from the
 //!   current tree (ratchets the unwrap-in-lib and pragma budgets);
 //! * `--fix-baseline` — strip `unused-pragma` suppressions from the
-//!   sources, then regenerate the baseline.
+//!   sources — including stale `lint:det-trusted` / `lint:uniform-trusted`
+//!   pragmas that no longer attach to a `fn` — then regenerate the
+//!   baseline.
 
 use std::process::ExitCode;
 

@@ -47,10 +47,13 @@ pub struct Pragma {
     pub line: usize,
 }
 
-/// A parsed `lint:det-trusted(reason)` pragma: marks the function defined
-/// on (or directly below) its line as `Det` for the interprocedural flow
-/// analysis ([`crate::flow`]), overriding whatever its body and callees
-/// would infer. Every use is recorded in the flow audit trail.
+/// A parsed trust pragma: `lint:det-trusted(reason)` marks the function
+/// defined on (or directly below) its line as `Det` for the
+/// interprocedural flow analysis ([`crate::flow`]);
+/// `lint:uniform-trusted(reason)` exempts the function from the SPMD
+/// collective-uniformity check ([`crate::uniform`]), asserting every
+/// rank still issues the same collective sequence. Every use is recorded
+/// in the respective audit trail.
 #[derive(Debug, Clone)]
 pub struct TrustPragma {
     pub has_reason: bool,
@@ -86,6 +89,8 @@ pub struct FileCtx<'a> {
     pub pragmas: Vec<Pragma>,
     /// Parsed `lint:det-trusted(reason)` pragmas, in source order.
     pub trusted: Vec<TrustPragma>,
+    /// Parsed `lint:uniform-trusted(reason)` pragmas, in source order.
+    pub uniform_trusted: Vec<TrustPragma>,
     /// For each closer token index, the opener index (and vice versa);
     /// `usize::MAX` elsewhere.
     partner: Vec<usize>,
@@ -112,7 +117,9 @@ impl<'a> FileCtx<'a> {
         let partner = match_brackets(&code);
         let in_test = cfg_test_flags(&code, &partner);
         let pragmas = parse_pragmas(&comments, &lines_with_code);
-        let trusted = parse_trust_pragmas(&comments, &lines_with_code);
+        let trusted = parse_trust_pragmas("lint:det-trusted(", &comments, &lines_with_code);
+        let uniform_trusted =
+            parse_trust_pragmas("lint:uniform-trusted(", &comments, &lines_with_code);
         FileCtx {
             rel_path,
             scope: classify(rel_path),
@@ -121,6 +128,7 @@ impl<'a> FileCtx<'a> {
             in_test,
             pragmas,
             trusted,
+            uniform_trusted,
             partner,
             lines_with_code,
         }
@@ -436,10 +444,12 @@ fn parse_pragmas(comments: &[Tok<'_>], lines_with_code: &BTreeSet<usize>) -> Vec
     out
 }
 
-/// Parse `lint:det-trusted(reason)` pragmas out of the comment stream.
-/// Same attribution rules as `lint:allow`: a pragma on a code line covers
+/// Parse trust pragmas (`needle` is the opener, e.g. `lint:det-trusted(`
+/// or `lint:uniform-trusted(`) out of the comment stream. Same
+/// attribution rules as `lint:allow`: a pragma on a code line covers
 /// that line's `fn`; one on a comment-only line covers the next line.
 fn parse_trust_pragmas(
+    needle: &str,
     comments: &[Tok<'_>],
     lines_with_code: &BTreeSet<usize>,
 ) -> Vec<TrustPragma> {
@@ -450,17 +460,17 @@ fn parse_trust_pragmas(
         }
         let mut rest = c.text;
         let mut offset = 0usize;
-        while let Some(pos) = rest.find("lint:det-trusted(") {
+        while let Some(pos) = rest.find(needle) {
             let abs = offset + pos;
             let line = c.line as usize + c.text[..abs].bytes().filter(|&b| b == b'\n').count();
-            let body = &rest[pos + "lint:det-trusted(".len()..];
+            let body = &rest[pos + needle.len()..];
             let close = body.find(')').unwrap_or(body.len());
             out.push(TrustPragma {
                 has_reason: !body[..close].trim().is_empty(),
                 own_line: !lines_with_code.contains(&line),
                 line,
             });
-            let consumed = pos + "lint:det-trusted(".len() + close;
+            let consumed = pos + needle.len() + close;
             offset += consumed;
             rest = &rest[consumed..];
         }
@@ -468,9 +478,15 @@ fn parse_trust_pragmas(
     out
 }
 
+/// Every pragma opener `--fix-baseline` knows how to strip. One shared
+/// reconciliation path: stale `lint:allow`, `lint:det-trusted`, and
+/// `lint:uniform-trusted` pragmas all leave the tree the same way.
+pub const PRAGMA_NEEDLES: &[&str] = &["lint:allow(", "lint:det-trusted(", "lint:uniform-trusted("];
+
 /// Remove the pragmas on the given 1-based `lines` from `source`
 /// (textually), cleaning up comments left empty. Used by
-/// `--fix-baseline` to drop `unused-pragma` suppressions.
+/// `--fix-baseline` to drop `unused-pragma` suppressions — allow and
+/// trust pragmas alike ([`PRAGMA_NEEDLES`]).
 pub fn strip_pragmas_on_lines(source: &str, lines: &BTreeSet<usize>) -> String {
     let mut out = Vec::new();
     for (idx, line) in source.lines().enumerate() {
@@ -479,9 +495,11 @@ pub fn strip_pragmas_on_lines(source: &str, lines: &BTreeSet<usize>) -> String {
             continue;
         }
         let mut l = line.to_string();
-        while let Some(pos) = l.find("lint:allow(") {
-            let close = l[pos..].find(')').map(|c| pos + c + 1).unwrap_or(l.len());
-            l.replace_range(pos..close, "");
+        for needle in PRAGMA_NEEDLES {
+            while let Some(pos) = l.find(needle) {
+                let close = l[pos..].find(')').map(|c| pos + c + 1).unwrap_or(l.len());
+                l.replace_range(pos..close, "");
+            }
         }
         // `// ` with nothing left: drop the comment; drop the whole
         // line if no code remains.
@@ -656,6 +674,30 @@ mod tests {
         assert!(!ctx.trusted[1].has_reason);
         assert!(!ctx.trusted[1].own_line);
         assert_eq!(ctx.trusted[1].line, 3);
+    }
+
+    #[test]
+    fn uniform_trust_pragmas_parse_independently() {
+        let src = "// lint:uniform-trusted(rank-0-only IO, no collectives follow)\n\
+                   fn report() {}\n\
+                   // lint:det-trusted(mocked clock)\n\
+                   fn stamp() -> u64 { 0 }\n";
+        let ctx = FileCtx::new("crates/x/src/a.rs", src);
+        assert_eq!(ctx.uniform_trusted.len(), 1);
+        assert_eq!(ctx.uniform_trusted[0].line, 1);
+        assert!(ctx.uniform_trusted[0].has_reason);
+        assert!(ctx.uniform_trusted[0].own_line);
+        assert_eq!(ctx.trusted.len(), 1);
+        assert_eq!(ctx.trusted[0].line, 3);
+    }
+
+    #[test]
+    fn strip_pragmas_covers_trust_needles() {
+        let src = "// lint:uniform-trusted(stale)\n\
+                   fn f() {}\n\
+                   fn g() {} // lint:det-trusted(stale)\n";
+        let got = strip_pragmas_on_lines(src, &BTreeSet::from([1, 3]));
+        assert_eq!(got, "fn f() {}\nfn g() {}\n");
     }
 
     #[test]

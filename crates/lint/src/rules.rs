@@ -13,6 +13,7 @@
 //! | `partial-cmp-unwrap`    | lib code, non-test                      | `partial_cmp(..).unwrap()` — use `total_cmp`   |
 //! | `float-sort-unstable`   | `gcm`, `perf`                           | `sort_unstable_by*` with a float comparator    |
 //! | `schedule-no-tiebreak`  | event-ordering crates, lib code         | `BinaryHeap::push` keys without a `seq` tie-break |
+//! | `collective-divergence` | whole-program ([`crate::uniform`])      | a collective reachable under a rank-dependent condition, or branch arms with unequal collective sequences |
 //!
 //! Any finding can be suppressed with an inline pragma:
 //! `// lint:allow(rule-name, reason)` on the offending line, or on a
@@ -43,6 +44,14 @@ pub const PRAGMA_ALLOW: &str = "pragma-allow";
 /// reaches a `Nondet`-classified function. Suppressible at the sink's
 /// definition line and ratchetable via `baseline.txt`.
 pub const NONDET_REACHABLE: &str = "nondet-reachable";
+/// Whole-program SPMD rule ([`crate::uniform`]): a collective call
+/// (exchange, global reduction, barrier) is reachable under a
+/// rank-dependent condition, or two paths through a function issue
+/// unequal collective sequences — one rank would block in a collective
+/// another rank never enters. Suppressible per-site via `lint:allow` or
+/// per-function via `lint:uniform-trusted(reason)`, and ratchetable via
+/// `baseline.txt`.
+pub const COLLECTIVE_DIVERGENCE: &str = "collective-divergence";
 
 /// The suppressible rules — the namespace `lint:allow` pragmas draw from.
 pub const ALL_RULES: &[&str] = &[
@@ -56,6 +65,7 @@ pub const ALL_RULES: &[&str] = &[
     FLOAT_SORT_UNSTABLE,
     SCHEDULE_NO_TIEBREAK,
     NONDET_REACHABLE,
+    COLLECTIVE_DIVERGENCE,
 ];
 
 /// One diagnostic. Renders as `file:line: rule: message`.

@@ -1,0 +1,1786 @@
+//! `lint::uniform` — whole-program SPMD collective-uniformity analysis.
+//!
+//! Every collective in the repo (`exchange`, `global_sum*`, `barrier`,
+//! `global_argmax/argmin`, the measurement drivers) blocks until *all*
+//! ranks enter it. The program is deadlock-free and deterministic only
+//! if every rank issues the same *sequence* of collectives — an
+//! invariant the blowup sentinel and the happens-before checker assert
+//! dynamically for one recorded run. This module proves it statically,
+//! whole-program, on the shared [`crate::graph`] call-graph layer:
+//!
+//! 1. **Rank-dependence taint lattice** `Uniform < RankDependent`. The
+//!    source catalog: `.rank` reads (method or field), data received
+//!    from `exchange`/`exchange3`/`gather` (return values and `&mut`
+//!    halo buffers). Taint propagates through `let` bindings,
+//!    assignments, method receivers, and — via a fixpoint over the call
+//!    graph — function parameters (positionally, from every call site)
+//!    and return values. Collective *results* launder: `global_max(x)`
+//!    returns the same value on every rank even when `x` is
+//!    rank-dependent, so reductions are Uniform sources, and
+//!    `global_sum_vec(&mut xs)` launders its buffer.
+//! 2. **Control-flow summary.** Each function body is abstracted to a
+//!    tree of collective calls, calls into collective-bearing
+//!    functions, early exits, branches (with the condition's taint and
+//!    witness), and loops. Each path through the tree has an abstract
+//!    collective *sequence signature*.
+//! 3. **Uniformity check.** A rank-dependent branch whose arms have
+//!    unequal collective signatures (including the implicit empty
+//!    `else`), a rank-dependent early exit with collectives still ahead
+//!    on the path, or a rank-dependent loop containing a collective is
+//!    a `collective-divergence` finding carrying the witness chain:
+//!    tainted source → condition → guarded collective.
+//!
+//! Soundness caveats (documented, deliberate): closures are inlined
+//! into the enclosing function (over-approximate), `?` early returns
+//! are not modeled, struct fields are not tracked as taint carriers
+//! (only locals and parameters), and two arms calling *different*
+//! collective-bearing helpers are flagged even if the helpers happen to
+//! issue equal sequences. Escape hatches, both audited and counted
+//! against the pragma budget: `lint:allow(collective-divergence, why)`
+//! on the branch line, or `// lint:uniform-trusted(why)` directly above
+//! a `fn` to exempt the whole function.
+
+use crate::graph::{self, body_open, impl_subject, is_test_path, module_path, RawCall, KEYWORDS};
+use crate::lexer::TokKind;
+use crate::passes::FileCtx;
+use crate::rules::{Finding, BAD_PRAGMA, COLLECTIVE_DIVERGENCE, UNUSED_PRAGMA};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One entry in the collective catalog.
+struct Collective {
+    name: &'static str,
+    /// The return value is received (per-rank) data.
+    ret_rd: bool,
+    /// `&mut` arguments receive per-rank data (halo buffers).
+    args_rd: bool,
+    /// `&mut` arguments are overwritten with the reduced, rank-uniform
+    /// value.
+    launders_args: bool,
+}
+
+/// Every blocking collective (and reduce-bearing measurement driver) in
+/// the workspace, by callable name. Matching is by name at the call
+/// site, so a trait method and its impls are covered uniformly.
+const CATALOG: &[Collective] = &[
+    Collective {
+        name: "exchange",
+        ret_rd: true,
+        args_rd: true,
+        launders_args: false,
+    },
+    Collective {
+        name: "exchange2",
+        ret_rd: false,
+        args_rd: true,
+        launders_args: false,
+    },
+    Collective {
+        name: "exchange3",
+        ret_rd: false,
+        args_rd: true,
+        launders_args: false,
+    },
+    Collective {
+        name: "gather",
+        ret_rd: true,
+        args_rd: false,
+        launders_args: false,
+    },
+    Collective {
+        name: "global_sum",
+        ret_rd: false,
+        args_rd: false,
+        launders_args: false,
+    },
+    Collective {
+        name: "global_sum_vec",
+        ret_rd: false,
+        args_rd: false,
+        launders_args: true,
+    },
+    Collective {
+        name: "global_max",
+        ret_rd: false,
+        args_rd: false,
+        launders_args: false,
+    },
+    Collective {
+        name: "global_min",
+        ret_rd: false,
+        args_rd: false,
+        launders_args: false,
+    },
+    Collective {
+        name: "global_argmax",
+        ret_rd: false,
+        args_rd: false,
+        launders_args: false,
+    },
+    Collective {
+        name: "global_argmin",
+        ret_rd: false,
+        args_rd: false,
+        launders_args: false,
+    },
+    Collective {
+        name: "barrier",
+        ret_rd: false,
+        args_rd: false,
+        launders_args: false,
+    },
+    Collective {
+        name: "measure_gsum",
+        ret_rd: false,
+        args_rd: false,
+        launders_args: false,
+    },
+    Collective {
+        name: "measure_gsum_tree",
+        ret_rd: false,
+        args_rd: false,
+        launders_args: false,
+    },
+    Collective {
+        name: "measure_exchange",
+        ret_rd: false,
+        args_rd: false,
+        launders_args: false,
+    },
+];
+
+fn catalog(name: &str) -> Option<&'static Collective> {
+    CATALOG.iter().find(|c| c.name == name)
+}
+
+/// Taint: `None` = Uniform, `Some(witness)` = RankDependent with the
+/// source description that first raised it.
+type Taint = Option<String>;
+
+fn join(a: &mut Taint, b: Taint) {
+    if a.is_none() {
+        *a = b;
+    }
+}
+
+/// Tainted locals: name → witness.
+type Env = BTreeMap<String, String>;
+
+/// One node of a function's control-flow summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Node {
+    /// Direct catalog call.
+    Coll { name: String, line: usize },
+    /// Call into a function that (transitively) issues collectives.
+    CallColl { qual: String, line: usize },
+    /// Early exit. `ret` distinguishes function-level exits (`return`,
+    /// `let .. else` divergence) from loop-level ones
+    /// (`break`/`continue`), which only skip collectives when the
+    /// *innermost* enclosing loop contains one.
+    Exit { line: usize, ret: bool },
+    /// `if` chain / `match` / `let .. else`: condition taint plus one
+    /// summary per arm. `has_else` = the arm set is exhaustive.
+    Branch {
+        rd: Taint,
+        line: usize,
+        arms: Vec<Vec<Node>>,
+        has_else: bool,
+    },
+    /// `while` / `for` / `loop`: `rd` taints the iteration count.
+    Loop {
+        rd: Taint,
+        line: usize,
+        body: Vec<Node>,
+    },
+}
+
+/// One function definition, with its body token range (token indices
+/// are stable across walks of the same [`FileCtx`]).
+struct UFn {
+    name: String,
+    qual: String,
+    file_idx: usize,
+    file: String,
+    line: usize,
+    name_idx: usize,
+    body: (usize, usize),
+    self_ty: Option<String>,
+    is_test: bool,
+    trusted: bool,
+    /// Line of a covering `lint:allow(collective-divergence, why)`.
+    allow_fn: Option<usize>,
+    params: Vec<String>,
+}
+
+/// Per-function row of the proof table.
+#[derive(Debug, Clone)]
+pub struct FnUniform {
+    pub qual: String,
+    pub file: String,
+    pub line: usize,
+    /// Direct collective call sites in the body.
+    pub sites: usize,
+    /// "uniform" | "trusted" | "divergent".
+    pub verdict: &'static str,
+}
+
+/// Per-crate rollup for the E20 proof table.
+#[derive(Debug, Clone)]
+pub struct CrateProof {
+    pub crate_name: String,
+    pub fns_with_collectives: usize,
+    pub collective_sites: usize,
+    pub proven: usize,
+    pub trusted: usize,
+    pub findings: usize,
+}
+
+/// Everything the analysis produced, in deterministic order.
+pub struct UniformReport {
+    pub functions: usize,
+    pub call_edges: usize,
+    /// Direct collective call sites across non-test code.
+    pub collective_sites: usize,
+    /// Collective-bearing non-test functions, sorted by qualified name.
+    pub fns: Vec<FnUniform>,
+    /// Per-crate proof rollup, sorted by crate name.
+    pub crates: Vec<CrateProof>,
+    /// Qualified names of `lint:uniform-trusted` functions.
+    pub trusted: Vec<String>,
+    /// (file, pragma line) of every valid, attached `uniform-trusted`
+    /// pragma — counted against the pragma budget by `lint_workspace`.
+    pub trusted_sites: Vec<(String, usize)>,
+    /// (file, pragma line) of every `lint:allow` pragma this analysis
+    /// honored.
+    pub used_allow: BTreeSet<(String, usize)>,
+    /// `collective-divergence` findings plus the trust-pragma audit.
+    pub findings: Vec<Finding>,
+}
+
+impl UniformReport {
+    /// Stable text rendering for golden tests: proof table per
+    /// collective-bearing function, per-crate rollup, findings.
+    pub fn render_golden(&self) -> String {
+        let mut s = String::new();
+        for f in &self.fns {
+            s.push_str(&format!("fn {} sites={} {}\n", f.qual, f.sites, f.verdict));
+        }
+        for c in &self.crates {
+            s.push_str(&format!(
+                "crate {} fns={} sites={} proven={} trusted={} findings={}\n",
+                c.crate_name,
+                c.fns_with_collectives,
+                c.collective_sites,
+                c.proven,
+                c.trusted,
+                c.findings
+            ));
+        }
+        if self.findings.is_empty() {
+            s.push_str("findings: none\n");
+        } else {
+            for f in &self.findings {
+                s.push_str(&format!("{f}\n"));
+            }
+        }
+        s
+    }
+}
+
+/// Fixpoint cap: taints are monotone so this only bounds pathological
+/// call-graph depth, not correctness on real inputs.
+const MAX_ROUNDS: usize = 12;
+
+/// Global fixpoint state.
+struct State {
+    fns: Vec<UFn>,
+    syms: Vec<graph::Sym>,
+    resolver: graph::Resolver,
+    call_edges: usize,
+    ret_rd: Vec<Taint>,
+    param_rd: Vec<Vec<Taint>>,
+    has_coll: Vec<bool>,
+    changed: bool,
+    /// Final round only.
+    collecting: bool,
+    findings: Vec<Finding>,
+    used_allow: BTreeSet<(String, usize)>,
+    sites: Vec<usize>,
+    divergent: Vec<bool>,
+}
+
+/// Run the analysis over `(rel_path, contents)` sources. Sources should
+/// be pre-sorted by path (as `collect_sources` returns them) for
+/// deterministic output.
+pub fn analyze(sources: &[(String, String)]) -> UniformReport {
+    let ctxs: Vec<FileCtx<'_>> = sources
+        .iter()
+        .map(|(rel, src)| FileCtx::new(rel, src))
+        .collect();
+
+    let mut findings = Vec::new();
+    let mut trusted_sites = Vec::new();
+    let mut fns = Vec::new();
+    for (file_idx, ctx) in ctxs.iter().enumerate() {
+        extract_file(ctx, file_idx, &mut fns, &mut findings, &mut trusted_sites);
+    }
+
+    let syms: Vec<graph::Sym> = fns
+        .iter()
+        .map(|f| graph::Sym {
+            name: f.name.clone(),
+            qual: f.qual.clone(),
+            file: f.file.clone(),
+            self_ty: f.self_ty.clone(),
+            crate_name: ctxs[f.file_idx].scope.crate_name.clone(),
+            is_test: f.is_test,
+        })
+        .collect();
+    let resolver = graph::Resolver::new(&syms);
+    let n = fns.len();
+    let mut st = State {
+        fns,
+        syms,
+        resolver,
+        call_edges: 0,
+        ret_rd: vec![None; n],
+        param_rd: Vec::new(),
+        has_coll: vec![false; n],
+        changed: false,
+        collecting: false,
+        findings,
+        used_allow: BTreeSet::new(),
+        sites: vec![0; n],
+        divergent: vec![false; n],
+    };
+    st.param_rd = st.fns.iter().map(|f| vec![None; f.params.len()]).collect();
+
+    for round in 0..MAX_ROUNDS {
+        st.changed = false;
+        st.call_edges = 0;
+        walk_all(&ctxs, &mut st);
+        if !st.changed || round == MAX_ROUNDS - 2 {
+            break;
+        }
+    }
+    // Final collecting round: taints are stable, gather trees/findings.
+    st.collecting = true;
+    st.sites = vec![0; n];
+    walk_all(&ctxs, &mut st);
+
+    finish(st, trusted_sites)
+}
+
+fn walk_all(ctxs: &[FileCtx<'_>], st: &mut State) {
+    for fid in 0..st.fns.len() {
+        if st.fns[fid].is_test {
+            continue;
+        }
+        let ctx = &ctxs[st.fns[fid].file_idx];
+        let mut w = Walk {
+            ctx,
+            st: &mut *st,
+            fid,
+            locals_ty: BTreeMap::new(),
+        };
+        w.locals_ty = graph::param_types(ctx, w.st.fns[fid].name_idx);
+        let mut env: Env = Env::new();
+        for (slot, p) in w.st.fns[fid].params.clone().into_iter().enumerate() {
+            if let Some(wit) = w.st.param_rd[fid][slot].clone() {
+                env.insert(p, wit);
+            }
+        }
+        let (start, end) = w.st.fns[fid].body;
+        let mut ret: Taint = None;
+        let (nodes, last) = w.block(start + 1, end, &mut env, &mut ret);
+        join(&mut ret, last);
+        if let Some(wit) = ret {
+            if w.st.ret_rd[fid].is_none() {
+                w.st.ret_rd[fid] = Some(wit);
+                w.st.changed = true;
+            }
+        }
+        if w.st.collecting && !w.st.fns[fid].trusted {
+            w.check(&nodes, false, false, false);
+        }
+    }
+}
+
+/// Symbol extraction for one file: same scope-stack walk as
+/// `flow::extract_file`, but recording body token ranges, positional
+/// parameter names, and the `uniform-trusted` / allow pragma coverage.
+fn extract_file(
+    ctx: &FileCtx<'_>,
+    file_idx: usize,
+    fns: &mut Vec<UFn>,
+    findings: &mut Vec<Finding>,
+    trusted_sites: &mut Vec<(String, usize)>,
+) {
+    let base = module_path(ctx.rel_path);
+    let path_test = is_test_path(ctx.rel_path);
+    let first_fn = fns.len();
+
+    struct Scope {
+        close: usize,
+        seg: Option<String>,
+        ty: Option<String>,
+    }
+    let mut scopes: Vec<Scope> = Vec::new();
+    let mut i = 0usize;
+    while i < ctx.code.len() {
+        while scopes.last().is_some_and(|s| i > s.close) {
+            scopes.pop();
+        }
+        let Some(t) = ctx.code.get(i) else { break };
+        if t.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        match t.text {
+            "impl" => {
+                if let Some((subject, bopen)) = impl_subject(ctx, i) {
+                    if let Some(close) = ctx.bracket_partner(bopen) {
+                        scopes.push(Scope {
+                            close,
+                            seg: Some(subject.clone()),
+                            ty: Some(subject),
+                        });
+                        i = bopen + 1;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            "trait" if ctx.kind(i + 1) == Some(TokKind::Ident) => {
+                let subject = ctx.text(i + 1).to_string();
+                if let Some(bopen) = body_open(ctx, i + 2) {
+                    if let Some(close) = ctx.bracket_partner(bopen) {
+                        scopes.push(Scope {
+                            close,
+                            seg: Some(subject.clone()),
+                            ty: Some(subject),
+                        });
+                        i = bopen + 1;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            "mod" if ctx.kind(i + 1) == Some(TokKind::Ident) && ctx.is(i + 2, "{") => {
+                match ctx.bracket_partner(i + 2) {
+                    Some(close) => {
+                        scopes.push(Scope {
+                            close,
+                            seg: Some(ctx.text(i + 1).to_string()),
+                            ty: None,
+                        });
+                        i += 3;
+                    }
+                    None => i += 1,
+                }
+            }
+            "struct" | "enum" | "union" => i += 2,
+            "fn" if ctx.kind(i + 1) == Some(TokKind::Ident) => {
+                let name_idx = i + 1;
+                let Some(bopen) = body_open(ctx, name_idx + 1) else {
+                    i = name_idx + 1;
+                    continue;
+                };
+                let Some(close) = ctx.bracket_partner(bopen) else {
+                    i = name_idx + 1;
+                    continue;
+                };
+                let cur_ty = scopes.iter().rev().find_map(|s| s.ty.clone());
+                let line = ctx.line(i);
+                let mut qual = base.clone();
+                for s in &scopes {
+                    if let Some(seg) = &s.seg {
+                        if !qual.is_empty() {
+                            qual.push_str("::");
+                        }
+                        qual.push_str(seg);
+                    }
+                }
+                if !qual.is_empty() {
+                    qual.push_str("::");
+                }
+                qual.push_str(ctx.text(name_idx));
+                let trusted = ctx.uniform_trusted.iter().any(|p| {
+                    p.has_reason && (p.line == line || (p.own_line && p.line + 1 == line))
+                });
+                let allow_fn = covering_pragma(ctx, line);
+                fns.push(UFn {
+                    name: ctx.text(name_idx).to_string(),
+                    qual,
+                    file_idx,
+                    file: ctx.rel_path.to_string(),
+                    line,
+                    name_idx,
+                    body: (bopen, close),
+                    self_ty: cur_ty,
+                    is_test: path_test || ctx.in_test[i],
+                    trusted,
+                    allow_fn,
+                    params: graph::param_names(ctx, name_idx),
+                });
+                // Keep scanning inside: nested fns are their own nodes;
+                // the body walker skips nested `fn` items.
+                scopes.push(Scope {
+                    close,
+                    seg: Some(ctx.text(name_idx).to_string()),
+                    ty: None,
+                });
+                i = name_idx + 1;
+            }
+            _ => i += 1,
+        }
+    }
+
+    // uniform-trusted audit, mirroring det-trusted: reasonless pragmas
+    // are bad, unattached ones are stale; valid attached ones join the
+    // pragma budget.
+    for tp in &ctx.uniform_trusted {
+        if !tp.has_reason {
+            findings.push(Finding {
+                rel_path: ctx.rel_path.to_string(),
+                line: tp.line,
+                rule: BAD_PRAGMA,
+                message: "lint:uniform-trusted() needs a reason: lint:uniform-trusted(why)"
+                    .to_string(),
+            });
+            continue;
+        }
+        let attached = fns[first_fn..]
+            .iter()
+            .any(|f| f.line == tp.line || (tp.own_line && tp.line + 1 == f.line));
+        if attached {
+            trusted_sites.push((ctx.rel_path.to_string(), tp.line));
+        } else {
+            findings.push(Finding {
+                rel_path: ctx.rel_path.to_string(),
+                line: tp.line,
+                rule: UNUSED_PRAGMA,
+                message: "lint:uniform-trusted(..) attaches to no `fn` on this or the next line"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Which `lint:allow(collective-divergence, why)` pragma covers `line`.
+fn covering_pragma(ctx: &FileCtx<'_>, line: usize) -> Option<usize> {
+    ctx.pragmas
+        .iter()
+        .find(|p| {
+            p.rule == COLLECTIVE_DIVERGENCE
+                && p.has_reason
+                && (p.line == line || (p.own_line && p.line + 1 == line))
+        })
+        .map(|p| p.line)
+}
+
+/// One function-body walk: statement/expression scan producing the
+/// control-flow summary and propagating taint.
+struct Walk<'a, 'b> {
+    ctx: &'b FileCtx<'a>,
+    st: &'b mut State,
+    fid: usize,
+    /// Locally inferred receiver types for call classification.
+    locals_ty: BTreeMap<String, String>,
+}
+
+impl Walk<'_, '_> {
+    fn line(&self, i: usize) -> usize {
+        self.ctx.line(i)
+    }
+
+    /// Find the first occurrence of `what` at group depth 0 in
+    /// `[s, e)`, skipping balanced brackets.
+    fn find_at_depth0(&self, s: usize, e: usize, what: &[&str]) -> Option<usize> {
+        let mut i = s;
+        while i < e {
+            let t = self.ctx.text(i);
+            if what.contains(&t) {
+                return Some(i);
+            }
+            if matches!(t, "(" | "[" | "{") {
+                i = self.ctx.bracket_partner(i).map(|p| p + 1).unwrap_or(e);
+                continue;
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// Pattern binders: lowercase non-keyword idents in `[s, e)` that
+    /// are not path segments (`mod::`), collected for `let` / `if let`
+    /// / `for` / match-arm patterns.
+    fn binders(&self, s: usize, e: usize) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut i = s;
+        while i < e {
+            if self.ctx.kind(i) == Some(TokKind::Ident) {
+                let t = self.ctx.text(i);
+                if !KEYWORDS.contains(&t)
+                    && !graph::starts_upper(t)
+                    && !self.ctx.is(i + 1, "::")
+                    && !(i > s && self.ctx.is(i - 1, "::"))
+                    && !self.ctx.is(i + 1, ":")
+                {
+                    out.push(t.to_string());
+                }
+            }
+            i += 1;
+        }
+        out
+    }
+
+    fn merge_raises(env: &mut Env, arm_env: Env) {
+        for (k, v) in arm_env {
+            env.entry(k).or_insert(v);
+        }
+    }
+
+    /// Statement sequence over `[start, end)`. Returns the summary and
+    /// the taint of the trailing expression statement (the block's
+    /// value).
+    fn block(
+        &mut self,
+        start: usize,
+        end: usize,
+        env: &mut Env,
+        ret: &mut Taint,
+    ) -> (Vec<Node>, Taint) {
+        let mut nodes = Vec::new();
+        let mut last: Taint = None;
+        let mut i = start;
+        while i < end {
+            if self.ctx.is(i, ";") || self.ctx.is(i, ",") {
+                i += 1;
+                continue;
+            }
+            let (next, t) = self.stmt(i, end, env, &mut nodes, ret);
+            last = t;
+            i = next.max(i + 1);
+        }
+        (nodes, last)
+    }
+
+    /// One statement starting at `i`; returns (next index, value taint).
+    fn stmt(
+        &mut self,
+        i: usize,
+        end: usize,
+        env: &mut Env,
+        nodes: &mut Vec<Node>,
+        ret: &mut Taint,
+    ) -> (usize, Taint) {
+        match self.ctx.text(i) {
+            // Nested fn item: a separate graph node, skip its body.
+            "fn" if self.ctx.kind(i + 1) == Some(TokKind::Ident) => {
+                let skip = body_open(self.ctx, i + 2)
+                    .and_then(|b| self.ctx.bracket_partner(b))
+                    .map(|c| c + 1)
+                    .unwrap_or(i + 2);
+                (skip.min(end), None)
+            }
+            "let" => self.stmt_let(i, end, env, nodes, ret),
+            "if" | "match" | "while" | "for" | "loop" => self.construct(i, end, env, nodes, ret),
+            "return" => {
+                let stop = self.find_at_depth0(i + 1, end, &[";"]).unwrap_or(end);
+                let t = self.expr(i + 1, stop, env, nodes, ret);
+                join(ret, t);
+                nodes.push(Node::Exit {
+                    line: self.line(i),
+                    ret: true,
+                });
+                (stop + 1, None)
+            }
+            "break" | "continue" => {
+                let stop = self.find_at_depth0(i + 1, end, &[";"]).unwrap_or(end);
+                self.expr(i + 1, stop, env, nodes, ret);
+                nodes.push(Node::Exit {
+                    line: self.line(i),
+                    ret: false,
+                });
+                (stop + 1, None)
+            }
+            _ => {
+                let stop = self.find_at_depth0(i, end, &[";"]).unwrap_or(end);
+                // `x = e` / `x += e`: join the RHS taint into `x`.
+                if self.ctx.kind(i) == Some(TokKind::Ident)
+                    && matches!(self.ctx.text(i + 1), "=" | "+=" | "-=" | "*=" | "/=")
+                {
+                    let t = self.expr(i + 2, stop, env, nodes, ret);
+                    match t {
+                        Some(wit) => {
+                            env.entry(self.ctx.text(i).to_string()).or_insert(wit);
+                        }
+                        None if self.ctx.is(i + 1, "=") => {
+                            // Plain rebind to a uniform value launders.
+                            env.remove(self.ctx.text(i));
+                        }
+                        None => {}
+                    }
+                    return (stop + 1, None);
+                }
+                let t = self.expr(i, stop, env, nodes, ret);
+                (stop + 1, t)
+            }
+        }
+    }
+
+    /// `let [mut] pat [: ty] = expr [else { .. }];`
+    fn stmt_let(
+        &mut self,
+        i: usize,
+        end: usize,
+        env: &mut Env,
+        nodes: &mut Vec<Node>,
+        ret: &mut Taint,
+    ) -> (usize, Taint) {
+        graph::record_let(self.ctx, i, &mut self.locals_ty);
+        let stop = self.find_at_depth0(i + 1, end, &[";"]).unwrap_or(end);
+        let Some(eq) = self.find_at_depth0(i + 1, stop, &["="]) else {
+            return (stop + 1, None); // `let x;`
+        };
+        // Binders live before any `:` type ascription.
+        let colon = self.find_at_depth0(i + 1, eq, &[":"]).unwrap_or(eq);
+        let binders = self.binders(i + 1, colon.min(eq));
+        // `let pat = expr else { diverge };` — but a depth-0 `else`
+        // preceded by `}` belongs to an `if`/`match` *expression* on the
+        // RHS (let-else needs a refutable pattern; its initializer never
+        // ends in a brace). Those are handled inside `expr`.
+        let else_at = self
+            .find_at_depth0(eq + 1, stop, &["else"])
+            .filter(|&ea| ea == eq + 1 || !self.ctx.is(ea - 1, "}"));
+        let rhs_end = else_at.unwrap_or(stop);
+        let t = self.expr(eq + 1, rhs_end, env, nodes, ret);
+        if let Some(ea) = else_at {
+            if self.ctx.is(ea + 1, "{") {
+                if let Some(close) = self.ctx.bracket_partner(ea + 1) {
+                    let mut arm_env = env.clone();
+                    let (mut arm, _) = self.block(ea + 2, close, &mut arm_env, ret);
+                    Self::merge_raises(env, arm_env);
+                    arm.push(Node::Exit {
+                        line: self.line(ea),
+                        ret: true,
+                    });
+                    nodes.push(Node::Branch {
+                        rd: t.clone(),
+                        line: self.line(i),
+                        arms: vec![arm],
+                        has_else: false,
+                    });
+                }
+            }
+        }
+        for b in binders {
+            match &t {
+                Some(wit) => {
+                    env.insert(b, wit.clone());
+                }
+                None => {
+                    env.remove(&b);
+                }
+            }
+        }
+        (stop + 1, None)
+    }
+
+    /// `if`/`match`/`while`/`for`/`loop` at `i`; also reachable from
+    /// expression position (`let v = if .. {..} else {..};`).
+    fn construct(
+        &mut self,
+        i: usize,
+        end: usize,
+        env: &mut Env,
+        nodes: &mut Vec<Node>,
+        ret: &mut Taint,
+    ) -> (usize, Taint) {
+        match self.ctx.text(i) {
+            "if" => self.construct_if(i, end, env, nodes, ret),
+            "match" => self.construct_match(i, env, nodes, ret),
+            "while" => {
+                let mut j = i + 1;
+                let mut binders = Vec::new();
+                if self.ctx.is(j, "let") {
+                    if let Some(eq) = self.find_at_depth0(j + 1, end, &["="]) {
+                        binders = self.binders(j + 1, eq);
+                        j = eq + 1;
+                    }
+                }
+                let Some(bopen) = body_open(self.ctx, j) else {
+                    return (i + 1, None);
+                };
+                let Some(close) = self.ctx.bracket_partner(bopen) else {
+                    return (i + 1, None);
+                };
+                let cond = self.expr(j, bopen, env, nodes, ret);
+                let mut arm_env = env.clone();
+                for b in binders {
+                    if let Some(wit) = cond.clone() {
+                        arm_env.insert(b, wit);
+                    }
+                }
+                let (body, _) = self.block(bopen + 1, close, &mut arm_env, ret);
+                Self::merge_raises(env, arm_env);
+                nodes.push(Node::Loop {
+                    rd: cond,
+                    line: self.line(i),
+                    body,
+                });
+                (close + 1, None)
+            }
+            "for" => {
+                let Some(in_at) = self.find_at_depth0(i + 1, end, &["in"]) else {
+                    return (i + 1, None);
+                };
+                let binders = self.binders(i + 1, in_at);
+                let Some(bopen) = body_open(self.ctx, in_at + 1) else {
+                    return (i + 1, None);
+                };
+                let Some(close) = self.ctx.bracket_partner(bopen) else {
+                    return (i + 1, None);
+                };
+                let iter = self.expr(in_at + 1, bopen, env, nodes, ret);
+                let mut arm_env = env.clone();
+                for b in binders {
+                    if let Some(wit) = iter.clone() {
+                        arm_env.insert(b, wit);
+                    }
+                }
+                let (body, _) = self.block(bopen + 1, close, &mut arm_env, ret);
+                Self::merge_raises(env, arm_env);
+                nodes.push(Node::Loop {
+                    rd: iter,
+                    line: self.line(i),
+                    body,
+                });
+                (close + 1, None)
+            }
+            "loop" => {
+                let Some(close) = self
+                    .ctx
+                    .is(i + 1, "{")
+                    .then(|| self.ctx.bracket_partner(i + 1))
+                    .flatten()
+                else {
+                    return (i + 1, None);
+                };
+                let mut arm_env = env.clone();
+                let (body, _) = self.block(i + 2, close, &mut arm_env, ret);
+                Self::merge_raises(env, arm_env);
+                nodes.push(Node::Loop {
+                    rd: None,
+                    line: self.line(i),
+                    body,
+                });
+                (close + 1, None)
+            }
+            _ => (i + 1, None),
+        }
+    }
+
+    fn construct_if(
+        &mut self,
+        i: usize,
+        end: usize,
+        env: &mut Env,
+        nodes: &mut Vec<Node>,
+        ret: &mut Taint,
+    ) -> (usize, Taint) {
+        let mut arms: Vec<Vec<Node>> = Vec::new();
+        let mut cond: Taint = None;
+        let mut has_else = false;
+        let mut cur = i;
+        let next;
+        loop {
+            let mut j = cur + 1;
+            let mut binders = Vec::new();
+            if self.ctx.is(j, "let") {
+                if let Some(eq) = self.find_at_depth0(j + 1, end, &["="]) {
+                    binders = self.binders(j + 1, eq);
+                    j = eq + 1;
+                }
+            }
+            let Some(bopen) = body_open(self.ctx, j) else {
+                return (cur + 1, None);
+            };
+            let Some(close) = self.ctx.bracket_partner(bopen) else {
+                return (cur + 1, None);
+            };
+            let c = self.expr(j, bopen, env, nodes, ret);
+            join(&mut cond, c.clone());
+            let mut arm_env = env.clone();
+            for b in binders {
+                if let Some(wit) = c.clone() {
+                    arm_env.insert(b, wit);
+                }
+            }
+            let (arm, _) = self.block(bopen + 1, close, &mut arm_env, ret);
+            Self::merge_raises(env, arm_env);
+            arms.push(arm);
+            let k = close + 1;
+            if self.ctx.is(k, "else") {
+                if self.ctx.is(k + 1, "if") {
+                    cur = k + 1;
+                    continue;
+                }
+                if self.ctx.is(k + 1, "{") {
+                    if let Some(close2) = self.ctx.bracket_partner(k + 1) {
+                        let mut arm_env = env.clone();
+                        let (arm, _) = self.block(k + 2, close2, &mut arm_env, ret);
+                        Self::merge_raises(env, arm_env);
+                        arms.push(arm);
+                        has_else = true;
+                        next = close2 + 1;
+                        break;
+                    }
+                }
+                next = k + 1;
+                break;
+            }
+            next = k;
+            break;
+        }
+        nodes.push(Node::Branch {
+            rd: cond.clone(),
+            line: self.line(i),
+            arms,
+            has_else,
+        });
+        (next, cond)
+    }
+
+    fn construct_match(
+        &mut self,
+        i: usize,
+        env: &mut Env,
+        nodes: &mut Vec<Node>,
+        ret: &mut Taint,
+    ) -> (usize, Taint) {
+        let Some(bopen) = body_open(self.ctx, i + 1) else {
+            return (i + 1, None);
+        };
+        let Some(close) = self.ctx.bracket_partner(bopen) else {
+            return (i + 1, None);
+        };
+        let mut cond = self.expr(i + 1, bopen, env, nodes, ret);
+        let mut arms: Vec<Vec<Node>> = Vec::new();
+        let mut p = bopen + 1;
+        while p < close {
+            let Some(arrow) = self.find_at_depth0(p, close, &["=>"]) else {
+                break;
+            };
+            // `pat [if guard] => body`
+            let guard_at = self.find_at_depth0(p, arrow, &["if"]);
+            let pat_end = guard_at.unwrap_or(arrow);
+            let binders = self.binders(p, pat_end);
+            let mut arm_env = env.clone();
+            if let Some(g) = guard_at {
+                let gt = self.expr(g + 1, arrow, &mut arm_env, nodes, ret);
+                join(&mut cond, gt);
+            }
+            if let Some(wit) = cond.clone() {
+                for b in binders {
+                    arm_env.insert(b, wit.clone());
+                }
+            }
+            let (arm, body_end) = if self.ctx.is(arrow + 1, "{") {
+                let Some(bc) = self.ctx.bracket_partner(arrow + 1) else {
+                    break;
+                };
+                let (a, _) = self.block(arrow + 2, bc, &mut arm_env, ret);
+                (a, bc + 1)
+            } else {
+                let stop = self
+                    .find_at_depth0(arrow + 1, close, &[","])
+                    .unwrap_or(close);
+                let mut a = Vec::new();
+                self.expr(arrow + 1, stop, &mut arm_env, &mut a, ret);
+                (a, stop + 1)
+            };
+            Self::merge_raises(env, arm_env);
+            arms.push(arm);
+            p = body_end;
+            if self.ctx.is(p, ",") {
+                p += 1;
+            }
+        }
+        nodes.push(Node::Branch {
+            rd: cond.clone(),
+            line: self.line(i),
+            arms,
+            has_else: true, // match is exhaustive
+        });
+        (close + 1, cond)
+    }
+
+    /// Expression scan over `[s, e)`: records collective nodes, call
+    /// edges, taints callee parameters positionally, and returns the
+    /// expression's taint.
+    fn expr(
+        &mut self,
+        s: usize,
+        e: usize,
+        env: &mut Env,
+        nodes: &mut Vec<Node>,
+        ret: &mut Taint,
+    ) -> Taint {
+        let mut taint: Taint = None;
+        let mut i = s;
+        while i < e {
+            let Some(t) = self.ctx.code.get(i) else { break };
+            if t.kind != TokKind::Ident {
+                i += 1;
+                continue;
+            }
+            if matches!(t.text, "if" | "match" | "while" | "for" | "loop") {
+                let (next, ct) = self.construct(i, e, env, nodes, ret);
+                join(&mut taint, ct);
+                i = next.max(i + 1);
+                continue;
+            }
+            if t.text == "return" {
+                let stop = self.find_at_depth0(i + 1, e, &[";"]).unwrap_or(e);
+                let rt = self.expr(i + 1, stop, env, nodes, ret);
+                join(ret, rt);
+                nodes.push(Node::Exit {
+                    line: self.line(i),
+                    ret: true,
+                });
+                i = stop + 1;
+                continue;
+            }
+            // `.rank` — method call or field read — is THE root source.
+            if t.text == "rank" && i >= 1 && self.ctx.is(i - 1, ".") {
+                join(
+                    &mut taint,
+                    Some(format!("`.rank` at {}:{}", self.ctx.rel_path, self.line(i))),
+                );
+                let after = self.ctx.skip_turbofish(i + 1);
+                let open = if self.ctx.is(after, "(") {
+                    Some(after)
+                } else if self.ctx.is(i + 1, "(") {
+                    Some(i + 1)
+                } else {
+                    None
+                };
+                i = open
+                    .and_then(|o| self.ctx.bracket_partner(o))
+                    .map(|c| c + 1)
+                    .unwrap_or(i + 1);
+                continue;
+            }
+            if KEYWORDS.contains(&t.text) {
+                i += 1;
+                continue;
+            }
+            let after = self.ctx.skip_turbofish(i + 1);
+            let open = if after > i + 1 && self.ctx.is(after, "(") {
+                Some(after)
+            } else if self.ctx.is(i + 1, "(") {
+                Some(i + 1)
+            } else {
+                None
+            };
+            let Some(open) = open else {
+                // Plain ident: tainted local?
+                if let Some(wit) = env.get(t.text) {
+                    join(&mut taint, Some(wit.clone()));
+                }
+                i += 1;
+                continue;
+            };
+            let Some(cl) = self.ctx.bracket_partner(open) else {
+                i += 1;
+                continue;
+            };
+            let name = t.text.to_string();
+            let line = self.line(i);
+            let ct = self.call(i, &name, line, open, cl, env, nodes, ret);
+            join(&mut taint, ct);
+            i = cl + 1;
+        }
+        taint
+    }
+
+    /// One call site `name(args)` with args in `(open, cl)`.
+    #[allow(clippy::too_many_arguments)]
+    fn call(
+        &mut self,
+        i: usize,
+        name: &str,
+        line: usize,
+        open: usize,
+        cl: usize,
+        env: &mut Env,
+        nodes: &mut Vec<Node>,
+        ret: &mut Taint,
+    ) -> Taint {
+        // Split top-level argument ranges.
+        let mut arg_ranges: Vec<(usize, usize)> = Vec::new();
+        {
+            let mut a = open + 1;
+            while a < cl {
+                let stop = self.find_at_depth0(a, cl, &[","]).unwrap_or(cl);
+                if stop > a {
+                    arg_ranges.push((a, stop));
+                }
+                a = stop + 1;
+            }
+        }
+
+        if let Some(cat) = catalog(name) {
+            if self.st.collecting {
+                self.st.sites[self.fid] += 1;
+            }
+            if !self.st.has_coll[self.fid] {
+                self.st.has_coll[self.fid] = true;
+                self.st.changed = true;
+            }
+            nodes.push(Node::Coll {
+                name: name.to_string(),
+                line,
+            });
+            // Args are consumed by the collective; scan them for nested
+            // collectives/calls but drop their taint (laundering).
+            for &(a, b) in &arg_ranges {
+                self.expr(a, b, env, nodes, ret);
+            }
+            // `&mut buf` args: halo receive taints, reduction launders.
+            if cat.args_rd || cat.launders_args {
+                for &(a, b) in &arg_ranges {
+                    let mut k = a;
+                    while k + 2 < b.min(a + 8) {
+                        if self.ctx.is(k, "&")
+                            && self.ctx.is(k + 1, "mut")
+                            && self.ctx.kind(k + 2) == Some(TokKind::Ident)
+                        {
+                            let var = self.ctx.text(k + 2).to_string();
+                            if cat.args_rd {
+                                env.insert(
+                                    var,
+                                    format!(
+                                        "halo data from `{name}` at {}:{line}",
+                                        self.ctx.rel_path
+                                    ),
+                                );
+                            } else {
+                                env.remove(&var);
+                            }
+                        }
+                        k += 1;
+                    }
+                }
+            }
+            return cat.ret_rd.then(|| {
+                format!(
+                    "data received from `{name}` at {}:{line}",
+                    self.ctx.rel_path
+                )
+            });
+        }
+
+        let call = graph::classify_call(
+            self.ctx,
+            i,
+            self.st.fns[self.fid].self_ty.as_deref(),
+            &self.locals_ty,
+        );
+        let cands = self.st.resolver.candidates(&self.st.syms, self.fid, &call);
+
+        // Receiver taint for method calls (`halo.iter()`).
+        let recv_taint: Taint = if let RawCall::Method { .. } = call {
+            let (base, _) = self.ctx.chain_back(i - 1);
+            base.and_then(|b| env.get(b).cloned())
+        } else {
+            None
+        };
+
+        // Argument taints (this also appends nested nodes).
+        let arg_taints: Vec<Taint> = arg_ranges
+            .iter()
+            .map(|&(a, b)| self.expr(a, b, env, nodes, ret))
+            .collect();
+
+        if cands.is_empty() {
+            // Out-of-workspace call: identity over receiver + args.
+            let mut t = recv_taint;
+            for a in arg_taints {
+                join(&mut t, a);
+            }
+            return t;
+        }
+
+        self.st.call_edges += cands.len();
+        let is_method_call = matches!(call, RawCall::Method { .. });
+        let mut out: Taint = None;
+        let mut coll_qual: Option<String> = None;
+        for &c in &cands {
+            // Positional parameter taint: leading `self` slot takes the
+            // receiver taint for method-form calls.
+            let params = self.st.fns[c].params.clone();
+            let mut slot_taints: Vec<&Taint> = Vec::new();
+            let has_self = params.first().map(String::as_str) == Some("self");
+            if has_self && is_method_call {
+                slot_taints.push(&recv_taint);
+            }
+            slot_taints.extend(arg_taints.iter());
+            for (slot, t) in slot_taints.into_iter().enumerate() {
+                if slot >= self.st.param_rd[c].len() {
+                    break;
+                }
+                if let Some(wit) = t {
+                    if self.st.param_rd[c][slot].is_none() {
+                        self.st.param_rd[c][slot] = Some(wit.clone());
+                        self.st.changed = true;
+                    }
+                }
+            }
+            if let Some(wit) = &self.st.ret_rd[c] {
+                join(&mut out, Some(wit.clone()));
+            }
+            if self.st.has_coll[c] && coll_qual.is_none() {
+                coll_qual = Some(self.st.fns[c].qual.clone());
+            }
+        }
+        if let Some(qual) = coll_qual {
+            if !self.st.has_coll[self.fid] {
+                self.st.has_coll[self.fid] = true;
+                self.st.changed = true;
+            }
+            nodes.push(Node::CallColl { qual, line });
+        }
+        out
+    }
+
+    // ---- uniformity check over the finished control tree ----
+
+    /// Abstract collective-sequence signature of a node list.
+    fn sig(nodes: &[Node]) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        for n in nodes {
+            match n {
+                Node::Coll { name, .. } => parts.push(name.clone()),
+                Node::CallColl { qual, .. } => parts.push(format!("@{qual}")),
+                Node::Exit { ret, .. } => parts.push(if *ret { "!" } else { "^" }.to_string()),
+                Node::Branch { arms, has_else, .. } => {
+                    let mut arm_sigs: Vec<String> = arms.iter().map(|a| Self::sig(a)).collect();
+                    if !has_else {
+                        arm_sigs.push(String::new());
+                    }
+                    let all_eq = arm_sigs.windows(2).all(|w| w[0] == w[1]);
+                    if all_eq {
+                        if let Some(s0) = arm_sigs.first() {
+                            if !s0.is_empty() {
+                                parts.push(s0.clone());
+                            }
+                        }
+                    } else {
+                        parts.push(format!("?({})", arm_sigs.join("|")));
+                    }
+                }
+                Node::Loop { body, .. } => {
+                    let b = Self::sig(body);
+                    if !b.is_empty() {
+                        parts.push(format!("*({b})"));
+                    }
+                }
+            }
+        }
+        parts.join(" ")
+    }
+
+    fn has_c(nodes: &[Node]) -> bool {
+        nodes.iter().any(|n| match n {
+            Node::Coll { .. } | Node::CallColl { .. } => true,
+            Node::Exit { .. } => false,
+            Node::Branch { arms, .. } => arms.iter().any(|a| Self::has_c(a)),
+            Node::Loop { body, .. } => Self::has_c(body),
+        })
+    }
+
+    /// First direct collective under the node list, for the witness.
+    fn first_coll(nodes: &[Node]) -> Option<(String, usize)> {
+        for n in nodes {
+            match n {
+                Node::Coll { name, line } => return Some((name.clone(), *line)),
+                Node::CallColl { qual, line } => return Some((format!("@{qual}"), *line)),
+                Node::Branch { arms, .. } => {
+                    if let Some(hit) = arms.iter().find_map(|a| Self::first_coll(a)) {
+                        return Some(hit);
+                    }
+                }
+                Node::Loop { body, .. } => {
+                    if let Some(hit) = Self::first_coll(body) {
+                        return Some(hit);
+                    }
+                }
+                Node::Exit { .. } => {}
+            }
+        }
+        None
+    }
+
+    fn emit(&mut self, line: usize, message: String) {
+        // Per-site allow pragma on the branch/loop line, then the
+        // fn-level allow recorded at extraction.
+        if let Some(pline) = covering_pragma(self.ctx, line) {
+            self.st
+                .used_allow
+                .insert((self.ctx.rel_path.to_string(), pline));
+            return;
+        }
+        if let Some(pline) = self.st.fns[self.fid].allow_fn {
+            self.st
+                .used_allow
+                .insert((self.ctx.rel_path.to_string(), pline));
+            return;
+        }
+        self.st.divergent[self.fid] = true;
+        self.st.findings.push(Finding {
+            rel_path: self.ctx.rel_path.to_string(),
+            line,
+            rule: COLLECTIVE_DIVERGENCE,
+            message,
+        });
+    }
+
+    /// Recursive uniformity check.
+    ///
+    /// * `any_loop_c` — some enclosing loop contains a collective, so a
+    ///   rank-dependent `return` diverges (it skips that loop's
+    ///   remaining iterations).
+    /// * `inner_loop_c` — the *innermost* enclosing loop contains a
+    ///   collective; only then do `break`/`continue` skip one.
+    /// * `after_c` — collectives run after this node sequence completes
+    ///   (tail of an enclosing block or the next loop iteration), so a
+    ///   rank-dependent `return` diverges even with nothing left here.
+    fn check(&mut self, nodes: &[Node], any_loop_c: bool, inner_loop_c: bool, after_c: bool) {
+        for (idx, n) in nodes.iter().enumerate() {
+            let rest_c = after_c || Self::has_c(&nodes[idx + 1..]);
+            match n {
+                Node::Branch {
+                    rd: Some(wit),
+                    line,
+                    arms,
+                    has_else,
+                } => {
+                    let mut arm_sigs: Vec<String> = arms.iter().map(|a| Self::sig(a)).collect();
+                    if !has_else {
+                        arm_sigs.push(String::new());
+                    }
+                    let distinct = !arm_sigs.windows(2).all(|w| w[0] == w[1]);
+                    let any_c = arms.iter().any(|a| Self::has_c(a));
+                    let ret_exit = arm_sigs.iter().any(|s| s.contains('!'));
+                    let loop_exit = arm_sigs.iter().any(|s| s.contains('^'));
+                    let exits_diverge =
+                        (ret_exit && (rest_c || any_loop_c)) || (loop_exit && inner_loop_c);
+                    if distinct && (any_c || exits_diverge) {
+                        let qual = self.st.fns[self.fid].qual.clone();
+                        let what = Self::first_coll(
+                            arms.iter()
+                                .flatten()
+                                .cloned()
+                                .collect::<Vec<_>>()
+                                .as_slice(),
+                        )
+                        .or_else(|| Self::first_coll(&nodes[idx + 1..]))
+                        .map(|(n, l)| format!("collective `{n}` (line {l})"))
+                        .unwrap_or_else(|| "a collective on the continuing path".to_string());
+                        self.emit(
+                            *line,
+                            format!(
+                                "fn `{qual}`: {what} is guarded by a rank-dependent condition (line {line}); \
+                                 arm sequences [{}]; tainted by {wit}",
+                                arm_sigs
+                                    .iter()
+                                    .map(|s| if s.is_empty() { "-" } else { s.as_str() })
+                                    .collect::<Vec<_>>()
+                                    .join(" | ")
+                            ),
+                        );
+                    }
+                    for a in arms {
+                        self.check(a, any_loop_c, inner_loop_c, rest_c);
+                    }
+                }
+                Node::Branch { arms, .. } => {
+                    for a in arms {
+                        self.check(a, any_loop_c, inner_loop_c, rest_c);
+                    }
+                }
+                Node::Loop {
+                    rd: Some(wit),
+                    line,
+                    body,
+                } => {
+                    if Self::has_c(body) {
+                        let qual = self.st.fns[self.fid].qual.clone();
+                        let what = Self::first_coll(body)
+                            .map(|(n, l)| format!("collective `{n}` (line {l})"))
+                            .unwrap_or_default();
+                        self.emit(
+                            *line,
+                            format!(
+                                "fn `{qual}`: {what} inside a loop whose trip count is \
+                                 rank-dependent (line {line}); tainted by {wit}"
+                            ),
+                        );
+                    }
+                    let body_c = Self::has_c(body);
+                    self.check(body, any_loop_c || body_c, body_c, body_c || rest_c);
+                }
+                Node::Loop { body, .. } => {
+                    let body_c = Self::has_c(body);
+                    self.check(body, any_loop_c || body_c, body_c, body_c || rest_c);
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Assemble the report from the final fixpoint state.
+fn finish(st: State, mut trusted_sites: Vec<(String, usize)>) -> UniformReport {
+    let n = st.fns.len();
+    let mut fns_out: Vec<FnUniform> = Vec::new();
+    let mut per_crate: BTreeMap<String, CrateProof> = BTreeMap::new();
+    let mut collective_sites = 0usize;
+    for f in 0..n {
+        if st.fns[f].is_test || !st.has_coll[f] {
+            continue;
+        }
+        let verdict = if st.fns[f].trusted {
+            "trusted"
+        } else if st.divergent[f] {
+            "divergent"
+        } else {
+            "uniform"
+        };
+        collective_sites += st.sites[f];
+        fns_out.push(FnUniform {
+            qual: st.fns[f].qual.clone(),
+            file: st.fns[f].file.clone(),
+            line: st.fns[f].line,
+            sites: st.sites[f],
+            verdict,
+        });
+        let crate_name = st.syms[f].crate_name.clone().unwrap_or_else(|| {
+            match st.fns[f].file.split('/').next() {
+                Some("src") => "hyades".to_string(),
+                Some(seg) => seg.to_string(),
+                None => "workspace".to_string(),
+            }
+        });
+        let row = per_crate.entry(crate_name.clone()).or_insert(CrateProof {
+            crate_name,
+            fns_with_collectives: 0,
+            collective_sites: 0,
+            proven: 0,
+            trusted: 0,
+            findings: 0,
+        });
+        row.fns_with_collectives += 1;
+        row.collective_sites += st.sites[f];
+        match verdict {
+            "uniform" => row.proven += 1,
+            "trusted" => row.trusted += 1,
+            _ => row.findings += 1,
+        }
+    }
+    fns_out.sort_by(|a, z| (&a.qual, &a.file, a.line).cmp(&(&z.qual, &z.file, z.line)));
+
+    let mut trusted: Vec<String> = st
+        .fns
+        .iter()
+        .filter(|f| f.trusted)
+        .map(|f| f.qual.clone())
+        .collect();
+    trusted.sort();
+    trusted_sites.sort();
+    let mut findings = st.findings;
+    findings.sort();
+    findings.dedup();
+
+    UniformReport {
+        functions: n,
+        call_edges: st.call_edges,
+        collective_sites,
+        fns: fns_out,
+        crates: per_crate.into_values().collect(),
+        trusted,
+        trusted_sites,
+        used_allow: st.used_allow,
+        findings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> UniformReport {
+        analyze(&[("crates/comms/src/t.rs".to_string(), src.to_string())])
+    }
+
+    fn divergences(r: &UniformReport) -> Vec<&Finding> {
+        r.findings
+            .iter()
+            .filter(|f| f.rule == COLLECTIVE_DIVERGENCE)
+            .collect()
+    }
+
+    #[test]
+    fn rank_guarded_collective_is_flagged_with_witness() {
+        let r = run(r#"
+pub fn drive(world: &mut dyn CommWorld) {
+    if world.rank() == 0 {
+        world.global_sum(1.0);
+    }
+}
+"#);
+        let d = divergences(&r);
+        assert_eq!(d.len(), 1, "{:?}", r.findings);
+        assert_eq!(d[0].line, 3);
+        assert!(d[0].message.contains("global_sum"), "{}", d[0].message);
+        assert!(d[0].message.contains("`.rank`"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn equal_sequences_across_arms_are_uniform() {
+        let r = run(r#"
+pub fn drive(world: &mut dyn CommWorld, a: f64, b: f64) {
+    let x = if world.rank() == 0 { a } else { b };
+    world.global_sum(x);
+}
+"#);
+        assert!(divergences(&r).is_empty(), "{:?}", r.findings);
+        assert_eq!(r.collective_sites, 1);
+    }
+
+    #[test]
+    fn return_taint_flows_through_helper() {
+        let r = run(r#"
+fn my_rank(world: &mut dyn CommWorld) -> usize {
+    world.rank()
+}
+pub fn drive(world: &mut dyn CommWorld) {
+    if my_rank(world) == 0 {
+        return;
+    }
+    world.barrier();
+}
+"#);
+        let d = divergences(&r);
+        assert_eq!(d.len(), 1, "{:?}", r.findings);
+        assert!(d[0].message.contains("barrier"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn param_taint_flows_through_method_call() {
+        let r = run(r#"
+struct H;
+impl H {
+    fn guard(&self, r: usize) -> bool {
+        r == 0
+    }
+}
+pub fn drive(world: &mut dyn CommWorld, h: &H) {
+    let r = world.rank();
+    if h.guard(r) {
+        world.global_sum(1.0);
+    }
+}
+"#);
+        let d = divergences(&r);
+        assert_eq!(d.len(), 1, "{:?}", r.findings);
+    }
+
+    #[test]
+    fn reductions_launder_rank_dependence() {
+        let r = run(r#"
+pub fn drive(world: &mut dyn CommWorld) {
+    let local = world.rank() as f64;
+    let speed = world.global_max(local);
+    if speed > 1.0 {
+        world.global_sum(speed);
+    }
+    let mut pair = [local, local];
+    world.global_sum_vec(&mut pair);
+    if pair[0] > 0.0 {
+        world.barrier();
+    }
+}
+"#);
+        assert!(divergences(&r).is_empty(), "{:?}", r.findings);
+        assert_eq!(r.collective_sites, 4);
+    }
+
+    #[test]
+    fn unequal_collective_sequences_are_flagged() {
+        let r = run(r#"
+pub fn drive(world: &mut dyn CommWorld) {
+    if world.rank() == 0 {
+        world.global_sum(1.0);
+    } else {
+        world.barrier();
+    }
+}
+"#);
+        let d = divergences(&r);
+        assert_eq!(d.len(), 1, "{:?}", r.findings);
+        assert!(d[0].message.contains('|'), "{}", d[0].message);
+    }
+
+    #[test]
+    fn received_halo_data_taints_loop_bound() {
+        let r = run(r#"
+pub fn drive(world: &mut dyn CommWorld, out: Vec<(usize, Vec<f64>)>) {
+    let incoming = world.exchange(out);
+    for _m in incoming {
+        world.barrier();
+    }
+}
+"#);
+        let d = divergences(&r);
+        assert_eq!(d.len(), 1, "{:?}", r.findings);
+        assert!(d[0].message.contains("trip count"), "{}", d[0].message);
+        assert!(
+            d[0].message.contains("data received from `exchange`"),
+            "{}",
+            d[0].message
+        );
+    }
+
+    #[test]
+    fn rank_dependent_early_return_before_collective() {
+        let r = run(r#"
+pub fn drive(world: &mut dyn CommWorld) {
+    if world.rank() != 0 {
+        return;
+    }
+    world.barrier();
+}
+"#);
+        assert_eq!(divergences(&r).len(), 1, "{:?}", r.findings);
+    }
+
+    #[test]
+    fn loop_exit_in_collective_free_inner_loop_is_uniform() {
+        // `continue` only skips the innermost loop; no collective there.
+        let r = run(r#"
+pub fn drive(world: &mut dyn CommWorld, mask: Vec<f64>) {
+    let r = world.rank();
+    loop {
+        let mut acc = 0.0;
+        for m in &mask {
+            if *m as usize == r {
+                continue;
+            }
+            acc += m;
+        }
+        world.global_sum(acc);
+        break;
+    }
+}
+"#);
+        assert!(divergences(&r).is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn if_else_initializer_is_not_let_else() {
+        // Regression: the depth-0 `else` of an `if` *expression* on a
+        // `let` RHS must not be parsed as let-else divergence.
+        let r = run(r#"
+pub fn drive(world: &mut dyn CommWorld, d: f64) {
+    let r = world.rank() as f64;
+    let z = if d > r { d } else { 0.0 };
+    world.global_sum(z);
+}
+"#);
+        assert!(divergences(&r).is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn allow_pragma_suppresses_and_is_used() {
+        let r = run(r#"
+pub fn drive(world: &mut dyn CommWorld) {
+    // lint:allow(collective-divergence, manual proof: demo)
+    if world.rank() == 0 {
+        world.global_sum(1.0);
+    }
+}
+"#);
+        assert!(divergences(&r).is_empty(), "{:?}", r.findings);
+        assert_eq!(r.used_allow.len(), 1);
+        assert!(r
+            .used_allow
+            .contains(&("crates/comms/src/t.rs".to_string(), 3)));
+    }
+
+    #[test]
+    fn trusted_pragma_skips_fn_and_is_audited() {
+        let r = run(r#"
+// lint:uniform-trusted(rank 0 intentionally reports alone; harness drains)
+pub fn report(world: &mut dyn CommWorld) {
+    if world.rank() == 0 {
+        world.global_sum(1.0);
+    }
+}
+"#);
+        assert!(divergences(&r).is_empty(), "{:?}", r.findings);
+        assert_eq!(r.trusted, vec!["comms::t::report".to_string()]);
+        assert_eq!(r.trusted_sites.len(), 1);
+        let row = r.fns.iter().find(|f| f.qual == "comms::t::report").unwrap();
+        assert_eq!(row.verdict, "trusted");
+    }
+
+    #[test]
+    fn bad_and_stale_trusted_pragmas_are_findings() {
+        let r = run(r#"
+// lint:uniform-trusted()
+pub fn a(world: &mut dyn CommWorld) {
+    world.barrier();
+}
+
+// lint:uniform-trusted(floating, attaches to nothing)
+const X: usize = 0;
+"#);
+        let rules: Vec<&str> = r.findings.iter().map(|f| f.rule).collect();
+        assert!(rules.contains(&BAD_PRAGMA), "{:?}", r.findings);
+        assert!(rules.contains(&UNUSED_PRAGMA), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn test_functions_are_not_walked() {
+        let r = run(r#"
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn per_rank_probe(world: &mut dyn CommWorld) {
+        if world.rank() == 0 {
+            world.barrier();
+        }
+    }
+}
+"#);
+        assert!(divergences(&r).is_empty(), "{:?}", r.findings);
+        assert_eq!(r.collective_sites, 0);
+    }
+
+    #[test]
+    fn golden_render_is_stable() {
+        let src = r#"
+pub fn drive(world: &mut dyn CommWorld) {
+    world.barrier();
+}
+"#;
+        let a = run(src).render_golden();
+        let b = run(src).render_golden();
+        assert_eq!(a, b);
+        assert!(a.contains("fn comms::t::drive sites=1 uniform"), "{a}");
+        assert!(a.contains("crate comms fns=1 sites=1 proven=1"), "{a}");
+    }
+}

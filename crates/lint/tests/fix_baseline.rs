@@ -1,0 +1,89 @@
+//! Regression test for the `--fix-baseline` pragma reconciliation.
+//!
+//! Stale trust pragmas (`lint:det-trusted` / `lint:uniform-trusted`
+//! lines that no longer attach to a `fn`) must be stripped by the same
+//! sweep that removes unused `lint:allow` pragmas, while attached ones
+//! survive. Runs against a throwaway workspace tree so the real repo is
+//! never rewritten.
+
+use std::fs;
+use std::path::PathBuf;
+
+fn scratch_workspace(name: &str, lib_rs: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("hyades-lint-{}-{}", name, std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    fs::create_dir_all(root.join("crates/comms/src")).unwrap();
+    // `fix_baseline` regenerates crates/lint/baseline.txt in-place.
+    fs::create_dir_all(root.join("crates/lint")).unwrap();
+    fs::write(root.join("crates/comms/src/lib.rs"), lib_rs).unwrap();
+    root
+}
+
+#[test]
+fn fix_baseline_strips_stale_trust_pragmas_but_keeps_attached_ones() {
+    let lib = "\
+//! Fixture crate for the reconciliation sweep.
+
+pub struct CommWorld {
+    pub rank: usize,
+}
+
+impl CommWorld {
+    pub fn global_sum(&self, x: f64) -> f64 {
+        x
+    }
+}
+
+// lint:uniform-trusted(manual proof: drain loop is bounded by replicated config)
+pub fn live_trusted(w: &CommWorld) -> f64 {
+    w.global_sum(1.0)
+}
+
+// lint:uniform-trusted(stale: the audited fn was deleted in a refactor)
+
+pub const ORPHANED_UNIFORM: usize = 1;
+
+// lint:det-trusted(stale: same story for the determinism analysis)
+
+pub const ORPHANED_DET: usize = 2;
+";
+    let root = scratch_workspace("fixb", lib);
+    let (files_changed, _entries) = hyades_lint::fix_baseline(&root).unwrap();
+    assert_eq!(files_changed, 1, "exactly the fixture file is rewritten");
+
+    let fixed = fs::read_to_string(root.join("crates/comms/src/lib.rs")).unwrap();
+    assert!(
+        fixed.contains("lint:uniform-trusted(manual proof"),
+        "attached uniform-trusted pragma must survive:\n{fixed}"
+    );
+    assert!(
+        !fixed.contains("lint:uniform-trusted(stale"),
+        "stale uniform-trusted pragma must be stripped:\n{fixed}"
+    );
+    assert!(
+        !fixed.contains("lint:det-trusted(stale"),
+        "stale det-trusted pragma must be stripped:\n{fixed}"
+    );
+    // The sweep regenerates the baseline alongside the rewrite.
+    assert!(root.join("crates/lint/baseline.txt").is_file());
+
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn fix_baseline_is_a_no_op_on_a_clean_tree() {
+    let lib = "\
+//! No pragmas at all: nothing to strip.
+
+pub fn helper(x: f64) -> f64 {
+    x + 1.0
+}
+";
+    let root = scratch_workspace("fixb-clean", lib);
+    let before = fs::read_to_string(root.join("crates/comms/src/lib.rs")).unwrap();
+    let (files_changed, _entries) = hyades_lint::fix_baseline(&root).unwrap();
+    assert_eq!(files_changed, 0);
+    let after = fs::read_to_string(root.join("crates/comms/src/lib.rs")).unwrap();
+    assert_eq!(before, after);
+    let _ = fs::remove_dir_all(&root);
+}

@@ -1,0 +1,11 @@
+//@path crates/comms/src/guarded.rs
+//! A collective reachable only on rank 0: the other ranks never enter
+//! the reduction and every rank blocks forever.
+
+pub fn report(world: &mut dyn CommWorld, local: f64) -> f64 {
+    let mut total = local;
+    if world.rank() == 0 {
+        total = world.global_sum(local);
+    }
+    total
+}

@@ -1,0 +1,30 @@
+//@path crates/comms/src/laundered.rs
+//! The false-positive guard: every branch condition here *looks*
+//! rank-derived but is laundered through a reduction, so all ranks
+//! agree and the collective schedule is provably uniform.
+
+pub fn sentinel(world: &mut dyn CommWorld, local_speed: f64) {
+    let speed = world.global_max(local_speed);
+    if speed > 100.0 {
+        world.global_sum(speed);
+    }
+    let mut pair = [local_speed, -local_speed];
+    world.global_sum_vec(&mut pair);
+    while pair[0] > 1.0 {
+        world.barrier();
+        pair[0] *= 0.5;
+    }
+}
+
+/// Rank-dependent data flow with no collective in either arm is fine:
+/// packing halos per neighbour does not change the schedule.
+pub fn pack(world: &mut dyn CommWorld, out: Vec<(usize, Vec<f64>)>) -> f64 {
+    let rank = world.rank();
+    let mut acc = 0.0;
+    for (dst, msg) in &out {
+        if *dst == rank + 1 {
+            acc += msg[0];
+        }
+    }
+    world.global_sum(acc)
+}

@@ -1,0 +1,21 @@
+//@path crates/comms/src/trusted.rs
+//! The audited escape hatch: a function whose divergence is justified
+//! by a written argument gets `lint:uniform-trusted(reason)` and shows
+//! up as `trusted` in the proof table instead of failing the build.
+
+// lint:uniform-trusted(rank 0 drains the queue alone; harness joins via channel, not a collective)
+pub fn drain(world: &mut dyn CommWorld) {
+    if world.rank() == 0 {
+        world.global_sum(0.0);
+    }
+}
+
+/// A reasonless pragma is itself a finding, and one attached to
+/// nothing is stale.
+// lint:uniform-trusted()
+pub fn bad(world: &mut dyn CommWorld) {
+    world.barrier();
+}
+
+// lint:uniform-trusted(attached to no fn)
+pub const LIMIT: usize = 4;

@@ -1,0 +1,21 @@
+//@path crates/comms/src/unequal.rs
+//! Both arms issue collectives, but *different* sequences: rank 0 sums
+//! twice while the rest barrier once, so the schedules interleave a
+//! sum with a barrier and deadlock.
+
+pub fn mixed(world: &mut dyn CommWorld, x: f64) {
+    if world.rank() == 0 {
+        world.global_sum(x);
+        world.global_sum(x * x);
+    } else {
+        world.barrier();
+    }
+}
+
+/// Rank-dependent early return with a collective still ahead.
+pub fn early(world: &mut dyn CommWorld) {
+    if world.rank() != 0 {
+        return;
+    }
+    world.barrier();
+}

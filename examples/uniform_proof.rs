@@ -1,0 +1,13 @@
+//! Print the E20 SPMD collective-uniformity proof table for the workspace.
+//!
+//! ```sh
+//! cargo run --release --example uniform_proof
+//! ```
+//!
+//! `scripts/check.sh` greps the last line for
+//! `collective-divergence findings: 0`: a rank-dependent branch around any
+//! collective fails the gate.
+
+fn main() {
+    print!("{}", hyades::experiments::spmd::run());
+}

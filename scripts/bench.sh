@@ -1,11 +1,11 @@
 #!/bin/sh
 # Perf-baseline harness: builds and runs the `baseline` bin, which emits
-# BENCH_pr8.json (wall time, simulated time, per-phase model residuals,
+# BENCH_pr9.json (wall time, simulated time, per-phase model residuals,
 # fabric hotspot summary, run-health diagnostics, critical-path
 # profiling, full-tree lint timing, interprocedural flow timing) plus
 # the raw exporter artifacts under target/observatory/.
 #
-#   scripts/bench.sh            # full run -> BENCH_pr8.json
+#   scripts/bench.sh            # full run -> BENCH_pr9.json
 #   scripts/bench.sh --smoke    # CI-sized run, same embedded checks
 #   scripts/bench.sh diff A B   # budgeted cross-run comparison
 #
@@ -16,7 +16,8 @@
 # trips, if the critical-path profiler misattributes the injected
 # straggler or drifts off the phase model, if the lint pass finds
 # unsuppressed violations, or (in --smoke) if the lint::flow call-graph
-# + fixpoint pass exceeds its wall-clock budget.
+# + fixpoint pass exceeds its wall-clock budget, or if the SPMD
+# collective-uniformity pass reports a divergence or blows its budget.
 set -eu
 cd "$(dirname "$0")/.."
 

@@ -26,6 +26,11 @@ echo "    ${lint_summary#hyades-lint: } (report: target/lint-report.json)"
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> SPMD uniformity proof (E20: every collective reached uniformly)"
+cargo run -q --release --example uniform_proof > target/e20-uniform.txt
+tail -n 1 target/e20-uniform.txt
+grep -q "collective-divergence findings: 0" target/e20-uniform.txt
+
 echo "==> telemetry tour (instrumented run + exporters)"
 cargo run -q --release --example telemetry_tour
 
@@ -40,8 +45,8 @@ tail -n 1 target/critpath-smoke.txt
 echo "==> perf baseline (smoke): fabric observatory + export determinism"
 scripts/bench.sh --smoke
 
-echo "==> bench diff: BENCH_pr7.json vs BENCH_pr8.json (budgeted regression gate)"
-./target/release/baseline diff BENCH_pr7.json BENCH_pr8.json > target/bench-diff.json
+echo "==> bench diff: BENCH_pr8.json vs BENCH_pr9.json (budgeted regression gate)"
+./target/release/baseline diff BENCH_pr8.json BENCH_pr9.json > target/bench-diff.json
 grep '"verdict"' target/bench-diff.json
 
 echo "All checks passed."

@@ -404,3 +404,15 @@ fn e17_effect_table_report_is_bit_identical_across_runs() {
     assert_eq!(a, b, "E17 effect-table report must replay byte-identically");
     assert!(a.contains("nondet-reachable findings: 0"), "{a}");
 }
+
+#[test]
+fn e20_uniformity_proof_is_bit_identical_across_runs() {
+    // The SPMD uniformity proof table is a published artefact (E20).
+    // Taint joins are first-witness-wins over deterministic walk order,
+    // fixpoint rounds re-walk sorted sources, and the proof table is
+    // BTree-grouped — so the whole report must replay byte-identically.
+    let a = hyades::experiments::spmd::run();
+    let b = hyades::experiments::spmd::run();
+    assert_eq!(a, b, "E20 uniformity report must replay byte-identically");
+    assert!(a.contains("collective-divergence findings: 0"), "{a}");
+}

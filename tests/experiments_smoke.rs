@@ -5,7 +5,7 @@
 #[test]
 fn registry_lists_all_artefacts() {
     let all = hyades::experiments::all();
-    assert_eq!(all.len(), 19);
+    assert_eq!(all.len(), 20);
     // Every table/figure of the paper's evaluation is covered.
     let artefacts: Vec<&str> = all.iter().map(|e| e.paper_artefact).collect();
     for needle in [
@@ -38,6 +38,7 @@ fn cheap_experiments_render() {
         ("E13", economics::run, "price-performance"),
         ("E16", schedcheck::run, "deadlock-free"),
         ("E17", detflow::run, "nondet-reachable findings: 0"),
+        ("E20", spmd::run, "collective-divergence findings: 0"),
     ];
     for (id, run, needle) in checks {
         let report = run();
