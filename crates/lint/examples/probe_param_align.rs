@@ -1,0 +1,22 @@
+use hyades_lint::uniform;
+
+fn main() {
+    // Pattern param `(x, y)` occupies arg slot 1; taint passed in slot 1
+    // should taint x/y, and slot 2's `n` should stay clean.
+    let src = r#"
+fn helper(a: usize, (x, y): (f64, f64), n: usize) {
+    for _ in 0..n {
+        W.barrier();
+    }
+}
+pub fn drive(world: &mut dyn CommWorld) {
+    let r = world.rank();
+    helper(1, (0.0, 0.0), r);
+}
+"#;
+    let rep = uniform::analyze(&[("crates/comms/src/t.rs".to_string(), src.to_string())]);
+    for f in &rep.findings {
+        println!("FINDING: {f}");
+    }
+    println!("findings={}", rep.findings.len());
+}
