@@ -15,17 +15,25 @@
 use crate::packet::Packet;
 use hyades_des::rng::SplitMix64;
 use hyades_des::{ActorId, SimTime};
+use hyades_fault::LinkFaultWindow;
 use hyades_telemetry as telemetry;
 use hyades_telemetry::flight;
 
 /// Deterministically corrupts (and optionally drops) a configurable
-/// fraction of packets passed through it.
+/// fraction of packets passed through it. Rates are either constant
+/// (the base `rate`/`drop_rate`) or scheduled: when `windows` is
+/// non-empty, a packet entering the fabric inside a
+/// [`LinkFaultWindow`] uses that window's rates and packets outside
+/// every window fall back to the base rates (zero for plan-driven
+/// injectors, so faults happen *only* inside the scheduled weather).
 pub struct FaultInjector {
     rng: SplitMix64,
     /// Probability in [0, 1] that a packet gets a single bit flip.
     pub rate: f64,
     /// Probability in [0, 1] that a packet is dropped outright.
     pub drop_rate: f64,
+    /// Scheduled rate overrides from a `hyades_fault::FaultPlan`.
+    pub windows: Vec<LinkFaultWindow>,
     pub injected: u64,
     pub dropped: u64,
 }
@@ -57,6 +65,7 @@ impl FaultInjector {
             rng: SplitMix64::new(seed),
             rate,
             drop_rate,
+            windows: Vec::new(),
             injected: 0,
             dropped: 0,
         }
@@ -69,10 +78,35 @@ impl FaultInjector {
         Self::with_drop_rate(mix.next_u64(), p.corrupt_rate, p.drop_rate)
     }
 
+    /// Plan-driven injector: zero base rates, faults only inside the
+    /// scheduled windows. `stream` mixes the per-port index into the
+    /// plan seed so ports draw independent deterministic sequences.
+    pub fn windowed(seed: u64, stream: u64, windows: Vec<LinkFaultWindow>) -> Self {
+        let mut mix = SplitMix64::new(seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut f = Self::with_drop_rate(mix.next_u64(), 0.0, 0.0);
+        f.windows = windows;
+        f
+    }
+
+    /// Effective (corrupt, drop) rates at simulated time `at`.
+    fn rates_at(&self, at: SimTime) -> (f64, f64) {
+        for w in &self.windows {
+            if w.covers(at) {
+                return (w.corrupt_rate, w.drop_rate);
+            }
+        }
+        (self.rate, self.drop_rate)
+    }
+
     /// Flip one random payload bit with probability `rate`. Returns true if
     /// the packet was corrupted.
     pub fn maybe_corrupt(&mut self, pkt: &mut Packet) -> bool {
-        if self.rng.next_f64() >= self.rate {
+        let rate = self.rate;
+        self.corrupt_with(pkt, rate)
+    }
+
+    fn corrupt_with(&mut self, pkt: &mut Packet, rate: f64) -> bool {
+        if rate <= 0.0 || self.rng.next_f64() >= rate {
             return false;
         }
         let word = self.rng.next_below(pkt.payload.len() as u64) as usize;
@@ -87,13 +121,14 @@ impl FaultInjector {
     /// forward it). Both outcomes leave a flight-recorder crumb and a
     /// registry counter so the faults are visible in run manifests.
     pub fn apply(&mut self, pkt: &mut Packet, at: SimTime, actor: ActorId) -> bool {
-        if self.drop_rate > 0.0 && self.rng.next_f64() < self.drop_rate {
+        let (corrupt_rate, drop_rate) = self.rates_at(at);
+        if drop_rate > 0.0 && self.rng.next_f64() < drop_rate {
             self.dropped += 1;
             flight::record(at, actor, "fault.drop", pkt.usr_tag as u64);
             telemetry::count("arctic.fault", "dropped", 1);
             return false;
         }
-        if self.maybe_corrupt(pkt) {
+        if self.corrupt_with(pkt, corrupt_rate) {
             flight::record(at, actor, "fault.corrupt", pkt.usr_tag as u64);
             telemetry::count("arctic.fault", "corrupted", 1);
         }

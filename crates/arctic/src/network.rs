@@ -9,6 +9,7 @@ use crate::topology::{DownTarget, FatTree, RouterAddr};
 use hyades_des::event::Payload;
 use hyades_des::rng::SplitMix64;
 use hyades_des::{Actor, ActorId, Ctx, SimDuration, SimTime, Simulator};
+use hyades_fault::FaultPlan;
 use hyades_telemetry as telemetry;
 use hyades_telemetry::flight;
 use hyades_telemetry::sampler::{self, SampleTick};
@@ -64,6 +65,17 @@ pub struct TxPort {
     high: std::collections::VecDeque<Packet>,
     low: std::collections::VecDeque<Packet>,
     fault: Option<FaultInjector>,
+    /// Plan-driven injector installed by [`ArcticNetwork::apply_fault_plan`]
+    /// (kept separate from the constant-rate `fault` so a harness can run
+    /// both a background profile and scheduled fault weather).
+    plan_fault: Option<FaultInjector>,
+    /// NIU stall intervals for this endpoint, from the fault plan: while
+    /// `from <= now < until` the port grants nothing; queued packets wait
+    /// the stall out.
+    stalls: Vec<(SimTime, SimTime)>,
+    /// Guard so each stall window arms one wake and records one span.
+    stall_armed_until: SimTime,
+    pub stall_waits: u64,
     /// Link-busy accounting for the sampler (mirrors the router ports).
     busy_ps: u64,
     sampled_busy_ps: u64,
@@ -82,10 +94,36 @@ impl TxPort {
         }
     }
 
+    /// If this endpoint's NIU is stalled at `now`, the time the stall ends.
+    fn stalled_until(&self, now: SimTime) -> Option<SimTime> {
+        self.stalls
+            .iter()
+            .filter(|(from, until)| *from <= now && now < *until)
+            .map(|(_, until)| *until)
+            .max()
+    }
+
     fn pump(&mut self, ctx: &mut Ctx<'_>) {
         let now = ctx.now();
         if now < self.free_at {
             ctx.send_after(self.free_at - now, ctx.self_id(), TxKick);
+            return;
+        }
+        if let Some(until) = self.stalled_until(now) {
+            if self.high.is_empty() && self.low.is_empty() {
+                return;
+            }
+            // One wake (and one observable span) per stall window, not
+            // one per queued packet.
+            if self.stall_armed_until < until {
+                self.stall_armed_until = until;
+                self.stall_waits += 1;
+                let wait = until.since(now);
+                telemetry::record_span(u64::from(self.endpoint), "arctic", "niu.stall", now, wait);
+                telemetry::count("arctic.niu", "stall_waits", 1);
+                flight::record(now, ctx.self_id(), "niu.stall", wait.as_ps());
+                ctx.send_after(wait, ctx.self_id(), TxKick);
+            }
             return;
         }
         let Some(mut pkt) = self.high.pop_front().or_else(|| self.low.pop_front()) else {
@@ -95,6 +133,12 @@ impl TxPort {
             if !f.apply(&mut pkt, now, ctx.self_id()) {
                 // Dropped before the link was occupied: try the next
                 // queued packet immediately.
+                self.pump(ctx);
+                return;
+            }
+        }
+        if let Some(f) = self.plan_fault.as_mut() {
+            if !f.apply(&mut pkt, now, ctx.self_id()) {
                 self.pump(ctx);
                 return;
             }
@@ -231,6 +275,10 @@ impl ArcticNetwork {
                     .fault
                     .as_ref()
                     .map(|p| FaultInjector::from_profile(p, e as u64)),
+                plan_fault: None,
+                stalls: Vec::new(),
+                stall_armed_until: SimTime::ZERO,
+                stall_waits: 0,
                 busy_ps: 0,
                 sampled_busy_ps: 0,
                 packets_injected: 0,
@@ -271,6 +319,38 @@ impl ArcticNetwork {
         self.endpoints[endpoint as usize]
     }
 
+    /// Thread a deterministic [`FaultPlan`] through the fabric: every
+    /// injection port gets a windowed corrupt/drop injector drawing an
+    /// independent stream from the plan seed, plus this endpoint's NIU
+    /// stall intervals. Call after [`ArcticNetwork::build`], before the
+    /// workload starts.
+    pub fn apply_fault_plan(&self, sim: &mut Simulator, plan: &FaultPlan) {
+        for e in 0..self.n_endpoints() {
+            let port = sim.actor_mut::<TxPort>(self.tx_ports[e as usize]);
+            if !plan.link_windows.is_empty() {
+                port.plan_fault = Some(FaultInjector::windowed(
+                    plan.seed,
+                    u64::from(e) + 1,
+                    plan.link_windows.clone(),
+                ));
+            }
+            port.stalls = plan
+                .niu_stalls
+                .iter()
+                .filter(|s| s.endpoint == e)
+                .map(|s| (s.from, s.until))
+                .collect();
+        }
+    }
+
+    /// Total NIU stall waits across all injection ports.
+    pub fn stall_waits(&self, sim: &Simulator) -> u64 {
+        self.tx_ports
+            .iter()
+            .map(|&id| sim.actor::<TxPort>(id).stall_waits)
+            .sum()
+    }
+
     /// Inject a packet from outside the simulation at time `at`.
     pub fn inject_at(&self, sim: &mut Simulator, at: SimTime, pkt: Packet) {
         let port = self.tx_port(pkt.src);
@@ -298,7 +378,7 @@ impl ArcticNetwork {
         let mut dropped = 0;
         for &id in &self.tx_ports {
             let p = sim.actor::<TxPort>(id);
-            if let Some(f) = p.fault.as_ref() {
+            for f in p.fault.iter().chain(p.plan_fault.iter()) {
                 corrupted += f.injected;
                 dropped += f.dropped;
             }
@@ -522,6 +602,77 @@ mod tests {
             p0 > 20 && p1 > 20,
             "random uproute unbalanced: {p0} vs {p1}"
         );
+    }
+
+    #[test]
+    fn niu_stall_window_delays_queued_packets() {
+        let (mut sim, net) = build(16, ArcticConfig::default());
+        let plan = FaultPlan::new(0xF0).niu_stall(0, 0.0, 25.0);
+        net.apply_fault_plan(&mut sim, &plan);
+        let pkt = Packet::new(0, 15, Priority::High, 1, vec![1, 2]);
+        let wire = pkt.wire_bytes();
+        net.inject_at(&mut sim, SimTime::ZERO, pkt);
+        // An unstalled endpoint is unaffected.
+        let free = Packet::new(1, 14, Priority::High, 2, vec![3, 4]);
+        let free_wire = free.wire_bytes();
+        net.inject_at(&mut sim, SimTime::ZERO, free);
+        sim.run();
+        let expected = net.uncontended_latency(0, 15, wire);
+        let stalled_at = sim.actor::<SinkEndpoint>(net.endpoint(15)).deliveries[0].0;
+        assert_eq!(
+            stalled_at.since(SimTime::ZERO),
+            SimDuration::from_us_f64(25.0) + expected,
+            "stalled packet must wait out the window"
+        );
+        let free_at = sim.actor::<SinkEndpoint>(net.endpoint(14)).deliveries[0].0;
+        assert_eq!(
+            free_at.since(SimTime::ZERO),
+            net.uncontended_latency(1, 14, free_wire)
+        );
+        assert_eq!(net.stall_waits(&sim), 1);
+    }
+
+    #[test]
+    fn link_window_faults_only_inside_the_window() {
+        let (mut sim, net) = build(16, ArcticConfig::default());
+        // Window [0, 5) us drops everything; afterwards the link is clean.
+        let plan = FaultPlan::new(0xF1).link_window(0.0, 5.0, 0.0, 1.0);
+        net.apply_fault_plan(&mut sim, &plan);
+        for i in 0..4u32 {
+            let pkt = Packet::new(0, 9, Priority::High, i as u16, vec![i, 0]);
+            net.inject_at(&mut sim, SimTime::ZERO, pkt);
+        }
+        let late = Packet::new(0, 9, Priority::High, 99, vec![7, 0]);
+        net.inject_at(&mut sim, t_us(6.0), late);
+        sim.run();
+        let sink = sim.actor::<SinkEndpoint>(net.endpoint(9));
+        assert_eq!(sink.deliveries.len(), 1, "in-window packets must drop");
+        assert_eq!(sink.deliveries[0].1.usr_tag, 99);
+        let (_, dropped) = net.fault_counts(&sim);
+        assert_eq!(dropped, 4);
+    }
+
+    #[test]
+    fn plan_injection_is_deterministic() {
+        let run = || {
+            let (mut sim, net) = build(16, ArcticConfig::default());
+            let plan = FaultPlan::new(0xF2).link_window(0.0, 100.0, 0.5, 0.2);
+            net.apply_fault_plan(&mut sim, &plan);
+            for i in 0..50u32 {
+                let pkt = Packet::new(0, 15, Priority::Low, (i % 0x7FF) as u16, vec![i, 0]);
+                net.inject_at(&mut sim, SimTime::ZERO, pkt);
+            }
+            sim.run();
+            let sink = sim.actor::<SinkEndpoint>(net.endpoint(15));
+            (
+                net.fault_counts(&sim),
+                sink.deliveries.len(),
+                sink.corrupted,
+            )
+        };
+        let a = run();
+        assert_eq!(a, run(), "plan-driven faults must be deterministic");
+        assert!(a.0 .0 > 0 && a.0 .1 > 0, "window rates must bite: {a:?}");
     }
 
     #[test]

@@ -378,6 +378,22 @@ impl FabricReport {
         );
         o
     }
+
+    /// Both renderings bundled behind the unified
+    /// [`Exporter`](hyades_telemetry::Exporter) API: `fabric.prom`
+    /// (Prometheus exposition) and `fabric_manifest.json` (run
+    /// manifest). The bytes are exactly what [`FabricReport::prometheus`]
+    /// and [`FabricReport::json_manifest`] render.
+    pub fn as_exporter(&self, run: &str, seed: u64) -> hyades_telemetry::Prebuilt {
+        use hyades_telemetry::ArtifactKind;
+        hyades_telemetry::Prebuilt::default()
+            .with("fabric", ArtifactKind::Prom, self.prometheus())
+            .with(
+                "fabric_manifest",
+                ArtifactKind::Json,
+                self.json_manifest(run, seed),
+            )
+    }
 }
 
 /// Minimal JSON string escaping for entity labels and run names.
@@ -451,6 +467,18 @@ mod tests {
         assert!(json.contains("\"run\": \"congested\""));
         assert!(json.contains("\"link\": \"l0.w0.p0\""));
         assert!(json.contains("\"faults\": {\"corrupted\": 0, \"dropped\": 0"));
+    }
+
+    #[test]
+    fn exporter_bundle_matches_legacy_renderings() {
+        use hyades_telemetry::Exporter as _;
+        let rep = congested_run();
+        let arts = rep.as_exporter("congested", 7).artifacts();
+        assert_eq!(arts.len(), 2);
+        assert_eq!(arts[0].file_name(), "fabric.prom");
+        assert_eq!(arts[1].file_name(), "fabric_manifest.json");
+        assert_eq!(arts[0].bytes, rep.prometheus());
+        assert_eq!(arts[1].bytes, rep.json_manifest("congested", 7));
     }
 
     #[test]

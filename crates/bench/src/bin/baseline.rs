@@ -1,8 +1,9 @@
 //! The perf-baseline harness: one deterministic, instrumented pass over
 //! the E14-style experiments plus the fabric observatory, the run-health
-//! observatory, the cross-rank critical-path profiler, and the full
-//! static-analysis tree walk, emitting `BENCH_pr9.json` — one point of
-//! the regression trajectory every later PR is compared against.
+//! observatory, the cross-rank critical-path profiler, the
+//! fault-recovery tour, and the full static-analysis tree walk, emitting
+//! `BENCH_pr10.json` — one point of the regression trajectory every
+//! later PR is compared against.
 //!
 //! ```text
 //! scripts/bench.sh            # full run
@@ -33,16 +34,24 @@
 //! * the critical-path profiler must blame the injected straggler's
 //!   exact (rank, phase), replay byte-identically across a same-seed
 //!   double run, and keep the balanced run's per-step path within the
-//!   phase model's residual budget.
+//!   phase model's residual budget;
+//! * the fault-recovery tour (a seeded rank crash plus a lossy link
+//!   window) must roll back, replay to a state bit-identical to the
+//!   uninterrupted run, and retransmit its way to an exact global sum —
+//!   surfaced as the `recovery` block.
+//!
+//! All raw artifacts land through the unified exporter API
+//! ([`hyades_telemetry::Exporter`] / [`write_artifacts_to_dir`]): one
+//! bundle, one writer, one file per [`hyades_telemetry::Artifact`].
 //!
 //! The `diff` subcommand compares two summaries through
 //! [`hyades_bench::diff`]'s per-metric budgets and prints a
 //! machine-readable verdict (non-zero exit on any busted budget).
 //!
 //! Wall-clock numbers in the output are environment-dependent by nature;
-//! everything else in `BENCH_pr9.json` is deterministic.
+//! everything else in `BENCH_pr10.json` is deterministic.
 
-use hyades::tour;
+use hyades::tour::{self, TourConfig};
 use hyades_arctic::observatory::ObservatoryConfig;
 use hyades_arctic::packet::UpRoute;
 use hyades_arctic::workload::{run_traffic_observed, Pattern};
@@ -50,7 +59,7 @@ use hyades_cluster::ethernet_sim::{
     EtherFrame, EtherSink, EthernetSim, FAST_ETHERNET_MBYTE_PER_SEC,
 };
 use hyades_des::{SimDuration, SimTime, Simulator};
-use hyades_telemetry::sampler;
+use hyades_telemetry::{sampler, write_artifacts_to_dir, ArtifactKind};
 use std::fmt::Write as _;
 use std::fs;
 use std::path::PathBuf;
@@ -61,25 +70,6 @@ const SEED: u64 = 0x0B5_E7A;
 /// Smoke budget for the interprocedural flow pass alone: call-graph
 /// build plus effect fixpoint over the whole tree must stay interactive.
 const FLOW_SMOKE_BUDGET_MS: f64 = 3000.0;
-
-/// Write the raw exports next to the summary JSON. Declared as a sink in
-/// `flow::WORKSPACE_SINKS`: everything reaching this function must be
-/// `Det`/`DetModuloSeed`.
-fn write_exports(
-    dir: &PathBuf,
-    prom: &str,
-    manifest: &str,
-    ether_prom: &str,
-    diag: &tour::DiagArtifacts,
-) {
-    fs::create_dir_all(dir).expect("create artifact dir");
-    fs::write(dir.join("fabric.prom"), prom).expect("write fabric.prom");
-    fs::write(dir.join("fabric_manifest.json"), manifest).expect("write fabric_manifest.json");
-    fs::write(dir.join("ethernet.prom"), ether_prom).expect("write ethernet.prom");
-    fs::write(dir.join("diag.txt"), &diag.text).expect("write diag.txt");
-    fs::write(dir.join("diag.json"), &diag.json).expect("write diag.json");
-    fs::write(dir.join("diag.prom"), &diag.prom).expect("write diag.prom");
-}
 
 fn run_diff(paths: &[String]) -> ! {
     if paths.len() != 2 {
@@ -114,7 +104,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut args = Args {
         smoke: false,
-        out: PathBuf::from("BENCH_pr9.json"),
+        out: PathBuf::from("BENCH_pr10.json"),
         artifact_dir: PathBuf::from("target/observatory"),
     };
     let mut it = std::env::args().skip(1);
@@ -331,25 +321,48 @@ fn main() {
         ));
     }
 
-    write_exports(&args.artifact_dir, &prom, &manifest, &ether_prom, &diag);
-    fs::write(args.artifact_dir.join("critpath.txt"), &crit_base.report)
-        .expect("write critpath.txt");
-    fs::write(
-        args.artifact_dir.join("critpath_straggler.txt"),
-        &crit_perturbed.report,
-    )
-    .expect("write critpath_straggler.txt");
+    // 8. Fault-recovery tour: a seeded rank crash plus a lossy link
+    //    window, end to end. The run must roll back, replay to a state
+    //    bit-identical to the uninterrupted reference, and retransmit
+    //    its way to an exact global sum.
+    let wall_rec = Instant::now();
+    let rec = TourConfig::new(SEED)
+        .fault_plan(TourConfig::demo_fault_plan(SEED))
+        .run_resilient();
+    let rec_ms = wall_rec.elapsed().as_secs_f64() * 1e3;
+    if rec.restarts == 0 {
+        failures.push("fault-recovery tour: planned rank crash never fired".into());
+    }
+    if !rec.recovered_identical {
+        failures.push("fault-recovery tour: recovered run not bit-identical".into());
+    }
+    if rec.retries == 0 {
+        failures.push("fault-recovery tour: link faults produced no retransmits".into());
+    }
+
+    // Every raw artifact through the one unified bundle: fabric
+    // observatory, ethernet contrast, run-health diagnostics, both
+    // critical-path runs, and the recovery tour — one writer, one file
+    // per artifact, legacy file names preserved.
+    let bundle = report
+        .as_exporter("bitreverse-0.8-sourcespread", SEED)
+        .with("ethernet", ArtifactKind::Prom, ether_prom.clone())
+        .extend_from(&diag.exporter())
+        .extend_from(&crit_base.exporter("critpath"))
+        .extend_from(&crit_perturbed.exporter("critpath_straggler"))
+        .extend_from(&rec.exporter());
+    write_artifacts_to_dir(&bundle, &args.artifact_dir).expect("write artifact dir");
 
     // The summary JSON.
     let worst = report.hotspots.first();
     let mut j = String::new();
     let _ = write!(
         j,
-        "{{\n  \"bench\": \"pr9-baseline\",\n  \"mode\": \"{mode}\",\n  \"seed\": {SEED},\n"
+        "{{\n  \"bench\": \"pr10-baseline\",\n  \"mode\": \"{mode}\",\n  \"seed\": {SEED},\n"
     );
     let _ = write!(
         j,
-        "  \"wall_ms\": {{\"total\": {:.1}, \"tour\": {tour_ms:.1}, \"fabric\": {fabric_ms:.1}, \"ethernet\": {ether_ms:.1}, \"diag\": {diag_ms:.1}, \"critpath\": {crit_ms:.1}, \"lint_full_tree_ms\": {lint_ms:.1}, \"lint_flow_ms\": {flow_ms:.1}, \"lint_uniform_ms\": {uniform_ms:.1}}},\n",
+        "  \"wall_ms\": {{\"total\": {:.1}, \"tour\": {tour_ms:.1}, \"fabric\": {fabric_ms:.1}, \"ethernet\": {ether_ms:.1}, \"diag\": {diag_ms:.1}, \"critpath\": {crit_ms:.1}, \"recovery\": {rec_ms:.1}, \"lint_full_tree_ms\": {lint_ms:.1}, \"lint_flow_ms\": {flow_ms:.1}, \"lint_uniform_ms\": {uniform_ms:.1}}},\n",
         wall.elapsed().as_secs_f64() * 1e3
     );
     let _ = write!(
@@ -427,9 +440,11 @@ fn main() {
             .map(|r| r.to_string())
             .unwrap_or_else(|| "null".into())
     );
+    let _ = write!(j, "  \"recovery\": {},\n", rec.json);
     let _ = write!(
         j,
-        "  \"determinism\": {{\"prometheus_identical\": {prom_identical}, \"manifest_identical\": {manifest_identical}, \"diag_identical\": {diag_identical}, \"critpath_identical\": {critpath_identical}}},\n"
+        "  \"determinism\": {{\"prometheus_identical\": {prom_identical}, \"manifest_identical\": {manifest_identical}, \"diag_identical\": {diag_identical}, \"critpath_identical\": {critpath_identical}, \"recovery_identical\": {}}},\n",
+        rec.recovered_identical
     );
     let _ = write!(
         j,
@@ -474,6 +489,10 @@ fn main() {
         blame_rank
             .map(|r| r.to_string())
             .unwrap_or_else(|| "-".into())
+    );
+    println!(
+        "  recovery: {} checkpoint(s), {} restart(s), {} step(s) replayed, {} retransmit(s), bit-identical: {}",
+        rec.checkpoints, rec.restarts, rec.replayed_steps, rec.retries, rec.recovered_identical
     );
     println!(
         "  lint: {} files in {lint_ms:.0} ms, {} violation(s)",

@@ -331,6 +331,10 @@ pub fn compare(old: &BTreeMap<String, Val>, new: &BTreeMap<String, Val>) -> Vec<
             -RESIDUAL_BUDGET,
             RESIDUAL_BUDGET,
         ),
+        // The fault-recovery tour must actually recover from its
+        // planned crash (the bit-identity flag itself rides the
+        // `determinism.*` sweep below).
+        ("recovery.restarts", ">= 1", 1.0, f64::INFINITY),
     ];
     for (key, budget, lo, hi) in absolute {
         if let Some(v) = new.get(key) {

@@ -11,20 +11,55 @@
 //! belongs to exactly one pair, the designated member sends first, then the
 //! roles reverse. A 4-neighbor tile therefore performs 8 sequential
 //! transfer legs per field.
+//!
+//! ## Recovery (fault-injection subsystem)
+//!
+//! The paper treated a failed CRC as catastrophic; here every leg of the
+//! envelope survives corrupt *and* dropped packets:
+//!
+//! * corrupted packets are discarded at delivery (the payload is never
+//!   trusted; the header/tag survives — the fault model flips payload
+//!   bits only, mirroring Arctic's per-stage data CRC);
+//! * the DATA stream is go-back-N: the receiver tracks the next expected
+//!   sequence number and NAKs a corrupt data packet with `RETRY(seq)`;
+//! * every blocking wait on the sender side (WaitAck, WaitDone) is
+//!   guarded by a timeout with capped exponential backoff
+//!   ([`hyades_fault::RetryPolicy`]): a missing ACK resends the REQ, a
+//!   missing DONE sends a PROBE that the receiver answers with either
+//!   `RETRY(next_seq)` (stream incomplete) or a resent DONE;
+//! * each retransmitted control message travels under its own tag base
+//!   (REQ2/ACK2/DONE2/PROBE/RETRY) so the static schedule proof in
+//!   `lint::schedule` keeps per-channel tag uniqueness, and duplicates
+//!   are idempotent by the dedup rules in `on_packet`.
 
+use crate::recovery::{RecoveryCounters, RecoveryEvent};
 use hyades_arctic::network::{ArcticNetwork, Delivered, Inject};
 use hyades_arctic::packet::{Packet, Priority};
 use hyades_des::event::Payload;
 use hyades_des::{Actor, ActorId, Ctx, SimDuration, SimTime, Simulator};
+use hyades_fault::{FaultPlan, RetryPolicy};
 use hyades_startx::msg::{bulk_packet, segment};
 use hyades_startx::HostParams;
 use hyades_telemetry as telemetry;
 use hyades_telemetry::flight;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
+// Tag layout (Arctic's usr_tag is 11 bits, so everything must fit in
+// 0x7FF): bits 8..10 select the message kind, bit 7 marks the recovery
+// variant of that kind, bits 0..6 carry the round. Rounds are therefore
+// capped at 127 — far beyond any torus schedule.
 const TAG_REQ_BASE: u16 = 0x100; // + round
 const TAG_ACK_BASE: u16 = 0x200;
 const TAG_DONE_BASE: u16 = 0x300;
+/// Recovery legs: each retransmitted message kind has its own tag base,
+/// keeping per-channel tags unique for the static schedule proof.
+const TAG_REQ2_BASE: u16 = 0x180; // resent REQ
+const TAG_ACK2_BASE: u16 = 0x280; // resent ACK
+const TAG_DONE2_BASE: u16 = 0x380; // resent DONE
+const TAG_PROBE_BASE: u16 = 0x400; // sender -> receiver: how far did you get?
+const TAG_RETRY_BASE: u16 = 0x480; // receiver -> sender: restart DATA at payload seq
+const TAG_BASE_MASK: u16 = 0xF80;
+const TAG_ROUND_MASK: u16 = 0x07F;
 const TAG_DATA: u16 = 0x0FF;
 
 /// One pairing round of the exchange schedule.
@@ -121,10 +156,17 @@ enum LegPhase {
         seq: u32,
         partner: u16,
     },
-    /// Sender: all packets emitted, waiting for DONE.
-    WaitDone,
-    /// Receiver: ACK sent, accumulating DATA.
-    Receiving { expected: u64, got: u64 },
+    /// Sender: all packets emitted, waiting for DONE. Carries the leg
+    /// parameters so a RETRY can rebuild the stream.
+    WaitDone { partner: u16, bytes: u64 },
+    /// Receiver: ACK sent, accumulating DATA in go-back-N order
+    /// (`queue[next_seq]` is the next packet's byte count).
+    Receiving {
+        queue: Vec<u64>,
+        next_seq: u32,
+        expected: u64,
+        got: u64,
+    },
 }
 
 /// Which half of the round we are in.
@@ -142,6 +184,9 @@ enum SelfEv {
     Emit,
     /// Receiver finished the final copy-out; send DONE.
     RxDone,
+    /// A guarded wait timed out. Stale timeouts (epoch mismatch) are
+    /// no-ops.
+    Timeout { epoch: u64 },
 }
 
 pub struct ExchangeNode {
@@ -156,6 +201,18 @@ pub struct ExchangeNode {
     /// BTreeMap, not HashMap: hash-iteration order could differ between
     /// runs and leak into event ordering (lint rule `hash-iteration`).
     early_reqs: BTreeMap<u16, u64>,
+    /// Rounds whose *receiving* leg this node has completed (a node
+    /// receives in exactly one half of each paired round), so a late
+    /// PROBE can be answered with a resent DONE.
+    rx_done: BTreeSet<u16>,
+    /// Retransmit policy guarding every sender-side wait.
+    policy: RetryPolicy,
+    /// Bumped on every state transition; pending timeouts carrying an
+    /// older epoch are stale.
+    epoch: u64,
+    /// Retries of the currently guarded wait (drives the backoff).
+    attempts: u32,
+    pub recovery: RecoveryCounters,
     pub started: Option<SimTime>,
     pub finished: Option<SimTime>,
     /// Staging chunk size for copy/DMA overlap.
@@ -167,6 +224,10 @@ pub struct StartExchange;
 
 impl ExchangeNode {
     pub fn new(me: u16, host: HostParams, tx_port: ActorId, schedule: Schedule) -> Self {
+        assert!(
+            schedule.len() <= TAG_ROUND_MASK as usize,
+            "round index must fit the 7-bit tag field"
+        );
         ExchangeNode {
             me,
             host,
@@ -176,10 +237,35 @@ impl ExchangeNode {
             half: Half::First,
             phase: LegPhase::Start,
             early_reqs: BTreeMap::new(),
+            rx_done: BTreeSet::new(),
+            policy: RetryPolicy::default(),
+            epoch: 0,
+            attempts: 0,
+            recovery: RecoveryCounters::default(),
             started: None,
             finished: None,
             chunk: 512,
         }
+    }
+
+    /// Override the retransmit policy (tests tighten the timeout).
+    pub fn with_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Arm the timeout guarding the current wait; `attempts` picks the
+    /// backoff step.
+    fn arm_timeout(&mut self, ctx: &mut Ctx<'_>) {
+        let wait = self.policy.arm(self.attempts);
+        let epoch = self.epoch;
+        ctx.wake_after(wait, SelfEv::Timeout { epoch });
+    }
+
+    /// Invalidate pending timeouts and reset the backoff ladder.
+    fn new_wait(&mut self) {
+        self.epoch += 1;
+        self.attempts = 0;
     }
 
     fn plan(&self) -> Option<PairPlan> {
@@ -206,6 +292,7 @@ impl ExchangeNode {
     }
 
     fn begin_half(&mut self, ctx: &mut Ctx<'_>) {
+        self.new_wait();
         let Some(plan) = self.plan() else {
             self.advance_round(ctx);
             return;
@@ -222,6 +309,7 @@ impl ExchangeNode {
                 TAG_REQ_BASE + self.round as u16,
                 plan.bytes as u32,
             );
+            self.arm_timeout(ctx);
         } else {
             // Receiver leg: if the REQ already arrived, answer it now.
             self.phase = LegPhase::Start;
@@ -235,6 +323,8 @@ impl ExchangeNode {
 
     fn accept_req(&mut self, bytes: u64) {
         self.phase = LegPhase::Receiving {
+            queue: segment(bytes),
+            next_seq: 0,
             expected: bytes,
             got: 0,
         };
@@ -306,6 +396,10 @@ impl Actor for ExchangeNode {
                 self.started = Some(ctx.now());
                 self.round = 0;
                 self.half = Half::First;
+                self.phase = LegPhase::Start;
+                self.early_reqs.clear();
+                self.rx_done.clear();
+                self.new_wait();
                 flight::record(
                     ctx.now(),
                     ctx.self_id(),
@@ -335,25 +429,63 @@ impl Actor for ExchangeNode {
             SelfEv::Proceed => self.on_proceed(ctx),
             SelfEv::Emit => self.on_emit(ctx),
             SelfEv::RxDone => {
-                // Send DONE to the sender, then move on.
+                // Send DONE to the sender, then move on. Remember the
+                // completed receive so a late PROBE can be answered with a
+                // resent DONE after this node has moved past the round.
+                self.rx_done.insert(self.round as u16);
                 if let Some(plan) = self.plan() {
                     self.send_ctrl(ctx, plan.partner, TAG_DONE_BASE + self.round as u16, 0);
                 }
                 self.advance_half(ctx);
             }
+            SelfEv::Timeout { epoch } => self.on_timeout(epoch, ctx),
         }
     }
 }
 
 impl ExchangeNode {
     fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
-        assert!(!pkt.corrupted, "catastrophic network failure");
         let tag = pkt.usr_tag;
+        if pkt.corrupted {
+            // The CRC caught it: the payload is never trusted. A corrupt
+            // DATA packet is NAKed immediately (the header's tag + src
+            // survive — the fault model flips payload bits only) so the
+            // sender can rewind without waiting for a PROBE round-trip.
+            self.recovery.bump(RecoveryEvent::CorruptDiscard);
+            if tag == TAG_DATA {
+                let nak = match &self.phase {
+                    LegPhase::Receiving { next_seq, .. } => Some(*next_seq),
+                    _ => None,
+                };
+                if let Some(next_seq) = nak {
+                    self.recovery.bump(RecoveryEvent::Retry);
+                    self.send_ctrl(ctx, pkt.src, TAG_RETRY_BASE + self.round as u16, next_seq);
+                }
+            }
+            return;
+        }
         if tag == TAG_DATA {
-            let LegPhase::Receiving { expected, got } = &mut self.phase else {
-                panic!("node {}: DATA outside a receiving leg", self.me);
+            let LegPhase::Receiving {
+                queue,
+                next_seq,
+                expected,
+                got,
+            } = &mut self.phase
+            else {
+                // A duplicate from a rewound stream after this leg closed.
+                self.recovery.bump(RecoveryEvent::StaleIgnored);
+                return;
             };
-            *got += pkt.payload_bytes().min(*expected - *got);
+            let seq = pkt.payload[0];
+            if seq != *next_seq {
+                // Go-back-N: anything out of order (a gap after a drop, or
+                // a duplicate behind the rewind point) is ignored; the
+                // sender re-emits from the NAKed sequence number.
+                self.recovery.bump(RecoveryEvent::StaleIgnored);
+                return;
+            }
+            *got += queue[seq as usize].min(*expected - *got);
+            *next_seq += 1;
             if *got >= *expected {
                 let tail = (*expected).min(self.chunk);
                 let cost = self.host.memcpy_time(tail);
@@ -361,10 +493,32 @@ impl ExchangeNode {
             }
             return;
         }
-        let (base, round) = (tag & 0xF00, (tag & 0xFF) as usize);
+        let (base, round) = (tag & TAG_BASE_MASK, (tag & TAG_ROUND_MASK) as usize);
         match base {
-            TAG_REQ_BASE => {
-                let bytes = pkt.payload[0] as u64;
+            TAG_REQ_BASE | TAG_REQ2_BASE => {
+                let bytes = u64::from(pkt.payload[0]);
+                if self.rx_done.contains(&(round as u16)) {
+                    // Receive already completed; DONE (or DONE2 via PROBE)
+                    // covers the sender.
+                    self.recovery.bump(RecoveryEvent::StaleIgnored);
+                    return;
+                }
+                let live_next_seq = match &self.phase {
+                    LegPhase::Receiving { next_seq, .. } if self.round == round => Some(*next_seq),
+                    _ => None,
+                };
+                if let Some(next_seq) = live_next_seq {
+                    // Duplicate REQ for the leg we are already receiving:
+                    // if no data arrived yet the original ACK may be lost,
+                    // so resend it; otherwise the stream is live.
+                    if next_seq == 0 {
+                        self.recovery.bump(RecoveryEvent::AckResend);
+                        self.send_ctrl(ctx, pkt.src, TAG_ACK2_BASE + round as u16, 0);
+                    } else {
+                        self.recovery.bump(RecoveryEvent::StaleIgnored);
+                    }
+                    return;
+                }
                 let here = self.round == round
                     && matches!(self.phase, LegPhase::Start)
                     && self.plan().map(|p| !self.i_send_now(&p)).unwrap_or(false);
@@ -376,20 +530,131 @@ impl ExchangeNode {
                     self.early_reqs.insert(round as u16, bytes);
                 }
             }
-            TAG_ACK_BASE => {
-                debug_assert_eq!(round, self.round);
-                debug_assert!(matches!(self.phase, LegPhase::WaitAck { .. }));
-                let cost = self.ctrl_cost_rx();
-                ctx.wake_after(cost, SelfEv::Proceed);
+            TAG_ACK_BASE | TAG_ACK2_BASE => {
+                if self.round == round && matches!(self.phase, LegPhase::WaitAck { .. }) {
+                    self.new_wait();
+                    let cost = self.ctrl_cost_rx();
+                    ctx.wake_after(cost, SelfEv::Proceed);
+                } else {
+                    self.recovery.bump(RecoveryEvent::StaleIgnored);
+                }
             }
-            TAG_DONE_BASE => {
-                debug_assert_eq!(round, self.round);
-                debug_assert!(matches!(self.phase, LegPhase::WaitDone));
-                let cost = self.ctrl_cost_rx();
-                ctx.wake_after(cost, SelfEv::Proceed);
+            TAG_DONE_BASE | TAG_DONE2_BASE => {
+                if self.round == round && matches!(self.phase, LegPhase::WaitDone { .. }) {
+                    self.new_wait();
+                    let cost = self.ctrl_cost_rx();
+                    ctx.wake_after(cost, SelfEv::Proceed);
+                } else {
+                    self.recovery.bump(RecoveryEvent::StaleIgnored);
+                }
             }
+            TAG_PROBE_BASE => {
+                if self.rx_done.contains(&(round as u16)) {
+                    self.recovery.bump(RecoveryEvent::DoneResend);
+                    self.send_ctrl(ctx, pkt.src, TAG_DONE2_BASE + round as u16, 0);
+                    return;
+                }
+                let live_next_seq = match &self.phase {
+                    LegPhase::Receiving { next_seq, .. } if self.round == round => Some(*next_seq),
+                    _ => None,
+                };
+                if let Some(next_seq) = live_next_seq {
+                    // Stream incomplete: tell the sender where to restart.
+                    self.recovery.bump(RecoveryEvent::Retry);
+                    self.send_ctrl(ctx, pkt.src, TAG_RETRY_BASE + round as u16, next_seq);
+                } else {
+                    self.recovery.bump(RecoveryEvent::StaleIgnored);
+                }
+            }
+            TAG_RETRY_BASE => self.on_retry(round, pkt.payload[0], ctx),
             other => panic!("node {}: unexpected tag {other:#x}", self.me),
         }
+    }
+
+    /// A RETRY (go-back-N NAK) from the receiver: rewind the DATA stream
+    /// to `restart`.
+    fn on_retry(&mut self, round: usize, restart: u32, ctx: &mut Ctx<'_>) {
+        if self.round != round {
+            self.recovery.bump(RecoveryEvent::StaleIgnored);
+            return;
+        }
+        let rewound = match &mut self.phase {
+            LegPhase::Streaming { seq, .. } => {
+                // Live stream: pull the cursor back; the pending Emit chain
+                // re-emits from there.
+                if restart < *seq {
+                    *seq = restart;
+                    true
+                } else {
+                    false
+                }
+            }
+            _ => false,
+        };
+        if rewound {
+            self.recovery.bump(RecoveryEvent::DataRewind);
+            return;
+        }
+        let wait_done = match &self.phase {
+            LegPhase::WaitDone { partner, bytes } => Some((*partner, *bytes)),
+            _ => None,
+        };
+        let Some((partner, bytes)) = wait_done else {
+            self.recovery.bump(RecoveryEvent::StaleIgnored);
+            return;
+        };
+        let queue = segment(bytes);
+        if (restart as usize) >= queue.len() {
+            self.recovery.bump(RecoveryEvent::StaleIgnored);
+            return;
+        }
+        // Stream already drained: re-enter it at the rewind point (stage
+        // the chunk again, kick the DMA).
+        self.new_wait();
+        self.recovery.bump(RecoveryEvent::DataRewind);
+        let first = bytes.min(self.chunk);
+        let lead = self.host.memcpy_time(first) + self.host.dma_kick;
+        self.phase = LegPhase::Streaming {
+            queue,
+            seq: restart,
+            partner,
+        };
+        ctx.wake_after(lead, SelfEv::Emit);
+    }
+
+    /// A guarded wait expired: resend the blocking control message with
+    /// backoff. WaitAck resends the REQ (as REQ2); WaitDone probes the
+    /// receiver, which answers RETRY (stream incomplete) or DONE2.
+    fn on_timeout(&mut self, epoch: u64, ctx: &mut Ctx<'_>) {
+        if epoch != self.epoch {
+            return; // stale guard from a wait that already resolved
+        }
+        let action = match &self.phase {
+            LegPhase::WaitAck { partner, bytes } => Some((*partner, *bytes as u32, true)),
+            LegPhase::WaitDone { partner, .. } => Some((*partner, 0, false)),
+            _ => None,
+        };
+        let Some((partner, word, is_req)) = action else {
+            return;
+        };
+        assert!(
+            self.attempts < self.policy.max_attempts,
+            "node {}: retries exhausted in round {} (wait for {})",
+            self.me,
+            self.round,
+            if is_req { "ACK" } else { "DONE" }
+        );
+        self.attempts += 1;
+        self.recovery.bump(RecoveryEvent::Timeout);
+        let (tag_base, crumb, ev) = if is_req {
+            (TAG_REQ2_BASE, "exchange.req2", RecoveryEvent::ReqResend)
+        } else {
+            (TAG_PROBE_BASE, "exchange.probe", RecoveryEvent::Probe)
+        };
+        self.recovery.bump(ev);
+        flight::record(ctx.now(), ctx.self_id(), crumb, u64::from(self.me));
+        self.send_ctrl(ctx, partner, tag_base + self.round as u16, word);
+        self.arm_timeout(ctx);
     }
 
     fn on_proceed(&mut self, ctx: &mut Ctx<'_>) {
@@ -417,7 +682,7 @@ impl ExchangeNode {
                 let (partner, bytes) = (*partner, *bytes);
                 self.start_stream(ctx, partner, bytes);
             }
-            LegPhase::WaitDone => {
+            LegPhase::WaitDone { .. } => {
                 // DONE processed: this half-round is complete.
                 self.advance_half(ctx);
             }
@@ -439,12 +704,19 @@ impl ExchangeNode {
         let pkt = bulk_packet(self.me, *partner, TAG_DATA, *seq, bytes);
         *seq += 1;
         let more = (*seq as usize) < queue.len();
+        let partner = *partner;
+        let total: u64 = queue.iter().sum();
         ctx.send_now(self.tx_port, Inject(pkt));
         let gap = self.host.vi_dma_time(bytes);
         if more {
             ctx.wake_after(gap, SelfEv::Emit);
         } else {
-            self.phase = LegPhase::WaitDone;
+            self.phase = LegPhase::WaitDone {
+                partner,
+                bytes: total,
+            };
+            self.new_wait();
+            self.arm_timeout(ctx);
         }
     }
 }
@@ -453,6 +725,30 @@ impl ExchangeNode {
 /// `leg_bytes` per transfer leg; returns the time until the last node
 /// finishes its schedule.
 pub fn measure_exchange(host: HostParams, px: u16, py: u16, leg_bytes: u64) -> SimDuration {
+    measure_exchange_inner(host, px, py, leg_bytes, None).0
+}
+
+/// Measurement under a [`FaultPlan`]: same exchange, but with the plan's
+/// link-fault windows and NIU stalls installed on every port. Returns the
+/// completion time (recovery is charged to simulated time) and the summed
+/// per-node recovery counters.
+pub fn measure_exchange_faulty(
+    host: HostParams,
+    px: u16,
+    py: u16,
+    leg_bytes: u64,
+    plan: &FaultPlan,
+) -> (SimDuration, RecoveryCounters) {
+    measure_exchange_inner(host, px, py, leg_bytes, Some(plan))
+}
+
+fn measure_exchange_inner(
+    host: HostParams,
+    px: u16,
+    py: u16,
+    leg_bytes: u64,
+    plan: Option<&FaultPlan>,
+) -> (SimDuration, RecoveryCounters) {
     let n = px * py;
     assert!(
         n.is_power_of_two(),
@@ -462,6 +758,9 @@ pub fn measure_exchange(host: HostParams, px: u16, py: u16, leg_bytes: u64) -> S
     let mut sim = Simulator::new();
     let ids: Vec<ActorId> = (0..n).map(|_| sim.add_actor(Slot)).collect();
     let net = ArcticNetwork::build(&mut sim, &ids, Default::default());
+    if let Some(plan) = plan {
+        net.apply_fault_plan(&mut sim, plan);
+    }
     for e in 0..n {
         let node = ExchangeNode::new(e, host, net.tx_port(e), schedules[e as usize].clone());
         let _ = sim.remove_actor(ids[e as usize]);
@@ -472,14 +771,16 @@ pub fn measure_exchange(host: HostParams, px: u16, py: u16, leg_bytes: u64) -> S
     }
     sim.run();
     let mut last = SimTime::ZERO;
+    let mut recovery = RecoveryCounters::default();
     for (e, &id) in ids.iter().enumerate() {
         let node = sim.actor::<ExchangeNode>(id);
         let f = node
             .finished
             .unwrap_or_else(|| panic!("node {e} never finished its exchange"));
         last = last.max(f);
+        recovery.merge(&node.recovery);
     }
-    last.since(SimTime::ZERO)
+    (last.since(SimTime::ZERO), recovery)
 }
 
 struct Slot;
@@ -559,6 +860,58 @@ mod tests {
         let a = measure_exchange(HostParams::default(), 4, 2, 1024);
         let b = measure_exchange(HostParams::default(), 4, 2, 1024);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_fault_plan_changes_nothing() {
+        let clean = measure_exchange(HostParams::default(), 4, 2, 1024);
+        let (t, r) =
+            measure_exchange_faulty(HostParams::default(), 4, 2, 1024, &FaultPlan::new(0xEC));
+        assert_eq!(t, clean);
+        assert_eq!(r, RecoveryCounters::default());
+    }
+
+    #[test]
+    fn faulty_exchange_recovers_and_is_deterministic() {
+        // Aggressive corrupt+drop window over the opening legs plus an NIU
+        // stall: the protocol must still complete every schedule, and do it
+        // identically on a re-run.
+        let plan = FaultPlan::new(0xEC)
+            .link_window(0.0, 120.0, 0.3, 0.15)
+            .niu_stall(1, 10.0, 60.0);
+        let (t, r) = measure_exchange_faulty(HostParams::default(), 4, 2, 1024, &plan);
+        let clean = measure_exchange(HostParams::default(), 4, 2, 1024);
+        assert!(
+            r.corrupt_discarded > 0,
+            "corruption window never hit a packet: {r:?}"
+        );
+        assert!(
+            r.total_retransmits() > 0,
+            "recovery never retransmitted: {r:?}"
+        );
+        assert!(t > clean, "recovery must cost simulated time");
+        let (t2, r2) = measure_exchange_faulty(HostParams::default(), 4, 2, 1024, &plan);
+        assert_eq!(t, t2, "faulty run must be deterministic");
+        assert_eq!(r, r2, "recovery counters must be deterministic");
+    }
+
+    #[test]
+    fn drop_only_window_recovers_via_timeouts() {
+        // No corruption (no NAK fast path): dropped packets are recovered
+        // purely by the timeout ladder (REQ2 / PROBE / RETRY).
+        let plan = FaultPlan::new(0x0D).link_window(0.0, 80.0, 0.0, 0.4);
+        let (t, r) = measure_exchange_faulty(HostParams::default(), 2, 2, 512, &plan);
+        assert!(t.as_us_f64() > 0.0);
+        if r.timeouts == 0 {
+            // The seed could in principle drop nothing; make sure that's
+            // actually why.
+            assert_eq!(r.total_retransmits(), 0);
+        } else {
+            assert!(
+                r.req_resends + r.probes > 0,
+                "timeouts without resends: {r:?}"
+            );
+        }
     }
 
     #[test]

@@ -12,15 +12,34 @@
 //! Summed over rounds this reproduces the paper's measured latencies
 //! (4.0 / 8.3 / 12.8 / 18.2 µs for 2/4/8/16-way) and their least-squares
 //! fit `t = 4.67·log2 N − 0.95` µs.
+//!
+//! ## Recovery (fault-injection subsystem)
+//!
+//! The butterfly keeps every partial sum it has sent (`sent[r]`), so a
+//! lost or corrupted round value is recoverable: a corrupted arrival is
+//! NAKed immediately with `RETRY(r)` (the tag survives — the fault model
+//! flips payload bits only), a missing value is re-requested after a
+//! timeout with capped exponential backoff, and the partner answers a
+//! RETRY with `RESEND(r)` carrying `sent[r]`. Duplicates are idempotent:
+//! the `got` set records rounds whose value has been accepted, so a late
+//! original plus a RESEND never double-adds. The tree-gsum ablation
+//! baseline intentionally keeps the paper's catastrophic-failure model.
 
+use crate::recovery::{RecoveryCounters, RecoveryEvent};
 use hyades_arctic::network::{ArcticNetwork, Delivered, Inject};
 use hyades_arctic::packet::{f64_from_words, words_from_f64, Packet, Priority};
 use hyades_des::event::Payload;
 use hyades_des::{Actor, ActorId, Ctx, SimDuration, SimTime, Simulator};
+use hyades_fault::{FaultPlan, RetryPolicy};
 use hyades_startx::HostParams;
 use hyades_telemetry as telemetry;
 use hyades_telemetry::flight;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Recovery tag bases (round values travel under their bare round index,
+/// so these start above any realistic `log2 N`).
+const GSUM_RETRY_BASE: u16 = 0x40; // + round: "resend me round r"
+const GSUM_RESEND_BASE: u16 = 0x60; // + round: the resent value
 
 /// Kick event: begin a global sum contributing `value`.
 pub struct StartGsum {
@@ -31,6 +50,11 @@ pub struct StartGsum {
 struct RxReady {
     round: u32,
     value: f64,
+}
+
+/// Self event: the wait for the current round's value timed out.
+struct GsumTimeout {
+    epoch: u64,
 }
 
 /// Cost of the floating-point add + loop bookkeeping per round.
@@ -52,6 +76,16 @@ pub struct GsumNode {
     /// BTreeMap, not HashMap: keeps early-arrival bookkeeping free of
     /// hash-iteration order (lint rule `hash-iteration`).
     early: BTreeMap<u32, f64>,
+    /// Partial sums as sent, indexed by round, so a RETRY from the
+    /// partner can be answered long after this node moved on.
+    sent: Vec<f64>,
+    /// Rounds whose incoming value has been accepted — makes duplicate
+    /// deliveries (late original + RESEND) idempotent.
+    got: BTreeSet<u32>,
+    policy: RetryPolicy,
+    epoch: u64,
+    attempts: u32,
+    pub recovery: RecoveryCounters,
     pub started: Option<SimTime>,
     pub finished: Option<SimTime>,
     pub result: Option<f64>,
@@ -69,10 +103,33 @@ impl GsumNode {
             round: 0,
             partial: 0.0,
             early: BTreeMap::new(),
+            sent: Vec::new(),
+            got: BTreeSet::new(),
+            policy: RetryPolicy::default(),
+            epoch: 0,
+            attempts: 0,
+            recovery: RecoveryCounters::default(),
             started: None,
             finished: None,
             result: None,
         }
+    }
+
+    /// Override the retransmit policy (tests tighten the timeout).
+    pub fn with_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    fn arm_timeout(&mut self, ctx: &mut Ctx<'_>) {
+        let wait = self.policy.arm(self.attempts);
+        let epoch = self.epoch;
+        ctx.wake_after(wait, GsumTimeout { epoch });
+    }
+
+    fn new_wait(&mut self) {
+        self.epoch += 1;
+        self.attempts = 0;
     }
 
     /// Add the intra-SMP combine/broadcast costs of the mixed-mode scheme
@@ -87,17 +144,47 @@ impl GsumNode {
         self.n.trailing_zeros()
     }
 
-    fn send_round(&mut self, ctx: &mut Ctx<'_>) {
-        let partner = self.me ^ (1u16 << self.round);
+    fn partner_of(&self, round: u32) -> u16 {
+        self.me ^ (1u16 << round)
+    }
+
+    fn send_value(&self, ctx: &mut Ctx<'_>, round: u32, tag: u16, value: f64) {
+        let partner = self.partner_of(round);
         let os = self.host.pio.send_overhead(8);
-        let pkt = Packet::new(
-            self.me,
-            partner,
-            Priority::High,
-            self.round as u16,
-            words_from_f64(self.partial),
-        );
+        let pkt = Packet::new(self.me, partner, Priority::High, tag, words_from_f64(value));
         ctx.send_after(os, self.tx_port, Inject(pkt));
+    }
+
+    fn send_round(&mut self, ctx: &mut Ctx<'_>) {
+        debug_assert_eq!(self.sent.len(), self.round as usize);
+        self.sent.push(self.partial);
+        self.send_value(ctx, self.round, self.round as u16, self.partial);
+    }
+
+    fn send_ctrl(&self, ctx: &mut Ctx<'_>, dst: u16, tag: u16) {
+        let os = self.host.pio.send_overhead(8);
+        let pkt = Packet::new(self.me, dst, Priority::High, tag, vec![0, 0]);
+        ctx.send_after(os, self.tx_port, Inject(pkt));
+    }
+
+    /// Accept an incoming round value (original or RESEND), with the
+    /// `got`-set dedup making duplicates idempotent.
+    fn accept_value(&mut self, round: u32, value: f64, ctx: &mut Ctx<'_>) {
+        if round < self.round || self.got.contains(&round) {
+            self.recovery.bump(RecoveryEvent::StaleIgnored);
+            return;
+        }
+        if round == self.round {
+            // Blocked waiting on this message: one status poll plus
+            // the PIO read of header+payload.
+            self.got.insert(round);
+            self.new_wait();
+            let cost = self.host.status_poll + self.host.pio.recv_overhead(8);
+            ctx.wake_after(cost, RxReady { round, value });
+        } else {
+            // A fast partner ran ahead; stash until we get there.
+            self.early.insert(round, value);
+        }
     }
 
     fn advance(&mut self, value: f64, ctx: &mut Ctx<'_>) {
@@ -139,11 +226,19 @@ impl Actor for GsumNode {
         let ev = match ev.downcast::<StartGsum>() {
             Ok(s) => {
                 assert!(self.n.is_power_of_two() && self.n >= 2);
+                assert!(
+                    self.rounds() < u32::from(GSUM_RETRY_BASE),
+                    "round index must stay below the recovery tag bases"
+                );
                 self.partial = s.value;
                 self.round = 0;
                 self.started = Some(ctx.now());
                 self.finished = None;
                 self.result = None;
+                self.early.clear();
+                self.sent.clear();
+                self.got.clear();
+                self.new_wait();
                 // Mixed mode: combine the SMP-local values first.
                 let pre = self.pre_cost;
                 ctx.wake_after(
@@ -160,19 +255,53 @@ impl Actor for GsumNode {
         let ev = match ev.downcast::<Delivered>() {
             Ok(del) => {
                 let pkt = del.pkt;
-                assert!(!pkt.corrupted, "catastrophic network failure");
-                let round = pkt.usr_tag as u32;
-                let value = f64_from_words(&pkt.payload);
-                if round == self.round {
-                    // Blocked waiting on this message: one status poll plus
-                    // the PIO read of header+payload.
-                    let cost = self.host.status_poll + self.host.pio.recv_overhead(8);
-                    ctx.wake_after(cost, RxReady { round, value });
-                } else {
-                    // A fast partner ran ahead; stash until we get there.
-                    debug_assert!(round > self.round);
-                    self.early.insert(round, value);
+                let tag = pkt.usr_tag;
+                if pkt.corrupted {
+                    // The CRC caught it; the payload is never trusted. The
+                    // tag survives (the fault model flips payload bits
+                    // only), so a corrupted value can be NAKed right away;
+                    // a corrupted RETRY is covered by the requester's
+                    // backoff.
+                    self.recovery.bump(RecoveryEvent::CorruptDiscard);
+                    let value_round = if tag < GSUM_RETRY_BASE {
+                        Some(u32::from(tag))
+                    } else if tag >= GSUM_RESEND_BASE {
+                        Some(u32::from(tag - GSUM_RESEND_BASE))
+                    } else {
+                        None
+                    };
+                    if let Some(r) = value_round {
+                        if !self.got.contains(&r) {
+                            self.recovery.bump(RecoveryEvent::Retry);
+                            self.send_ctrl(ctx, pkt.src, GSUM_RETRY_BASE + r as u16);
+                        }
+                    }
+                    return;
                 }
+                if tag >= GSUM_RESEND_BASE {
+                    let round = u32::from(tag - GSUM_RESEND_BASE);
+                    self.accept_value(round, f64_from_words(&pkt.payload), ctx);
+                } else if tag >= GSUM_RETRY_BASE {
+                    // The partner is missing our round-r value: resend the
+                    // recorded partial, or ignore if we haven't sent it yet
+                    // (their backoff will re-ask once we have).
+                    let round = (tag - GSUM_RETRY_BASE) as usize;
+                    if let Some(&v) = self.sent.get(round) {
+                        self.recovery.bump(RecoveryEvent::ValueResend);
+                        self.send_value(ctx, round as u32, GSUM_RESEND_BASE + round as u16, v);
+                    } else {
+                        self.recovery.bump(RecoveryEvent::StaleIgnored);
+                    }
+                } else {
+                    self.accept_value(u32::from(tag), f64_from_words(&pkt.payload), ctx);
+                }
+                return;
+            }
+            Err(e) => e,
+        };
+        let ev = match ev.downcast::<GsumTimeout>() {
+            Ok(t) => {
+                self.on_timeout(t.epoch, ctx);
                 return;
             }
             Err(e) => e,
@@ -186,14 +315,50 @@ impl Actor for GsumNode {
             debug_assert_eq!(rx.round, self.round);
             self.send_round(ctx);
             if let Some(v) = self.early.remove(&self.round) {
+                self.got.insert(self.round);
+                self.new_wait();
                 let cost = self.host.status_poll + self.host.pio.recv_overhead(8);
                 let round = self.round;
                 ctx.wake_after(cost, RxReady { round, value: v });
+            } else {
+                // Now blocked on the partner: guard the wait.
+                self.new_wait();
+                self.arm_timeout(ctx);
             }
             return;
         }
         debug_assert_eq!(rx.round, self.round);
         self.advance(rx.value, ctx);
+    }
+}
+
+impl GsumNode {
+    /// The wait for the current round's value expired: re-request it.
+    fn on_timeout(&mut self, epoch: u64, ctx: &mut Ctx<'_>) {
+        if epoch != self.epoch || self.finished.is_some() {
+            return; // stale guard from a wait that already resolved
+        }
+        if self.got.contains(&self.round) {
+            return; // value accepted, RxReady in flight
+        }
+        assert!(
+            self.attempts < self.policy.max_attempts,
+            "node {}: gsum retries exhausted in round {}",
+            self.me,
+            self.round
+        );
+        self.attempts += 1;
+        self.recovery.bump(RecoveryEvent::Timeout);
+        self.recovery.bump(RecoveryEvent::Retry);
+        flight::record(
+            ctx.now(),
+            ctx.self_id(),
+            "gsum.retry",
+            u64::from(self.round),
+        );
+        let partner = self.partner_of(self.round);
+        self.send_ctrl(ctx, partner, GSUM_RETRY_BASE + self.round as u16);
+        self.arm_timeout(ctx);
     }
 }
 
@@ -210,10 +375,34 @@ pub struct GsumMeasurement {
 /// `values[i]`. When `smp_step` is set, each node charges the intra-SMP
 /// combine/broadcast costs (the paper's `2×N`-way configuration).
 pub fn measure_gsum(host: HostParams, values: &[f64], smp_step: bool) -> GsumMeasurement {
+    measure_gsum_inner(host, values, smp_step, None).0
+}
+
+/// Measurement under a [`FaultPlan`]: same butterfly, with the plan's link
+/// windows and NIU stalls installed. Returns the measurement (recovery
+/// charged to simulated time) plus the summed recovery counters; the sum
+/// must still be exact on every node.
+pub fn measure_gsum_faulty(
+    host: HostParams,
+    values: &[f64],
+    plan: &FaultPlan,
+) -> (GsumMeasurement, RecoveryCounters) {
+    measure_gsum_inner(host, values, false, Some(plan))
+}
+
+fn measure_gsum_inner(
+    host: HostParams,
+    values: &[f64],
+    smp_step: bool,
+    plan: Option<&FaultPlan>,
+) -> (GsumMeasurement, RecoveryCounters) {
     let n = values.len() as u16;
     let mut sim = Simulator::new();
     let ids: Vec<ActorId> = (0..n).map(|_| sim.add_actor(Slot)).collect();
     let net = ArcticNetwork::build(&mut sim, &ids, Default::default());
+    if let Some(plan) = plan {
+        net.apply_fault_plan(&mut sim, plan);
+    }
     for e in 0..n {
         let mut node = GsumNode::new(e, n, host, net.tx_port(e));
         if smp_step {
@@ -228,12 +417,14 @@ pub fn measure_gsum(host: HostParams, values: &[f64], smp_step: bool) -> GsumMea
     sim.run();
     let mut last = SimTime::ZERO;
     let mut result = None;
+    let mut recovery = RecoveryCounters::default();
     for (e, &id) in ids.iter().enumerate() {
         let node = sim.actor::<GsumNode>(id);
         let f = node
             .finished
             .unwrap_or_else(|| panic!("node {e} never finished"));
         last = last.max(f);
+        recovery.merge(&node.recovery);
         let r = node
             .result
             .unwrap_or_else(|| panic!("node {e} finished without a result"));
@@ -242,11 +433,14 @@ pub fn measure_gsum(host: HostParams, values: &[f64], smp_step: bool) -> GsumMea
         }
         result = Some(r);
     }
-    GsumMeasurement {
-        n,
-        elapsed: last.since(SimTime::ZERO),
-        value: result.unwrap_or_else(|| panic!("gsum over zero nodes has no result")),
-    }
+    (
+        GsumMeasurement {
+            n,
+            elapsed: last.since(SimTime::ZERO),
+            value: result.unwrap_or_else(|| panic!("gsum over zero nodes has no result")),
+        },
+        recovery,
+    )
 }
 
 /// Measure the §4.2 latency table: 2/4/8/16-way, with and without the SMP
@@ -499,6 +693,43 @@ mod tests {
             let d = smp.elapsed.as_us_f64() - plain.elapsed.as_us_f64();
             assert!((0.8..1.3).contains(&d), "{n}-way SMP step added {d} µs");
         }
+    }
+
+    #[test]
+    fn faulty_gsum_is_exact_and_deterministic() {
+        // A harsh corrupt+drop window over the whole butterfly: the sum
+        // must still be exact on every node (values are resent, never
+        // reconstructed), recovery must actually fire, and a re-run must
+        // be bit-identical.
+        let vals: Vec<f64> = (0..8).map(|i| (i as f64) * 1.25 - 2.0).collect();
+        let plan = FaultPlan::new(0x65)
+            .link_window(0.0, 40.0, 0.25, 0.2)
+            .niu_stall(2, 2.0, 10.0);
+        let (m, r) = measure_gsum_faulty(HostParams::default(), &vals, &plan);
+        assert_eq!(m.value, vals.iter().sum::<f64>(), "sum must stay exact");
+        assert!(
+            r.corrupt_discarded + r.timeouts > 0,
+            "fault window never hit the butterfly: {r:?}"
+        );
+        assert!(r.total_retransmits() > 0, "no recovery traffic: {r:?}");
+        let clean = measure_gsum(HostParams::default(), &vals, false);
+        assert!(
+            m.elapsed > clean.elapsed,
+            "recovery must cost simulated time"
+        );
+        let (m2, r2) = measure_gsum_faulty(HostParams::default(), &vals, &plan);
+        assert_eq!(m.elapsed, m2.elapsed, "faulty gsum must be deterministic");
+        assert_eq!(r, r2);
+    }
+
+    #[test]
+    fn empty_plan_changes_nothing() {
+        let vals: Vec<f64> = (0..4).map(|i| i as f64).collect();
+        let clean = measure_gsum(HostParams::default(), &vals, false);
+        let (m, r) = measure_gsum_faulty(HostParams::default(), &vals, &FaultPlan::new(9));
+        assert_eq!(m.elapsed, clean.elapsed);
+        assert_eq!(m.value, clean.value);
+        assert_eq!(r, RecoveryCounters::default());
     }
 
     #[test]

@@ -36,9 +36,12 @@ pub mod gsum;
 pub mod measured;
 pub mod mixmode;
 pub mod mpistart;
+pub mod recovery;
 pub mod schedule;
 pub mod timed;
 pub mod world;
+
+pub use recovery::RecoveryCounters;
 
 pub use timed::TimedWorld;
 pub use world::{CommWorld, SerialWorld, ThreadWorld};

@@ -150,7 +150,16 @@ impl CommGraph {
 const TAG_REQ_BASE: u16 = 0x100;
 const TAG_ACK_BASE: u16 = 0x200;
 const TAG_DONE_BASE: u16 = 0x300;
+const TAG_REQ2_BASE: u16 = 0x180;
+const TAG_ACK2_BASE: u16 = 0x280;
+const TAG_DONE2_BASE: u16 = 0x380;
+const TAG_PROBE_BASE: u16 = 0x400;
+const TAG_RETRY_BASE: u16 = 0x480;
 const TAG_DATA: u16 = 0x0FF;
+
+/// Recovery tag bases of the gsum protocol (mirrors `gsum.rs`).
+const GSUM_RETRY_BASE: u16 = 0x40;
+const GSUM_RESEND_BASE: u16 = 0x60;
 
 /// The full §4.1 exchange schedule for a periodic `px × py` tile grid:
 /// per round each paired node runs two sequential half-legs, each a
@@ -196,6 +205,47 @@ pub fn exchange_graph(px: u16, py: u16) -> CommGraph {
     g
 }
 
+/// The exchange schedule with every recovery leg of the retransmit
+/// protocol exercised once, in its worst-case serial order: REQ is
+/// resent (REQ2) and both are acknowledged (ACK, ACK2), the DATA stream
+/// runs, the sender PROBEs, the receiver NAKs with RETRY, the stream is
+/// rewound (a second enveloped DATA message), and DONE is resent
+/// (DONE2) after the PROBE. Verifying this graph proves the extended
+/// protocol keeps per-channel tag uniqueness and stays deadlock-free
+/// even when *every* retransmit path fires.
+pub fn exchange_recovery_graph(px: u16, py: u16) -> CommGraph {
+    let schedules = crate::exchange::torus_schedule(px, py, 1);
+    let mut g = CommGraph::new(px * py);
+    let rounds = schedules[0].len();
+    for round in 0..rounds {
+        for me in 0..px * py {
+            let Some(plan) = schedules[me as usize][round] else {
+                continue;
+            };
+            if !plan.sends_first {
+                continue;
+            }
+            let (s, r) = (me, plan.partner);
+            for (half, from, to) in [(1u8, s, r), (2u8, r, s)] {
+                let tag = |base: u16| base + round as u16;
+                let fwd = |kind: &str| format!("exch.r{round}.h{half}.{kind}.{from}->{to}");
+                let back = |kind: &str| format!("exch.r{round}.h{half}.{kind}.{to}->{from}");
+                g.transfer(from, to, tag(TAG_REQ_BASE), fwd("req"));
+                g.transfer(from, to, tag(TAG_REQ2_BASE), fwd("req2"));
+                g.transfer(to, from, tag(TAG_ACK_BASE), back("ack"));
+                g.transfer(to, from, tag(TAG_ACK2_BASE), back("ack2"));
+                g.transfer_enveloped(from, to, TAG_DATA, fwd("data"));
+                g.transfer(from, to, tag(TAG_PROBE_BASE), fwd("probe"));
+                g.transfer(to, from, tag(TAG_RETRY_BASE), back("retry"));
+                g.transfer_enveloped(from, to, TAG_DATA, fwd("data.rewind"));
+                g.transfer(to, from, tag(TAG_DONE_BASE), back("done"));
+                g.transfer(to, from, tag(TAG_DONE2_BASE), back("done2"));
+            }
+        }
+    }
+    g
+}
+
 /// The §4.2 global-sum butterfly for `n` nodes (`n` a power of two):
 /// `log2 n` rounds, partner `me ^ (1 << round)`, both partners post
 /// their send before blocking on the matching receive.
@@ -217,6 +267,51 @@ pub fn gsum_graph(n: u16) -> CommGraph {
             g.recv(back);
             g.send(back);
             g.recv(fwd);
+        }
+    }
+    g
+}
+
+/// The butterfly with both directions of the recovery protocol fired in
+/// every round: each partner re-requests the other's value (RETRY) and
+/// answers the partner's re-request (RESEND). All sends are non-blocking
+/// posts, so the interleaving below is realizable and acyclic; verifying
+/// it proves the recovery tags never alias a channel and the extended
+/// butterfly cannot deadlock.
+pub fn gsum_recovery_graph(n: u16) -> CommGraph {
+    assert!(n.is_power_of_two(), "butterfly needs a power-of-two size");
+    let mut g = CommGraph::new(n);
+    let rounds = n.trailing_zeros() as u16;
+    for round in 0..rounds {
+        for me in 0..n {
+            let p = me ^ (1 << round);
+            if me > p {
+                continue;
+            }
+            let name = |kind: &str, a: u16, b: u16| format!("gsum.r{round}.{kind}.{a}->{b}");
+            let fwd = g.msg(me, p, round, name("val", me, p));
+            let back = g.msg(p, me, round, name("val", p, me));
+            let retry_from_me = g.msg(me, p, GSUM_RETRY_BASE + round, name("retry", me, p));
+            let retry_from_p = g.msg(p, me, GSUM_RETRY_BASE + round, name("retry", p, me));
+            let resend_from_me = g.msg(me, p, GSUM_RESEND_BASE + round, name("resend", me, p));
+            let resend_from_p = g.msg(p, me, GSUM_RESEND_BASE + round, name("resend", p, me));
+            // `me`'s program: post value and re-request, answer the
+            // partner's re-request, then block on the partner's value and
+            // resend. `p` runs the mirror image; every recv's matching
+            // send precedes it behind only non-blocking ops.
+            g.send(fwd);
+            g.send(retry_from_me);
+            g.recv(retry_from_p);
+            g.send(resend_from_me);
+            g.recv(back);
+            g.recv(resend_from_p);
+
+            g.send(back);
+            g.send(retry_from_p);
+            g.recv(retry_from_me);
+            g.send(resend_from_p);
+            g.recv(fwd);
+            g.recv(resend_from_me);
         }
     }
     g
@@ -246,6 +341,23 @@ mod tests {
         assert_eq!(g.msgs.len(), 4 * 16); // log2(16) rounds x n msgs
         for prog in &g.program {
             assert_eq!(prog.len(), 4 * 2); // send + recv per round
+        }
+    }
+
+    #[test]
+    fn recovery_graph_shapes() {
+        // Exchange: 10 messages per half-leg instead of 4.
+        let g = exchange_recovery_graph(4, 4);
+        assert_eq!(g.n_nodes, 16);
+        assert_eq!(g.msgs.len(), 4 * 8 * 2 * 10);
+        for prog in &g.program {
+            assert_eq!(prog.len(), 4 * 2 * 10);
+        }
+        // Gsum: 6 messages per pair-round instead of 2.
+        let g = gsum_recovery_graph(16);
+        assert_eq!(g.msgs.len(), 4 * 8 * 6);
+        for prog in &g.program {
+            assert_eq!(prog.len(), 4 * 6);
         }
     }
 

@@ -22,6 +22,7 @@
 //! | E18 | §5/§6 — GCM run-health observatory over a coupled run | [`runhealth`] |
 //! | E19 | §5/§6 — cross-rank critical path of a coupled step | [`critpath`] |
 //! | E20 | §3/§5 — static SPMD collective-uniformity proof | [`spmd`] |
+//! | E21 | §2.2/§4/§6 — fault injection and recovery | [`recovery`] |
 
 pub mod api_tax;
 pub mod century;
@@ -38,6 +39,7 @@ pub mod gsum;
 pub mod hpvm;
 pub mod observatory;
 pub mod profiling;
+pub mod recovery;
 pub mod routing;
 pub mod runhealth;
 pub mod schedcheck;
@@ -156,6 +158,12 @@ pub fn all() -> Vec<Experiment> {
             paper_artefact: "Sections 3/5: static SPMD collective-uniformity proof",
             run: spmd::run,
         },
+        Experiment {
+            id: "E21",
+            paper_artefact:
+                "Sections 2.2/4/6: fault injection and recovery (retransmit + checkpoint/rollback)",
+            run: recovery::run,
+        },
     ]
 }
 
@@ -164,13 +172,13 @@ mod tests {
     #[test]
     fn registry_is_complete() {
         let all = super::all();
-        assert_eq!(all.len(), 20);
+        assert_eq!(all.len(), 21);
         let ids: Vec<&str> = all.iter().map(|e| e.id).collect();
         assert_eq!(
             ids,
             [
                 "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
-                "E14", "E15", "E16", "E17", "E18", "E19", "E20"
+                "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21"
             ]
         );
     }

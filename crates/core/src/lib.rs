@@ -24,6 +24,7 @@ pub use hyades_arctic as arctic;
 pub use hyades_cluster as cluster;
 pub use hyades_comms as comms;
 pub use hyades_des as des;
+pub use hyades_fault as fault;
 pub use hyades_gcm as gcm;
 pub use hyades_perf as perf;
 pub use hyades_startx as startx;

@@ -17,22 +17,26 @@
 //! different seeds perturb both the physics and the microbench shapes.
 
 use hyades_cluster::interconnect::{arctic_paper, ExchangeShape, Interconnect};
-use hyades_comms::exchange::measure_exchange;
-use hyades_comms::gsum::measure_gsum;
-use hyades_comms::{ThreadWorld, TimedWorld};
+use hyades_comms::exchange::{measure_exchange, measure_exchange_faulty};
+use hyades_comms::gsum::{measure_gsum, measure_gsum_faulty};
+use hyades_comms::{RecoveryCounters, ThreadWorld, TimedWorld};
 use hyades_des::rng::SplitMix64;
+use hyades_fault::FaultPlan;
 use hyades_gcm::config::{ModelConfig, SurfaceForcing};
 use hyades_gcm::coupler::CoupledModel;
 use hyades_gcm::decomp::Decomp;
 use hyades_gcm::driver::Model;
 use hyades_gcm::grid::{stretched_levels, Grid};
 use hyades_gcm::monitor::{RunMonitor, SentinelConfig};
+use hyades_gcm::resilient::ResilientRunner;
 use hyades_perf::model::PerfModel;
 use hyades_perf::params::{DsParams, PsParams};
 use hyades_perf::phases::{self, MeasuredPhases, StepSample};
 use hyades_startx::HostParams;
 use hyades_telemetry as telemetry;
+use hyades_telemetry::artifact::{Artifact, ArtifactKind, Prebuilt};
 use hyades_telemetry::{flight, RankTelemetry, RunTelemetry};
+use std::fmt::Write as _;
 
 /// Grid/decomposition constants of the tour run.
 const NX: usize = 16;
@@ -47,6 +51,98 @@ const STEPS: usize = 4;
 /// model's `Fps`/`Fds` (Figure 11's values).
 const FPS_MFLOPS: f64 = 50.0;
 const FDS_MFLOPS: f64 = 60.0;
+
+/// One configuration for every tour entry point.
+///
+/// The four tours (profiling E14, run-health E18, critical-path E19,
+/// fault-recovery E21) used to each grow their own argument list; this
+/// builder is the single shared surface. `seed` is the only required
+/// input — everything else has the historical defaults, so
+/// `TourConfig::new(seed).run_tour()` is byte-identical to the old
+/// `run(seed)` (which survives as a shim over exactly that call).
+#[derive(Clone, Debug)]
+pub struct TourConfig {
+    /// Seeds the physics perturbation and the microbench shapes.
+    pub seed: u64,
+    /// GCM steps of the single-model profiling tour.
+    pub steps: usize,
+    /// Coupled steps of the diag/critpath/resilient tours.
+    pub coupled_steps: usize,
+    /// Injected compute straggler (critical-path tour only).
+    pub straggler: Option<Straggler>,
+    /// Fault schedule: drives the resilient tour's crash/rollback and
+    /// the DES recovery legs' link faults. Empty means fault-free.
+    pub fault_plan: FaultPlan,
+    /// Checkpoint cadence of the resilient tour, in coupled steps (must
+    /// be a multiple of the coupling interval, 2).
+    pub checkpoint_every: u64,
+    /// Record per-op comm logs (feeds Chrome flow events and the
+    /// critical-path DAG). Off saves memory but drops the arrows.
+    pub commlog: bool,
+    /// Install the DES flight recorder during microbench legs.
+    pub flight: bool,
+}
+
+impl TourConfig {
+    pub fn new(seed: u64) -> TourConfig {
+        TourConfig {
+            seed,
+            steps: STEPS,
+            coupled_steps: CSTEPS,
+            straggler: None,
+            fault_plan: FaultPlan::default(),
+            checkpoint_every: 2,
+            commlog: true,
+            flight: true,
+        }
+    }
+
+    pub fn steps(mut self, steps: usize) -> TourConfig {
+        self.steps = steps;
+        self
+    }
+
+    pub fn coupled_steps(mut self, steps: usize) -> TourConfig {
+        self.coupled_steps = steps;
+        self
+    }
+
+    pub fn straggler(mut self, s: Straggler) -> TourConfig {
+        self.straggler = Some(s);
+        self
+    }
+
+    pub fn fault_plan(mut self, plan: FaultPlan) -> TourConfig {
+        self.fault_plan = plan;
+        self
+    }
+
+    pub fn checkpoint_every(mut self, every: u64) -> TourConfig {
+        self.checkpoint_every = every;
+        self
+    }
+
+    pub fn commlog(mut self, on: bool) -> TourConfig {
+        self.commlog = on;
+        self
+    }
+
+    pub fn flight(mut self, on: bool) -> TourConfig {
+        self.flight = on;
+        self
+    }
+
+    /// The demonstration fault schedule the resilient tour and bench
+    /// use: a mid-run rank crash plus a seeded window of link corruption
+    /// and one NIU stall, so every recovery mechanism (rollback/replay,
+    /// CRC retransmit, stall timeout) fires in one run.
+    pub fn demo_fault_plan(seed: u64) -> FaultPlan {
+        FaultPlan::new(seed)
+            .rank_crash(1, 3)
+            .link_window(0.0, 60.0, 0.2, 0.1)
+            .niu_stall(1, 5.0, 25.0)
+    }
+}
 
 /// Everything the tour produces.
 pub struct TourArtifacts {
@@ -82,24 +178,27 @@ struct RankRun {
     steps: Vec<StepSample>,
 }
 
-fn run_rank<W: hyades_comms::CommWorld>(world: &mut W, seed: u64) -> RankRun {
+fn run_rank<W: hyades_comms::CommWorld>(world: &mut W, tour: &TourConfig) -> RankRun {
     let rank = world.rank();
     telemetry::enable_with_rates(rank, FPS_MFLOPS, FDS_MFLOPS);
-    telemetry::commlog::install();
+    if tour.commlog {
+        telemetry::commlog::install();
+    }
     let d = Decomp::blocks(NX, NY, PX, PY, 3);
     let cfg = ModelConfig::test_ocean(NX, NY, NZ, d);
     let mut m = Model::new(cfg, rank);
     // Seeded perturbation of the initial stratification: makes the run a
     // genuine function of `seed` (solver trajectories, residuals, and the
     // exported artifacts all move with it).
-    let mut rng = SplitMix64::new(seed ^ (rank as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut rng =
+        SplitMix64::new(tour.seed ^ (rank as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     for (i, j, k) in m.state.theta.clone().interior() {
         m.state.theta.add(i, j, k, (rng.next_f64() - 0.5) * 0.2);
     }
     let net = arctic_paper();
     let mut timed = TimedWorld::new(world, &net);
-    let mut steps = Vec::with_capacity(STEPS);
-    for _ in 0..STEPS {
+    let mut steps = Vec::with_capacity(tour.steps);
+    for _ in 0..tour.steps {
         let before = telemetry::phase_totals();
         let s = m.step(&mut timed);
         assert!(s.cg_converged, "tour solver diverged");
@@ -130,9 +229,12 @@ fn run_rank<W: hyades_comms::CommWorld>(world: &mut W, seed: u64) -> RankRun {
 /// The DES microbenchmark leg: exchange + butterfly gsum on the simulated
 /// fabric, recorded as event-timeline spans under a dedicated rank, with
 /// the flight recorder capturing router/NIU/comms breadcrumbs.
-fn run_microbench(seed: u64) -> (RankTelemetry, String) {
+fn run_microbench(tour: &TourConfig) -> (RankTelemetry, String) {
+    let seed = tour.seed;
     telemetry::enable_with_rates(NRANKS, FPS_MFLOPS, FDS_MFLOPS);
-    flight::install(4096);
+    if tour.flight {
+        flight::install(4096);
+    }
     let host = HostParams::default();
     let leg_bytes = 256 + (seed % 7) * 64;
     let t_exch = measure_exchange(host, 2, 2, leg_bytes);
@@ -211,15 +313,27 @@ fn tour_model(net: &dyn Interconnect, rank0: &RankRun) -> PerfModel {
     )
 }
 
-/// Run the full tour for `seed`.
+/// Run the full tour for `seed` with the default [`TourConfig`].
 pub fn run(seed: u64) -> TourArtifacts {
+    TourConfig::new(seed).run_tour()
+}
+
+impl TourConfig {
+    /// The profiling tour (E14): instrumented GCM fan-out + DES
+    /// microbench + model-vs-measured phase report.
+    pub fn run_tour(&self) -> TourArtifacts {
+        run_tour_impl(self)
+    }
+}
+
+fn run_tour_impl(tour: &TourConfig) -> TourArtifacts {
     // 1. Instrumented GCM fan-out.
     let net = arctic_paper();
-    let mut runs = ThreadWorld::run(NRANKS, |w| run_rank(w, seed));
+    let mut runs = ThreadWorld::run(NRANKS, |w| run_rank(w, tour));
 
     // 2. DES microbench on this thread, as an extra "rank" holding the
     //    event timeline.
-    let (bench_tel, flight_dump) = run_microbench(seed);
+    let (bench_tel, flight_dump) = run_microbench(tour);
 
     // 3. Model-vs-measured phase comparison (mean over the GCM ranks;
     //    every rank ran the same-shape tile, so the mean is the per-rank
@@ -237,14 +351,14 @@ pub fn run(seed: u64) -> TourArtifacts {
         ds_comm_s: totals.ds_comm.as_secs_f64() / n,
     };
     let ni_total = runs[0].total_cg_iterations;
-    let cmp = phases::compare(&model, STEPS as u64, ni_total, &measured);
+    let cmp = phases::compare(&model, tour.steps as u64, ni_total, &measured);
     let max_abs_residual = cmp.max_abs_residual();
     let phase_report = cmp.render();
 
     // Per-step residual series: each step's sample is the rank-mean of
     // the charged phase deltas (iteration counts are global, so any
     // rank's `ni` works).
-    let step_samples: Vec<StepSample> = (0..STEPS)
+    let step_samples: Vec<StepSample> = (0..tour.steps)
         .map(|i| StepSample {
             ni: runs[0].steps[i].ni,
             measured: MeasuredPhases {
@@ -350,12 +464,12 @@ struct CoupledRankRun {
     ocean: RunMonitor,
 }
 
-fn run_coupled_rank<W: hyades_comms::CommWorld>(world: &mut W, seed: u64) -> CoupledRankRun {
-    let rank = world.rank();
-    telemetry::enable_with_rates(rank, FPS_MFLOPS, FDS_MFLOPS);
+/// Build the seeded coupled pair shared by the diag/critpath/resilient
+/// tours: `coupled_pair` for this rank with the ocean stratification
+/// perturbed by `seed` and the boundary fields re-derived so the coupled
+/// state stays self-consistent.
+fn seeded_coupled_pair(rank: usize, seed: u64) -> CoupledModel {
     let mut c = coupled_pair(rank);
-    // Seeded perturbation of the ocean stratification, then re-derive the
-    // boundary fields so the coupled state stays self-consistent.
     let mut rng = SplitMix64::new(seed ^ (rank as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     for (i, j, k) in c.ocean.state.theta.clone().interior() {
         c.ocean
@@ -364,12 +478,22 @@ fn run_coupled_rank<W: hyades_comms::CommWorld>(world: &mut W, seed: u64) -> Cou
             .add(i, j, k, (rng.next_f64() - 0.5) * 0.2);
     }
     c.exchange_boundary_conditions();
+    c
+}
+
+fn run_coupled_rank<W: hyades_comms::CommWorld>(
+    world: &mut W,
+    tour: &TourConfig,
+) -> CoupledRankRun {
+    let rank = world.rank();
+    telemetry::enable_with_rates(rank, FPS_MFLOPS, FDS_MFLOPS);
+    let mut c = seeded_coupled_pair(rank, tour.seed);
 
     let net = arctic_paper();
     let mut timed = TimedWorld::new(world, &net);
     let mut atmos = RunMonitor::new("atmos", SentinelConfig::default());
     let mut ocean = RunMonitor::new("ocean", SentinelConfig::default());
-    for _ in 0..CSTEPS {
+    for _ in 0..tour.coupled_steps {
         let healthy = c.step_monitored(&mut timed, &mut atmos, &mut ocean);
         assert!(
             healthy,
@@ -394,7 +518,19 @@ fn run_coupled_rank<W: hyades_comms::CommWorld>(world: &mut W, seed: u64) -> Cou
 /// through the communicator, so all ranks hold identical series; rank
 /// 0's is *the* global series.
 pub fn run_coupled_diag(seed: u64) -> DiagArtifacts {
-    let runs = ThreadWorld::run(NRANKS, |w| run_coupled_rank(w, seed));
+    TourConfig::new(seed).run_coupled_diag()
+}
+
+impl TourConfig {
+    /// The run-health tour (E18): monitored coupled run, all three
+    /// diagnostics renderings.
+    pub fn run_coupled_diag(&self) -> DiagArtifacts {
+        run_coupled_diag_impl(self)
+    }
+}
+
+fn run_coupled_diag_impl(tour: &TourConfig) -> DiagArtifacts {
+    let runs = ThreadWorld::run(NRANKS, |w| run_coupled_rank(w, tour));
     let r0 = &runs[0];
 
     let text = format!(
@@ -485,33 +621,21 @@ struct CritRankRun {
     ocean_coeffs: (f64, f64, u64, u64),
 }
 
-fn run_critpath_rank<W: hyades_comms::CommWorld>(
-    world: &mut W,
-    seed: u64,
-    straggler: Option<Straggler>,
-) -> CritRankRun {
+fn run_critpath_rank<W: hyades_comms::CommWorld>(world: &mut W, tour: &TourConfig) -> CritRankRun {
     let rank = world.rank();
     telemetry::enable_with_rates(rank, FPS_MFLOPS, FDS_MFLOPS);
     telemetry::commlog::install();
-    let mut c = coupled_pair(rank);
-    let mut rng = SplitMix64::new(seed ^ (rank as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-    for (i, j, k) in c.ocean.state.theta.clone().interior() {
-        c.ocean
-            .state
-            .theta
-            .add(i, j, k, (rng.next_f64() - 0.5) * 0.2);
-    }
-    c.exchange_boundary_conditions();
+    let mut c = seeded_coupled_pair(rank, tour.seed);
 
     let net = arctic_paper();
     let mut timed = TimedWorld::new(world, &net);
     let mut atmos = RunMonitor::new("atmos", SentinelConfig::default());
     let mut ocean = RunMonitor::new("ocean", SentinelConfig::default());
-    let mut ni_atmos = Vec::with_capacity(CSTEPS);
-    let mut ni_ocean = Vec::with_capacity(CSTEPS);
-    for s in 0..CSTEPS {
+    let mut ni_atmos = Vec::with_capacity(tour.coupled_steps);
+    let mut ni_ocean = Vec::with_capacity(tour.coupled_steps);
+    for s in 0..tour.coupled_steps {
         telemetry::commlog::mark_step(s as u32 + 1);
-        if let Some(st) = straggler {
+        if let Some(st) = tour.straggler {
             if st.rank == rank {
                 // The perturbation lands *before* the step's first comm
                 // op: compute after a rank's last recorded event is
@@ -551,7 +675,21 @@ fn run_critpath_rank<W: hyades_comms::CommWorld>(
 /// straggler. Returns the byte-stable report/JSON/trace plus the
 /// model-vs-path residuals.
 pub fn run_critpath(seed: u64, straggler: Option<Straggler>) -> CritArtifacts {
-    let mut runs = ThreadWorld::run(NRANKS, |w| run_critpath_rank(w, seed, straggler));
+    let mut cfg = TourConfig::new(seed);
+    cfg.straggler = straggler;
+    cfg.run_critpath()
+}
+
+impl TourConfig {
+    /// The critical-path tour (E19): stamped coupled run reconstructed
+    /// into the global event DAG, with the configured straggler (if any).
+    pub fn run_critpath(&self) -> CritArtifacts {
+        run_critpath_impl(self)
+    }
+}
+
+fn run_critpath_impl(tour: &TourConfig) -> CritArtifacts {
+    let mut runs = ThreadWorld::run(NRANKS, |w| run_critpath_rank(w, tour));
     let logs: Vec<Vec<telemetry::commlog::Stamped>> = runs
         .iter_mut()
         .map(|r| std::mem::take(&mut r.stamped))
@@ -568,7 +706,7 @@ pub fn run_critpath(seed: u64, straggler: Option<Straggler>) -> CritArtifacts {
     let (onps, onds, ocells, ocols) = r0.ocean_coeffs;
     let ma = model_for(&net, 5, anps, ands, acells, acols);
     let mo = model_for(&net, 6, onps, onds, ocells, ocols);
-    let predicted: Vec<f64> = (0..CSTEPS)
+    let predicted: Vec<f64> = (0..tour.coupled_steps)
         .map(|s| {
             hyades_perf::slack::predicted_coupled_step(&ma, &mo, r0.ni_atmos[s], r0.ni_ocean[s])
         })
@@ -593,6 +731,331 @@ pub fn run_critpath(seed: u64, straggler: Option<Straggler>) -> CritArtifacts {
         blame: cp.blame(),
         total_path_us: cp.total_path_ps as f64 / 1e6,
         messages: cp.messages,
+    }
+}
+
+// --- the fault-recovery tour ------------------------------------------
+
+/// Everything the fault-recovery tour (E21) produces. Every artifact is
+/// a pure function of the [`TourConfig`] (pinned byte-identical by
+/// `tests/determinism.rs`).
+pub struct ResilientArtifacts {
+    /// Human-readable recovery report: fault plan, rollback/replay
+    /// accounting, retransmit counters, clean-vs-faulty DES timings.
+    pub report: String,
+    /// The machine-readable `recovery` block (embedded verbatim in the
+    /// bench baseline JSON).
+    pub json: String,
+    /// Per-timestep diagnostics of the *recovered* run (byte-identical
+    /// to an uninterrupted run when `recovered_identical`).
+    pub diag_text: String,
+    /// Flight-recorder dump of the DES recovery legs (retransmit and
+    /// backoff crumbs).
+    pub flight_dump: String,
+    /// Coupled steps completed.
+    pub steps: u64,
+    pub checkpoints: u64,
+    pub restarts: u64,
+    pub replayed_steps: u64,
+    /// Total retransmitted legs across the faulty exchange + gsum runs.
+    pub retries: u64,
+    /// Timeout firings (each armed a capped-exponential backoff wait).
+    pub backoff_waits: u64,
+    /// Final state and diagnostics series bit-identical to the
+    /// uninterrupted reference on every rank.
+    pub recovered_identical: bool,
+    /// The first planned crash's rank, if the plan had one.
+    pub crashed_rank: Option<usize>,
+}
+
+struct ResilientRankRun {
+    atmos: RunMonitor,
+    ocean: RunMonitor,
+    stats: hyades_gcm::resilient::RecoveryStats,
+    identical: bool,
+}
+
+fn run_resilient_rank<W: hyades_comms::CommWorld>(
+    world: &mut W,
+    tour: &TourConfig,
+) -> ResilientRankRun {
+    let rank = world.rank();
+    telemetry::enable_with_rates(rank, FPS_MFLOPS, FDS_MFLOPS);
+    let net = arctic_paper();
+
+    // Uninterrupted reference first (same seed, no faults): the identity
+    // check below is against this run. Both runs execute the same
+    // collective schedule on every rank, so interleaving them through
+    // one communicator is safe.
+    let mut clean = seeded_coupled_pair(rank, tour.seed);
+    let mut ca = RunMonitor::new("atmos", SentinelConfig::default());
+    let mut co = RunMonitor::new("ocean", SentinelConfig::default());
+    {
+        let mut timed = TimedWorld::new(world, &net);
+        for _ in 0..tour.coupled_steps {
+            let (_, _, healthy) = clean.step_monitored_full(&mut timed, &mut ca, &mut co);
+            assert!(healthy, "clean reference tripped the sentinel");
+        }
+    }
+
+    // The resilient run under the replicated fault plan.
+    let mut c = seeded_coupled_pair(rank, tour.seed);
+    let mut atmos = RunMonitor::new("atmos", SentinelConfig::default());
+    let mut ocean = RunMonitor::new("ocean", SentinelConfig::default());
+    let mut runner = ResilientRunner::new(&c, tour.fault_plan.clone(), tour.checkpoint_every);
+    {
+        let mut timed = TimedWorld::new(world, &net);
+        let healthy = runner.run(
+            &mut c,
+            &mut timed,
+            &mut atmos,
+            &mut ocean,
+            tour.coupled_steps as u64,
+        );
+        assert!(healthy, "resilient tour tripped the sentinel");
+    }
+
+    let identical = clean.atmos.state.theta.raw() == c.atmos.state.theta.raw()
+        && clean.atmos.state.u.raw() == c.atmos.state.u.raw()
+        && clean.ocean.state.theta.raw() == c.ocean.state.theta.raw()
+        && clean.ocean.state.u.raw() == c.ocean.state.u.raw()
+        && clean.ocean.state.ps.raw() == c.ocean.state.ps.raw()
+        && ca.series() == atmos.series()
+        && co.series() == ocean.series();
+    telemetry::disable().expect("telemetry was enabled");
+    ResilientRankRun {
+        atmos,
+        ocean,
+        stats: runner.stats(),
+        identical,
+    }
+}
+
+impl TourConfig {
+    /// The fault-recovery tour (E21): the coupled run under this
+    /// config's [`FaultPlan`] — checkpoint/rollback/replay on the
+    /// functional 4-rank world, plus DES exchange/gsum legs under the
+    /// plan's link faults to exercise the CRC-retransmit protocol — with
+    /// a built-in bit-identity check against the uninterrupted run.
+    pub fn run_resilient(&self) -> ResilientArtifacts {
+        let runs = ThreadWorld::run(NRANKS, |w| run_resilient_rank(w, self));
+        let r0 = &runs[0];
+        let stats = r0.stats;
+        let recovered_identical = runs.iter().all(|r| r.identical);
+        let crashed_rank = self
+            .fault_plan
+            .rank_crashes
+            .iter()
+            .min_by_key(|cr| (cr.at_step, cr.rank))
+            .map(|cr| cr.rank);
+
+        // DES recovery legs: the same microbench shapes as the profiling
+        // tour, but under the plan's link faults, with the flight
+        // recorder catching the retransmit crumbs.
+        if self.flight {
+            flight::install(4096);
+        }
+        let host = HostParams::default();
+        let leg_bytes = 256 + (self.seed % 7) * 64;
+        let t_exch = measure_exchange(host, 2, 2, leg_bytes);
+        let (t_exch_faulty, ex) = measure_exchange_faulty(host, 2, 2, leg_bytes, &self.fault_plan);
+        let values: Vec<f64> = (0..8)
+            .map(|i| ((self.seed >> (i % 8)) & 0xF) as f64 + i as f64)
+            .collect();
+        let g = measure_gsum(host, &values, false);
+        let (g_faulty, gs) = measure_gsum_faulty(host, &values, &self.fault_plan);
+        let gsum_exact = g_faulty.value == g.value;
+        let mut counters = ex;
+        counters.merge(&gs);
+        let flight_dump = match flight::take() {
+            Some(tr) => format!(
+                "[flight recorder] {} events ({} dropped)\n{}",
+                tr.len(),
+                tr.dropped(),
+                tr.dump()
+            ),
+            None => String::from("[flight recorder] not installed\n"),
+        };
+
+        let diag_text = format!(
+            "{}\n{}",
+            r0.atmos.series().render_text(),
+            r0.ocean.series().render_text()
+        );
+        let report = render_recovery_report(
+            self,
+            &stats,
+            &counters,
+            recovered_identical,
+            crashed_rank,
+            (t_exch.as_us_f64(), t_exch_faulty.as_us_f64()),
+            (g.elapsed.as_us_f64(), g_faulty.elapsed.as_us_f64()),
+            gsum_exact,
+        );
+        let json = format!(
+            "{{\"checkpoints\": {}, \"restarts\": {}, \"replayed_steps\": {}, \"retries\": {}, \"backoff_waits\": {}, \"recovered_identical\": {}, \"gsum_exact_under_faults\": {}}}",
+            stats.checkpoints,
+            stats.restarts,
+            stats.replayed_steps,
+            counters.total_retransmits(),
+            counters.timeouts,
+            recovered_identical,
+            gsum_exact,
+        );
+
+        ResilientArtifacts {
+            report,
+            json,
+            diag_text,
+            flight_dump,
+            steps: r0.ocean.steps(),
+            checkpoints: stats.checkpoints,
+            restarts: stats.restarts,
+            replayed_steps: stats.replayed_steps,
+            retries: counters.total_retransmits(),
+            backoff_waits: counters.timeouts,
+            recovered_identical,
+            crashed_rank,
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_recovery_report(
+    tour: &TourConfig,
+    stats: &hyades_gcm::resilient::RecoveryStats,
+    counters: &RecoveryCounters,
+    recovered_identical: bool,
+    crashed_rank: Option<usize>,
+    exch_us: (f64, f64),
+    gsum_us: (f64, f64),
+    gsum_exact: bool,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fault-recovery tour: seed {:#x}, {} ranks, {} coupled steps, checkpoint every {}",
+        tour.seed, NRANKS, tour.coupled_steps, tour.checkpoint_every
+    );
+    out.push_str("\n[fault plan]\n");
+    out.push_str(&tour.fault_plan.render());
+    out.push_str("\n[rollback / replay]\n");
+    let _ = writeln!(
+        out,
+        "  checkpoints = {}, restarts = {}, replayed steps = {}, crashed rank = {}",
+        stats.checkpoints,
+        stats.restarts,
+        stats.replayed_steps,
+        crashed_rank.map_or("-".to_string(), |r| r.to_string()),
+    );
+    let _ = writeln!(
+        out,
+        "  recovered run bit-identical to uninterrupted run: {recovered_identical}"
+    );
+    out.push_str("\n[retransmit protocol under link faults]\n");
+    let _ = writeln!(
+        out,
+        "  exchange: clean {:.3} us, faulty {:.3} us",
+        exch_us.0, exch_us.1
+    );
+    let _ = writeln!(
+        out,
+        "  gsum:     clean {:.3} us, faulty {:.3} us, sum exact: {gsum_exact}",
+        gsum_us.0, gsum_us.1
+    );
+    let _ = writeln!(
+        out,
+        "  timeouts(backoff waits) = {}, total retransmits = {}",
+        counters.timeouts,
+        counters.total_retransmits()
+    );
+    let _ = writeln!(
+        out,
+        "  req_resends = {}, probes = {}, acks_resent = {}, dones_resent = {}, data_rewinds = {}",
+        counters.req_resends,
+        counters.probes,
+        counters.acks_resent,
+        counters.dones_resent,
+        counters.data_rewinds
+    );
+    let _ = writeln!(
+        out,
+        "  value_resends = {}, retries = {}, corrupt_discarded = {}, stale_ignored = {}",
+        counters.value_resends,
+        counters.retries,
+        counters.corrupt_discarded,
+        counters.stale_ignored
+    );
+    out
+}
+
+// --- the unified export surface ---------------------------------------
+
+impl TourArtifacts {
+    /// The tour's artifacts behind the unified
+    /// [`Exporter`](hyades_telemetry::Exporter) API.
+    pub fn exporter(&self) -> Prebuilt {
+        Prebuilt::default()
+            .with("trace", ArtifactKind::ChromeTrace, self.chrome_json.clone())
+            .with("telemetry", ArtifactKind::Text, self.text_summary.clone())
+            .with(
+                "phase_report",
+                ArtifactKind::Text,
+                self.phase_report.clone(),
+            )
+            .with(
+                "residual_series",
+                ArtifactKind::Text,
+                self.residual_series.clone(),
+            )
+    }
+}
+
+impl DiagArtifacts {
+    /// `diag.{txt,json,prom}` behind the unified exporter API (the same
+    /// combined atmos+ocean documents the bench has always written).
+    pub fn exporter(&self) -> Prebuilt {
+        Prebuilt::default()
+            .with("diag", ArtifactKind::Text, self.text.clone())
+            .with("diag", ArtifactKind::Json, self.json.clone())
+            .with("diag", ArtifactKind::Prom, self.prom.clone())
+    }
+}
+
+impl CritArtifacts {
+    /// Critical-path artifacts behind the unified exporter API. `name`
+    /// distinguishes variants of the run (e.g. `"critpath"` vs
+    /// `"critpath_straggler"`).
+    pub fn exporter(&self, name: &str) -> Prebuilt {
+        Prebuilt::new(vec![
+            Artifact::new(name, ArtifactKind::Text, self.report.clone()),
+            Artifact::new(name, ArtifactKind::Json, self.json.clone()),
+            Artifact::new(
+                &format!("{name}_trace"),
+                ArtifactKind::ChromeTrace,
+                self.chrome_json.clone(),
+            ),
+            Artifact::new(
+                &format!("{name}_slack"),
+                ArtifactKind::Text,
+                self.slack_report.clone(),
+            ),
+        ])
+    }
+}
+
+impl ResilientArtifacts {
+    /// Recovery artifacts behind the unified exporter API.
+    pub fn exporter(&self) -> Prebuilt {
+        Prebuilt::default()
+            .with("recovery", ArtifactKind::Text, self.report.clone())
+            .with("recovery", ArtifactKind::Json, self.json.clone())
+            .with("recovery_diag", ArtifactKind::Text, self.diag_text.clone())
+            .with(
+                "recovery_flight",
+                ArtifactKind::Text,
+                self.flight_dump.clone(),
+            )
     }
 }
 
@@ -716,6 +1179,82 @@ mod tests {
         // The injected second of compute (50 Mflop at 50 Mflop/s)
         // dominates the whole path.
         assert!(c.total_path_us > 4.0 * 0.9e6, "path {} us", c.total_path_us);
+    }
+
+    #[test]
+    fn resilient_tour_recovers_bit_identically() {
+        let cfg = TourConfig::new(7).fault_plan(TourConfig::demo_fault_plan(7));
+        let r = cfg.run_resilient();
+        assert_eq!(r.steps, CSTEPS as u64);
+        assert_eq!(r.crashed_rank, Some(1));
+        assert!(r.restarts >= 1, "planned crash never fired");
+        assert!(
+            r.recovered_identical,
+            "recovered run diverged from the uninterrupted reference:\n{}",
+            r.report
+        );
+        assert!(r.retries > 0, "link faults produced no retransmits");
+        assert!(r.backoff_waits > 0 || r.retries > 0);
+        assert!(r.report.contains("[fault plan]"), "{}", r.report);
+        assert!(r.report.contains("rank-crash"), "{}", r.report);
+        assert!(r.report.contains("sum exact: true"), "{}", r.report);
+        assert!(r.json.contains("\"recovered_identical\": true"));
+        assert!(r.diag_text.contains("# diag series: ocean"));
+        // Recovery crumbs made it into the DES flight dump.
+        assert!(
+            r.flight_dump.contains("exchange.") || r.flight_dump.contains("gsum."),
+            "{}",
+            r.flight_dump
+        );
+    }
+
+    #[test]
+    fn resilient_tour_without_faults_is_a_plain_run() {
+        let r = TourConfig::new(7).run_resilient();
+        assert_eq!(r.restarts, 0);
+        assert_eq!(r.retries, 0);
+        assert_eq!(r.crashed_rank, None);
+        assert!(r.recovered_identical);
+    }
+
+    #[test]
+    fn tour_config_shims_match_legacy_entry_points() {
+        let a = run(5);
+        let b = TourConfig::new(5).run_tour();
+        assert_eq!(a.chrome_json, b.chrome_json);
+        assert_eq!(a.text_summary, b.text_summary);
+        let da = run_coupled_diag(5);
+        let db = TourConfig::new(5).run_coupled_diag();
+        assert_eq!(da.json, db.json);
+        assert_eq!(da.prom, db.prom);
+    }
+
+    #[test]
+    fn exporters_bundle_the_tour_artifacts() {
+        use hyades_telemetry::Exporter as _;
+        let d = run_coupled_diag(7);
+        let arts = d.exporter().artifacts();
+        assert_eq!(arts.len(), 3);
+        assert_eq!(arts[0].file_name(), "diag.txt");
+        assert_eq!(arts[1].file_name(), "diag.json");
+        assert_eq!(arts[2].file_name(), "diag.prom");
+        assert_eq!(arts[1].bytes, d.json);
+        let c = run_critpath(7, None);
+        let names: Vec<String> = c
+            .exporter("critpath")
+            .artifacts()
+            .iter()
+            .map(|a| a.file_name())
+            .collect();
+        assert_eq!(
+            names,
+            [
+                "critpath.txt",
+                "critpath.json",
+                "critpath_trace.json",
+                "critpath_slack.txt"
+            ]
+        );
     }
 
     #[test]

@@ -217,6 +217,12 @@ mod tests {
 }
 
 impl CoupledModel {
+    /// Coupled steps taken so far (the resilient stepper keys its fault
+    /// plan and checkpoint cadence off this).
+    pub fn steps_taken(&self) -> u64 {
+        self.steps
+    }
+
     /// Step both isomorphs through a *shared* communicator (each rank
     /// owns the matching tiles of both models): the functional layout for
     /// thread-parallel coupled runs. Collectives interleave identically on

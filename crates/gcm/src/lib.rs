@@ -50,6 +50,7 @@ pub mod halo;
 pub mod kernel;
 pub mod monitor;
 pub mod physics;
+pub mod resilient;
 pub mod solver;
 pub mod state;
 pub mod tile;
@@ -60,3 +61,4 @@ pub use driver::{Model, StepStats};
 pub use field::{Field2, Field3};
 pub use grid::Grid;
 pub use monitor::{BlowupKind, BlowupReport, RunMonitor, SentinelConfig};
+pub use resilient::{RecoveryStats, ResilientOutcome, ResilientRunner};

@@ -197,6 +197,18 @@ impl RunMonitor {
         self.report.as_ref()
     }
 
+    /// Rewind the monitor to `to_steps` observed steps, dropping every
+    /// later diagnostics row. The resilient stepper calls this on a
+    /// rank-crash rollback so the replayed steps re-record their rows
+    /// and the final series is byte-identical to an uninterrupted run.
+    /// Trip state is not rewound — a sentinel trip before the crash is
+    /// still a trip.
+    pub fn truncate(&mut self, to_steps: u64) {
+        assert!(to_steps <= self.steps, "cannot truncate forward");
+        self.series.truncate(to_steps as usize);
+        self.steps = to_steps;
+    }
+
     /// Observe one completed step. Collective: every rank must call with
     /// its own `model`/`stats`. Returns `true` while the run is healthy;
     /// `false` once the sentinel has tripped (the report is identical on

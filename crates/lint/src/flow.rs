@@ -47,7 +47,7 @@ use crate::graph::{
     KEYWORDS,
 };
 use crate::lexer::TokKind;
-use crate::passes::FileCtx;
+use crate::passes::{self, FileCtx};
 use crate::rules::{
     for_in_subject, Finding, BAD_PRAGMA, FLOAT_REDUCE_UNORDERED, HASH_ITERATION, INSTANT_WALLCLOCK,
     ITERATION_METHODS, NONDET_REACHABLE, PAR_METHODS, UNSEEDED_RNG, UNUSED_PRAGMA,
@@ -167,9 +167,9 @@ pub const WORKSPACE_SINKS: &[SinkSpec] = &[
         what: "DES trace output",
     },
     SinkSpec {
-        name: "write_exports",
-        path_hint: "crates/bench/src/bin/baseline.rs",
-        what: "bench artifact writer",
+        name: "write_artifacts_to_dir",
+        path_hint: "crates/telemetry/src/artifact.rs",
+        what: "unified artifact writer",
     },
 ];
 
@@ -588,9 +588,7 @@ fn extract_file(ctx: &FileCtx<'_>, b: &mut Builder) {
                     qual.push_str("::");
                 }
                 qual.push_str(ctx.text(name_idx));
-                let trusted = ctx.trusted.iter().any(|p| {
-                    p.has_reason && (p.line == line || (p.own_line && p.line + 1 == line))
-                });
+                let trusted = ctx.trusted.iter().any(|p| p.covers(line));
                 let allow_sink = ctx
                     .pragmas
                     .iter()
@@ -643,31 +641,27 @@ fn extract_file(ctx: &FileCtx<'_>, b: &mut Builder) {
         }
     }
 
-    // det-trusted audit: reasonless pragmas are bad, unattached ones are
-    // stale; valid attached ones join the pragma budget.
-    for tp in &ctx.trusted {
-        if !tp.has_reason {
-            b.findings.push(Finding {
+    // det-trusted audit via the shared registry: reasonless pragmas are
+    // bad, unattached ones are stale; valid attached ones join the
+    // pragma budget.
+    let fn_lines: Vec<usize> = b.fns[first_fn..].iter().map(|f| f.line).collect();
+    for audit in passes::audit_trust_pragmas(&passes::DET_TRUSTED, &ctx.trusted, &fn_lines) {
+        match audit {
+            passes::TrustAudit::Reasonless { line, message } => b.findings.push(Finding {
                 rel_path: ctx.rel_path.to_string(),
-                line: tp.line,
+                line,
                 rule: BAD_PRAGMA,
-                message: "lint:det-trusted() needs a reason: lint:det-trusted(why)".to_string(),
-            });
-            continue;
-        }
-        let attached = b.fns[first_fn..]
-            .iter()
-            .any(|f| f.line == tp.line || (tp.own_line && tp.line + 1 == f.line));
-        if attached {
-            b.trusted_sites.push((ctx.rel_path.to_string(), tp.line));
-        } else {
-            b.findings.push(Finding {
+                message,
+            }),
+            passes::TrustAudit::Attached { line } => {
+                b.trusted_sites.push((ctx.rel_path.to_string(), line));
+            }
+            passes::TrustAudit::Unattached { line, message } => b.findings.push(Finding {
                 rel_path: ctx.rel_path.to_string(),
-                line: tp.line,
+                line,
                 rule: UNUSED_PRAGMA,
-                message: "lint:det-trusted(..) attaches to no `fn` on this or the next line"
-                    .to_string(),
-            });
+                message,
+            }),
         }
     }
 }

@@ -63,6 +63,105 @@ pub struct TrustPragma {
     pub line: usize,
 }
 
+impl TrustPragma {
+    /// Does this pragma cover a `fn` whose header sits on `line`? Same
+    /// attachment rule as `lint:allow`: the pragma's own code line, or —
+    /// when the pragma sits on a comment-only line — the line directly
+    /// below. Reasonless pragmas cover nothing; they are audit findings.
+    pub fn covers(&self, line: usize) -> bool {
+        self.has_reason && (self.line == line || (self.own_line && self.line + 1 == line))
+    }
+}
+
+/// One trust-pragma family in the shared registry: its name, opener
+/// needle, and nothing else — parse ([`FileCtx::new`]), audit
+/// ([`audit_trust_pragmas`]), and `--fix-baseline` stripping
+/// ([`PRAGMA_NEEDLES`]) are all driven off this table, so the
+/// `det-trusted` and `uniform-trusted` surfaces cannot drift apart.
+#[derive(Debug, Clone, Copy)]
+pub struct TrustSpec {
+    /// Pragma name without the opening paren, e.g. `"lint:det-trusted"`.
+    pub name: &'static str,
+    /// The opener needle the parser scans for, e.g. `"lint:det-trusted("`.
+    pub opener: &'static str,
+}
+
+/// `lint:det-trusted(why)` — pins a function to `Det` for the
+/// interprocedural flow analysis ([`crate::flow`]).
+pub const DET_TRUSTED: TrustSpec = TrustSpec {
+    name: "lint:det-trusted",
+    opener: "lint:det-trusted(",
+};
+
+/// `lint:uniform-trusted(why)` — exempts a function from the SPMD
+/// collective-uniformity check ([`crate::uniform`]).
+pub const UNIFORM_TRUSTED: TrustSpec = TrustSpec {
+    name: "lint:uniform-trusted",
+    opener: "lint:uniform-trusted(",
+};
+
+/// Every trust-pragma family the toolchain knows about.
+pub const TRUST_SPECS: &[TrustSpec] = &[DET_TRUSTED, UNIFORM_TRUSTED];
+
+impl TrustSpec {
+    /// Audit message for a pragma with an empty reason.
+    pub fn reasonless_message(&self) -> String {
+        format!("{}() needs a reason: {}(why)", self.name, self.name)
+    }
+
+    /// Audit message for a pragma that covers no `fn` header.
+    pub fn unattached_message(&self) -> String {
+        format!(
+            "{}(..) attaches to no `fn` on this or the next line",
+            self.name
+        )
+    }
+}
+
+/// One audited trust pragma, classified. Produced by
+/// [`audit_trust_pragmas`]; the flow and uniform passes map these into
+/// their own `Finding` types (reasonless → `bad-pragma`, unattached →
+/// `unused-pragma`) and record attached sites in their audit trails.
+#[derive(Debug, Clone)]
+pub enum TrustAudit {
+    /// Empty reason: the pragma pins nothing and is itself a finding.
+    Reasonless { line: usize, message: String },
+    /// Reasoned but covering no `fn` header: stale, safe to strip.
+    Unattached { line: usize, message: String },
+    /// Reasoned and covering a `fn` header on `line` (per
+    /// [`TrustPragma::covers`] with the fn lines supplied).
+    Attached { line: usize },
+}
+
+/// Classify every trust pragma of one family against the `fn`-header
+/// lines seen in the same file. Shared by the `det-trusted` audit in
+/// [`crate::flow`] and the `uniform-trusted` audit in [`crate::uniform`]
+/// so the two families keep identical semantics.
+pub fn audit_trust_pragmas(
+    spec: &TrustSpec,
+    pragmas: &[TrustPragma],
+    fn_lines: &[usize],
+) -> Vec<TrustAudit> {
+    pragmas
+        .iter()
+        .map(|tp| {
+            if !tp.has_reason {
+                TrustAudit::Reasonless {
+                    line: tp.line,
+                    message: spec.reasonless_message(),
+                }
+            } else if fn_lines.iter().any(|&l| tp.covers(l)) {
+                TrustAudit::Attached { line: tp.line }
+            } else {
+                TrustAudit::Unattached {
+                    line: tp.line,
+                    message: spec.unattached_message(),
+                }
+            }
+        })
+        .collect()
+}
+
 /// One token-matching step for [`FileCtx::match_seq`].
 pub enum Pat {
     /// Exact token text (`"."`, `"("`, `"::"`, keyword, …).
@@ -117,9 +216,9 @@ impl<'a> FileCtx<'a> {
         let partner = match_brackets(&code);
         let in_test = cfg_test_flags(&code, &partner);
         let pragmas = parse_pragmas(&comments, &lines_with_code);
-        let trusted = parse_trust_pragmas("lint:det-trusted(", &comments, &lines_with_code);
+        let trusted = parse_trust_pragmas(DET_TRUSTED.opener, &comments, &lines_with_code);
         let uniform_trusted =
-            parse_trust_pragmas("lint:uniform-trusted(", &comments, &lines_with_code);
+            parse_trust_pragmas(UNIFORM_TRUSTED.opener, &comments, &lines_with_code);
         FileCtx {
             rel_path,
             scope: classify(rel_path),
@@ -481,7 +580,9 @@ fn parse_trust_pragmas(
 /// Every pragma opener `--fix-baseline` knows how to strip. One shared
 /// reconciliation path: stale `lint:allow`, `lint:det-trusted`, and
 /// `lint:uniform-trusted` pragmas all leave the tree the same way.
-pub const PRAGMA_NEEDLES: &[&str] = &["lint:allow(", "lint:det-trusted(", "lint:uniform-trusted("];
+/// The trust openers come straight from [`TRUST_SPECS`] so a family
+/// added to the registry is automatically strippable.
+pub const PRAGMA_NEEDLES: &[&str] = &["lint:allow(", DET_TRUSTED.opener, UNIFORM_TRUSTED.opener];
 
 /// Remove the pragmas on the given 1-based `lines` from `source`
 /// (textually), cleaning up comments left empty. Used by
@@ -705,6 +806,68 @@ mod tests {
         let src = "//! Use `lint:allow(rule, reason)` to suppress.\n/// lint:allow(x, y)\n";
         let ctx = FileCtx::new("crates/x/src/a.rs", src);
         assert!(ctx.pragmas.is_empty());
+    }
+
+    #[test]
+    fn trust_registry_is_consistent() {
+        // Openers are always `name(`, and every family in the registry
+        // is strippable by `--fix-baseline`.
+        for spec in TRUST_SPECS {
+            assert_eq!(spec.opener, format!("{}(", spec.name));
+            assert!(
+                PRAGMA_NEEDLES.contains(&spec.opener),
+                "{} missing from PRAGMA_NEEDLES",
+                spec.opener
+            );
+        }
+        assert_eq!(PRAGMA_NEEDLES.len(), TRUST_SPECS.len() + 1);
+    }
+
+    #[test]
+    fn trust_audit_classifies_all_three_ways() {
+        let pragmas = vec![
+            // Reasonless.
+            TrustPragma {
+                has_reason: false,
+                own_line: true,
+                line: 1,
+            },
+            // Attached: own comment line directly above fn on line 5.
+            TrustPragma {
+                has_reason: true,
+                own_line: true,
+                line: 4,
+            },
+            // Attached: trailing on the fn's own line 9.
+            TrustPragma {
+                has_reason: true,
+                own_line: false,
+                line: 9,
+            },
+            // Trailing on a code line: does NOT reach the next line.
+            TrustPragma {
+                has_reason: true,
+                own_line: false,
+                line: 11,
+            },
+        ];
+        let audits = audit_trust_pragmas(&DET_TRUSTED, &pragmas, &[5, 9, 12]);
+        assert!(matches!(
+            &audits[0],
+            TrustAudit::Reasonless { line: 1, message } if message.contains("needs a reason")
+        ));
+        assert!(matches!(audits[1], TrustAudit::Attached { line: 4 }));
+        assert!(matches!(audits[2], TrustAudit::Attached { line: 9 }));
+        assert!(matches!(
+            &audits[3],
+            TrustAudit::Unattached { line: 11, message } if message.contains("attaches to no `fn`")
+        ));
+        // Same pragmas under the uniform family: only the messages differ.
+        let u = audit_trust_pragmas(&UNIFORM_TRUSTED, &pragmas, &[5, 9, 12]);
+        assert!(matches!(
+            &u[0],
+            TrustAudit::Reasonless { message, .. } if message.starts_with("lint:uniform-trusted()")
+        ));
     }
 
     #[test]

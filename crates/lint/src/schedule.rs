@@ -263,7 +263,9 @@ pub fn verify(g: &CommGraph) -> Result<ScheduleProof, ScheduleError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hyades_comms::schedule::{exchange_graph, gsum_graph, CommGraph};
+    use hyades_comms::schedule::{
+        exchange_graph, exchange_recovery_graph, gsum_graph, gsum_recovery_graph, CommGraph,
+    };
 
     #[test]
     fn exchange_16_nodes_is_deadlock_free() {
@@ -276,6 +278,35 @@ mod tests {
     fn gsum_16_nodes_is_deadlock_free() {
         let proof = verify(&gsum_graph(16)).expect("16-way butterfly must verify");
         assert_eq!(proof.messages, 64);
+    }
+
+    #[test]
+    fn exchange_recovery_protocol_is_deadlock_free() {
+        // Every retransmit leg (REQ2/ACK2/PROBE/RETRY/DATA-rewind/DONE2)
+        // fired once: tag-unique per channel and acyclic.
+        let plain = verify(&exchange_graph(4, 4)).expect("plain exchange must verify");
+        let proof = verify(&exchange_recovery_graph(4, 4)).expect("recovery exchange must verify");
+        assert_eq!(proof.nodes, 16);
+        assert!(
+            proof.critical_depth > plain.critical_depth,
+            "recovery legs must lengthen the worst-case conversation"
+        );
+    }
+
+    #[test]
+    fn gsum_recovery_protocol_is_deadlock_free() {
+        let proof = verify(&gsum_recovery_graph(16)).expect("recovery butterfly must verify");
+        assert_eq!(proof.messages, 3 * 64); // RETRY + RESEND per value
+    }
+
+    #[test]
+    fn combined_recovery_schedule_verifies() {
+        // The full fault-era step schedule: recovery exchange then
+        // recovery gsum, back to back on every rank.
+        let mut g = exchange_recovery_graph(4, 4);
+        g.append(&gsum_recovery_graph(16));
+        let proof = verify(&g).expect("combined recovery schedule must verify");
+        assert_eq!(proof.nodes, 16);
     }
 
     #[test]

@@ -42,7 +42,7 @@
 
 use crate::graph::{self, body_open, impl_subject, is_test_path, module_path, RawCall, KEYWORDS};
 use crate::lexer::TokKind;
-use crate::passes::FileCtx;
+use crate::passes::{self, FileCtx};
 use crate::rules::{Finding, BAD_PRAGMA, COLLECTIVE_DIVERGENCE, UNUSED_PRAGMA};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -504,9 +504,7 @@ fn extract_file(
                     qual.push_str("::");
                 }
                 qual.push_str(ctx.text(name_idx));
-                let trusted = ctx.uniform_trusted.iter().any(|p| {
-                    p.has_reason && (p.line == line || (p.own_line && p.line + 1 == line))
-                });
+                let trusted = ctx.uniform_trusted.iter().any(|p| p.covers(line));
                 let allow_fn = covering_pragma(ctx, line);
                 fns.push(UFn {
                     name: ctx.text(name_idx).to_string(),
@@ -535,33 +533,30 @@ fn extract_file(
         }
     }
 
-    // uniform-trusted audit, mirroring det-trusted: reasonless pragmas
-    // are bad, unattached ones are stale; valid attached ones join the
-    // pragma budget.
-    for tp in &ctx.uniform_trusted {
-        if !tp.has_reason {
-            findings.push(Finding {
+    // uniform-trusted audit via the same shared registry as the
+    // det-trusted audit in `flow`: reasonless pragmas are bad,
+    // unattached ones are stale; valid attached ones join the pragma
+    // budget.
+    let fn_lines: Vec<usize> = fns[first_fn..].iter().map(|f| f.line).collect();
+    for audit in
+        passes::audit_trust_pragmas(&passes::UNIFORM_TRUSTED, &ctx.uniform_trusted, &fn_lines)
+    {
+        match audit {
+            passes::TrustAudit::Reasonless { line, message } => findings.push(Finding {
                 rel_path: ctx.rel_path.to_string(),
-                line: tp.line,
+                line,
                 rule: BAD_PRAGMA,
-                message: "lint:uniform-trusted() needs a reason: lint:uniform-trusted(why)"
-                    .to_string(),
-            });
-            continue;
-        }
-        let attached = fns[first_fn..]
-            .iter()
-            .any(|f| f.line == tp.line || (tp.own_line && tp.line + 1 == f.line));
-        if attached {
-            trusted_sites.push((ctx.rel_path.to_string(), tp.line));
-        } else {
-            findings.push(Finding {
+                message,
+            }),
+            passes::TrustAudit::Attached { line } => {
+                trusted_sites.push((ctx.rel_path.to_string(), line));
+            }
+            passes::TrustAudit::Unattached { line, message } => findings.push(Finding {
                 rel_path: ctx.rel_path.to_string(),
-                line: tp.line,
+                line,
                 rule: UNUSED_PRAGMA,
-                message: "lint:uniform-trusted(..) attaches to no `fn` on this or the next line"
-                    .to_string(),
-            });
+                message,
+            }),
         }
     }
 }

@@ -89,6 +89,14 @@ impl DiagSeries {
         self.rows.is_empty()
     }
 
+    /// Drop every row past the first `len` (used by the resilient
+    /// stepper to rewind diagnostics to the last checkpoint on a
+    /// rank-crash rollback, so the replay re-records them and the final
+    /// series stays byte-identical to an uninterrupted run).
+    pub fn truncate(&mut self, len: usize) {
+        self.rows.truncate(len);
+    }
+
     /// Last recorded value of `key`, if any row carries it.
     pub fn last(&self, key: &str) -> Option<f64> {
         self.rows.iter().rev().find_map(|r| r.get(key))

@@ -34,6 +34,7 @@
 //! [`SimTime`]: hyades_des::SimTime
 //! [`SimDuration`]: hyades_des::SimDuration
 
+pub mod artifact;
 pub mod commlog;
 pub mod critpath;
 pub mod diag;
@@ -45,6 +46,7 @@ pub mod recorder;
 pub mod registry;
 pub mod sampler;
 
+pub use artifact::{write_artifacts_to_dir, Artifact, ArtifactKind, Exporter, Prebuilt};
 pub use critpath::{CritPath, CritPathError};
 pub use diag::{DiagRow, DiagSeries};
 pub use export::{flows_from_stamped, FlowEvent, RunTelemetry};

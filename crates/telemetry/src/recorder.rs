@@ -313,7 +313,6 @@ pub fn count(component: &'static str, metric: &'static str, delta: u64) {
 /// Record a registry statistics sample.
 #[inline]
 pub fn observe(component: &'static str, metric: &'static str, value: f64) {
-    // lint:allow(collective-divergence, registry.observe resolves by name to the collective-bearing RunMonitor::observe; no CommWorld reaches this fn)
     if !enabled() {
         return;
     }

@@ -42,11 +42,15 @@ echo "==> critpath smoke (critical-path profiler + straggler attribution)"
 cargo run -q --release --example critpath_smoke > target/critpath-smoke.txt
 tail -n 1 target/critpath-smoke.txt
 
+echo "==> fault smoke (planned rank crash + lossy links; must recover bit-identically)"
+cargo run -q --release --example fault_smoke > target/fault-smoke.txt
+tail -n 1 target/fault-smoke.txt
+
 echo "==> perf baseline (smoke): fabric observatory + export determinism"
 scripts/bench.sh --smoke
 
-echo "==> bench diff: BENCH_pr8.json vs BENCH_pr9.json (budgeted regression gate)"
-./target/release/baseline diff BENCH_pr8.json BENCH_pr9.json > target/bench-diff.json
+echo "==> bench diff: BENCH_pr9.json vs BENCH_pr10.json (budgeted regression gate)"
+./target/release/baseline diff BENCH_pr9.json BENCH_pr10.json > target/bench-diff.json
 grep '"verdict"' target/bench-diff.json
 
 echo "All checks passed."

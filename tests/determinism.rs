@@ -393,6 +393,47 @@ fn critpath_blames_the_injected_straggler_byte_identically() {
 }
 
 #[test]
+fn recovery_exports_are_bit_identical_across_runs() {
+    use hyades::tour::TourConfig;
+
+    // The fault-recovery tour's golden test: even a run that crashes a
+    // rank, rolls back, replays, and retransmits through a lossy link
+    // window must export byte-for-byte — the fault plan is seeded, the
+    // backoff schedule is deterministic, and recovery is charged to
+    // simulated time. The flight-recorder dump pins the retransmit crumb
+    // stream; the JSON block is what the bench baseline embeds.
+    let run = || {
+        TourConfig::new(0xFA_017)
+            .fault_plan(TourConfig::demo_fault_plan(0xFA_017))
+            .run_resilient()
+    };
+    let (a, b) = (run(), run());
+    assert!(a.restarts > 0, "planned crash never fired");
+    assert!(a.recovered_identical, "recovery broke bit-identity");
+    assert_eq!(
+        a.report, b.report,
+        "recovery report must replay byte-identically"
+    );
+    assert_eq!(a.json, b.json, "recovery json must replay byte-identically");
+    assert_eq!(
+        a.diag_text, b.diag_text,
+        "recovered diag must replay byte-identically"
+    );
+    assert_eq!(
+        a.flight_dump, b.flight_dump,
+        "recovery flight dump must replay byte-identically"
+    );
+
+    // A different seed moves both the physics and the fault windows, so
+    // the artifacts must move too — otherwise the equality is vacuous.
+    let c = TourConfig::new(0xFA_018)
+        .fault_plan(TourConfig::demo_fault_plan(0xFA_018))
+        .run_resilient();
+    assert_ne!(a.report, c.report);
+    assert_ne!(a.diag_text, c.diag_text);
+}
+
+#[test]
 fn e17_effect_table_report_is_bit_identical_across_runs() {
     // The interprocedural effect table is itself a published artefact
     // (E17). The analysis walks sorted sources through BTree-ordered

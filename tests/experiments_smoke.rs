@@ -5,7 +5,7 @@
 #[test]
 fn registry_lists_all_artefacts() {
     let all = hyades::experiments::all();
-    assert_eq!(all.len(), 20);
+    assert_eq!(all.len(), 21);
     // Every table/figure of the paper's evaluation is covered.
     let artefacts: Vec<&str> = all.iter().map(|e| e.paper_artefact).collect();
     for needle in [
